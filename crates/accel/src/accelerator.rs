@@ -1,0 +1,1055 @@
+//! The accelerator: composition and main simulation loop.
+
+use crate::config::DeltaConfig;
+use crate::dispatch::{is_ready, PendingTask};
+use crate::exec::{DramJobSpec, Feed, FeedKind, Sink, SinkKind, TaskExec, Tile, TileIo};
+use crate::memctrl::{MemCtrl, ReadReq};
+use crate::msg::Msg;
+use crate::pipes::{PipeMode, PipeTable};
+use crate::report::RunReport;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use taskstream_model::{
+    CompletedTask, InputBinding, OutputBinding, Program, Spawner, TaskId, TaskInstance, TaskKernel,
+    TaskType, TilePicker, Value,
+};
+use ts_cgra::{Fabric, KernelTiming, MapError};
+use ts_dfg::interp;
+use ts_noc::Mesh;
+use ts_sim::stats::{Report, Stats};
+use ts_stream::{Addr, DataSrc, StreamDesc};
+
+/// Errors from [`Accelerator::run`].
+#[derive(Debug)]
+pub enum RunError {
+    /// The cycle limit was exceeded, or the machine stopped making
+    /// progress (a modelling deadlock).
+    Timeout {
+        /// Cycle at which the run gave up.
+        cycles: u64,
+        /// Human-readable state summary for debugging.
+        diagnostics: String,
+    },
+    /// The program violated the model's contracts (arity mismatch,
+    /// undeclared pipe, malformed scatter…).
+    Program(String),
+    /// A task type's dataflow graph does not fit the fabric.
+    Map(MapError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Timeout {
+                cycles,
+                diagnostics,
+            } => {
+                write!(f, "no progress by cycle {cycles}: {diagnostics}")
+            }
+            RunError::Program(msg) => write!(f, "program error: {msg}"),
+            RunError::Map(e) => write!(f, "mapping error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<MapError> for RunError {
+    fn from(e: MapError) -> Self {
+        RunError::Map(e)
+    }
+}
+
+struct TypeInfo {
+    tt: TaskType,
+    timing: KernelTiming,
+}
+
+/// A Delta (or static-parallel baseline) instance, ready to run
+/// programs.
+///
+/// Each [`Accelerator::run`] builds fresh machine state, so one
+/// `Accelerator` can run many programs (or the same program at several
+/// configurations) without interference.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    cfg: DeltaConfig,
+}
+
+impl Accelerator {
+    /// Creates an accelerator from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`DeltaConfig::validate`]).
+    pub fn new(cfg: DeltaConfig) -> Self {
+        cfg.validate();
+        Accelerator { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DeltaConfig {
+        &self.cfg
+    }
+
+    /// Runs a program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] on cycle-limit exhaustion, contract
+    /// violations by the program, or unmappable kernels.
+    pub fn run<P: Program + ?Sized>(&mut self, program: &mut P) -> Result<RunReport, RunError> {
+        let mut state = RunState::build(&self.cfg, program)?;
+        state.main_loop(program)
+    }
+}
+
+const SPILL_RESERVE: u64 = 1 << 20;
+
+struct RunState {
+    cfg: DeltaConfig,
+    types: Vec<TypeInfo>,
+    tiles: Vec<Tile>,
+    mesh: Mesh<Msg>,
+    memctrl: MemCtrl,
+    pipes: PipeTable,
+    picker: TilePicker,
+    pending: VecDeque<PendingTask>,
+    admit_q: VecDeque<(u64, PendingTask)>,
+    host_q: VecDeque<(u64, CompletedTask)>,
+    /// Tile of every dispatched task.
+    task_tile: HashMap<TaskId, usize>,
+    /// Open multicast reads by region (joinable until served).
+    open_regions: HashMap<taskstream_model::RegionId, u64>,
+    now: u64,
+    next_task: u64,
+    next_job: u64,
+    next_pipe: u64,
+    stats: Stats,
+    tasks_completed: u64,
+    last_progress: u64,
+    timeline: Vec<(u64, u32)>,
+}
+
+impl RunState {
+    fn build<P: Program + ?Sized>(cfg: &DeltaConfig, program: &mut P) -> Result<Self, RunError> {
+        let fabric = Fabric::new(cfg.fabric.clone());
+        let mut types = Vec::new();
+        for tt in program.task_types() {
+            let timing = match &tt.kernel {
+                TaskKernel::Dfg(d) => fabric.map(d, cfg.seed)?.timing(),
+                TaskKernel::Native(_) => KernelTiming {
+                    ii: 1,
+                    depth: 4,
+                    config_cycles: cfg.fabric.config_cycles(),
+                },
+            };
+            types.push(TypeInfo { tt, timing });
+        }
+
+        let image = program.memory_image();
+        let mut dram_cfg = cfg.dram.clone();
+        let spill_base = image.dram_high_water().max(1);
+        dram_cfg.words = dram_cfg
+            .words
+            .max((spill_base + SPILL_RESERVE + 4096) as usize);
+        let mc_nodes: Vec<usize> = (0..cfg.mem_ctrls).map(|m| cfg.mc_node(m)).collect();
+        let mut memctrl = MemCtrl::new(dram_cfg, mc_nodes, cfg.mesh_dims().0);
+        for (base, words) in &image.dram {
+            memctrl.dram_mut().storage_mut().load(*base, words);
+        }
+
+        let mut tiles: Vec<Tile> = (0..cfg.tiles)
+            .map(|t| Tile::new(t, cfg.tile_node(t), cfg))
+            .collect();
+        for tile in &mut tiles {
+            for (base, words) in &image.spad {
+                tile.spad.storage_mut().load(*base, words);
+            }
+        }
+
+        let (w, h) = cfg.mesh_dims();
+        let mesh = Mesh::new(w, h, cfg.noc_queue);
+        let picker = TilePicker::new(cfg.effective_policy(), cfg.tiles, cfg.seed);
+        let pipes = PipeTable::new(spill_base, SPILL_RESERVE);
+
+        let mut state = RunState {
+            cfg: cfg.clone(),
+            types,
+            tiles,
+            mesh,
+            memctrl,
+            pipes,
+            picker,
+            pending: VecDeque::new(),
+            admit_q: VecDeque::new(),
+            host_q: VecDeque::new(),
+            task_tile: HashMap::new(),
+            open_regions: HashMap::new(),
+            now: 0,
+            next_task: 0,
+            next_job: 0,
+            next_pipe: 0,
+            stats: Stats::new(),
+            tasks_completed: 0,
+            last_progress: 0,
+            timeline: Vec::new(),
+        };
+
+        let mut spawner = Spawner::new(state.next_pipe);
+        program.initial(&mut spawner);
+        state.absorb_spawner(spawner)?;
+        Ok(state)
+    }
+
+    fn absorb_spawner(&mut self, spawner: Spawner) -> Result<(), RunError> {
+        self.next_pipe = spawner.next_pipe_id();
+        let (tasks, pipes) = spawner.take();
+        for decl in pipes {
+            self.pipes.declare(decl);
+        }
+        for inst in tasks {
+            self.validate_instance(&inst)?;
+            let id = TaskId(self.next_task);
+            self.next_task += 1;
+            for p in inst.output_pipes() {
+                if !self.pipes.contains(p) {
+                    return Err(RunError::Program(format!(
+                        "task uses undeclared output pipe {p:?}"
+                    )));
+                }
+                self.pipes.bind_producer(p, id);
+            }
+            for p in inst.input_pipes() {
+                if !self.pipes.contains(p) {
+                    return Err(RunError::Program(format!(
+                        "task uses undeclared input pipe {p:?}"
+                    )));
+                }
+                self.pipes.bind_consumer(p, id);
+            }
+            self.stats.bump("tasks_spawned");
+            self.admit_q
+                .push_back((self.now + self.cfg.spawn_latency, PendingTask { id, inst }));
+        }
+        Ok(())
+    }
+
+    fn validate_instance(&self, inst: &TaskInstance) -> Result<(), RunError> {
+        let Some(info) = self.types.get(inst.ty.0) else {
+            return Err(RunError::Program(format!(
+                "unknown task type {:?}",
+                inst.ty
+            )));
+        };
+        let kernel = &info.tt.kernel;
+        if inst.inputs.len() != kernel.input_count() {
+            return Err(RunError::Program(format!(
+                "task type '{}' expects {} inputs, got {}",
+                info.tt.name,
+                kernel.input_count(),
+                inst.inputs.len()
+            )));
+        }
+        if inst.outputs.len() != kernel.output_count() {
+            return Err(RunError::Program(format!(
+                "task type '{}' expects {} outputs, got {}",
+                info.tt.name,
+                kernel.output_count(),
+                inst.outputs.len()
+            )));
+        }
+        for (port, out) in inst.outputs.iter().enumerate() {
+            if let OutputBinding::Scatter { addr_port, .. } = out {
+                if *addr_port >= inst.outputs.len() || *addr_port == port {
+                    return Err(RunError::Program(format!(
+                        "scatter on port {port} names invalid addr_port {addr_port}"
+                    )));
+                }
+                if !matches!(inst.outputs[*addr_port], OutputBinding::Discard) {
+                    return Err(RunError::Program(format!(
+                        "scatter addr_port {addr_port} must be bound Discard"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- main
+
+    fn main_loop<P: Program + ?Sized>(&mut self, program: &mut P) -> Result<RunReport, RunError> {
+        const STALL_LIMIT: u64 = 3_000_000;
+        loop {
+            if self.now >= self.cfg.max_cycles || self.now - self.last_progress > STALL_LIMIT {
+                return Err(RunError::Timeout {
+                    cycles: self.now,
+                    diagnostics: self.diagnostics(),
+                });
+            }
+
+            // host sees completions
+            while let Some((due, _)) = self.host_q.front() {
+                if *due > self.now {
+                    break;
+                }
+                let (_, done) = self.host_q.pop_front().expect("front exists");
+                let mut spawner = Spawner::new(self.next_pipe);
+                program.on_complete(&done, &mut spawner);
+                self.absorb_spawner(spawner)?;
+            }
+
+            // spawn latency elapses
+            while let Some((due, _)) = self.admit_q.front() {
+                if *due > self.now {
+                    break;
+                }
+                let (_, p) = self.admit_q.pop_front().expect("front exists");
+                self.pending.push_back(p);
+            }
+
+            self.dispatch_cycle()?;
+
+            // deliver NoC ejections
+            for t in 0..self.tiles.len() {
+                let node = self.tiles[t].node;
+                while let Some(msg) = self.mesh.eject(node) {
+                    self.tiles[t].on_msg(msg);
+                }
+            }
+            for m in 0..self.cfg.mem_ctrls {
+                let node = self.cfg.mc_node(m);
+                while let Some(msg) = self.mesh.eject(node) {
+                    match msg {
+                        Msg::DramWrite {
+                            addr,
+                            value,
+                            mode,
+                            stream,
+                            reply_to,
+                            last,
+                            gather,
+                        } => self
+                            .memctrl
+                            .on_write_flit(addr, value, mode, stream, reply_to, last, gather),
+                        other => unreachable!("unexpected message at controller: {other:?}"),
+                    }
+                }
+            }
+
+            // tiles execute
+            let mut completed = Vec::new();
+            {
+                let (tiles, mesh, memctrl, pipes) = (
+                    &mut self.tiles,
+                    &mut self.mesh,
+                    &mut self.memctrl,
+                    &mut self.pipes,
+                );
+                let mut io = TileIo {
+                    now: self.now,
+                    mesh,
+                    memctrl,
+                    pipes,
+                    next_job: &mut self.next_job,
+                };
+                for tile in tiles.iter_mut() {
+                    completed.extend(tile.tick(&mut io, &self.cfg));
+                }
+            }
+            for done in completed {
+                self.finish_task(done);
+            }
+
+            if self.cfg.work_stealing {
+                self.steal_cycle();
+            }
+
+            self.memctrl.tick(self.now, &mut self.mesh);
+            self.mesh.tick();
+            if self.now.is_multiple_of(RunReport::TIMELINE_STRIDE) {
+                let busy = self.tiles.iter().filter(|t| !t.is_idle()).count() as u32;
+                self.timeline.push((self.now, busy));
+            }
+            self.now += 1;
+
+            // quiescence
+            if self.pending.is_empty()
+                && self.admit_q.is_empty()
+                && self.host_q.is_empty()
+                && self.tiles.iter().all(|t| t.is_idle())
+                && self.memctrl.is_idle()
+                && self.mesh.is_idle()
+            {
+                let mut spawner = Spawner::new(self.next_pipe);
+                let more = program.on_quiescent(&mut spawner);
+                let spawned = spawner.spawned_len() > 0;
+                self.absorb_spawner(spawner)?;
+                if !more && !spawned {
+                    break;
+                }
+                self.last_progress = self.now;
+            }
+        }
+
+        Ok(self.final_report())
+    }
+
+    fn finish_task(&mut self, done: TaskExec) {
+        self.tasks_completed += 1;
+        self.last_progress = self.now;
+        let tile = self.task_tile[&done.id];
+        self.picker.on_complete(tile, placement_hint(&done.inst));
+        for p in done.inst.output_pipes() {
+            self.pipes.get_mut(p).producer_completed = true;
+        }
+        let completed = CompletedTask {
+            id: done.id,
+            ty: done.ty,
+            params: done.inst.params.clone(),
+            affinity: done.inst.affinity,
+            outputs: done.out_values,
+        };
+        self.host_q
+            .push_back((self.now + self.cfg.host_latency, completed));
+    }
+
+    fn diagnostics(&self) -> String {
+        let queued: usize = self.tiles.iter().map(|t| t.queue.len()).sum();
+        format!(
+            "pending={} admit={} host={} queued={} mesh_idle={} mem_idle={} completed={}",
+            self.pending.len(),
+            self.admit_q.len(),
+            self.host_q.len(),
+            queued,
+            self.mesh.is_idle(),
+            self.memctrl.is_idle(),
+            self.tasks_completed,
+        ) + &format!(" mem[{}]", self.memctrl.debug_state())
+    }
+
+    fn final_report(&mut self) -> RunReport {
+        let mut report = Report::new();
+        report.set("cycles", self.now as f64);
+        for tile in &self.tiles {
+            report.absorb(&format!("tile{}", tile.id), &tile.stats.report());
+            report.set(
+                format!("tile{}.spad_reads", tile.id),
+                tile.spad.read_count() as f64,
+            );
+        }
+        report.absorb("noc", &self.mesh.stats().report());
+        report.absorb("dram", &self.memctrl.dram_stats().report());
+        report.absorb("dispatch", &self.stats.report());
+        RunReport::new(
+            self.now,
+            report,
+            self.memctrl.dram().storage().clone(),
+            self.tasks_completed,
+            std::mem::take(&mut self.timeline),
+        )
+    }
+
+    // ------------------------------------------------------------ dispatch
+
+    fn dispatch_cycle(&mut self) -> Result<(), RunError> {
+        let mut budget = self.cfg.dispatch_per_cycle;
+
+        'outer: while budget > 0 {
+            let window = self.cfg.dispatch_window.min(self.pending.len());
+            // source tasks (no live pipe deps) fill tiles first so
+            // co-scheduled consumers never starve their own producers;
+            // within each class, scan the whole window so one
+            // unplaceable task (e.g. a full owner queue under static
+            // hashing) does not block younger placeable ones
+            let ready = |s: &Self, i: usize| {
+                is_ready(&s.pending[i].inst, &s.pipes, s.cfg.features.pipelining)
+            };
+            let sources: Vec<usize> = (0..window)
+                .filter(|&i| ready(self, i) && !self.has_live_pipe_dep(&self.pending[i].inst))
+                .collect();
+            let consumers: Vec<usize> = (0..window)
+                .filter(|&i| ready(self, i) && self.has_live_pipe_dep(&self.pending[i].inst))
+                .collect();
+            for pos in sources.into_iter().chain(consumers) {
+                if self.dispatch_one_at(pos)? {
+                    budget -= 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+
+        // chase pipeline chains: consumers of freshly dispatched
+        // producers co-dispatch without extra budget — but only once no
+        // source task is waiting for a tile, so chains never starve
+        // their own producers
+        if self.cfg.features.pipelining {
+            let window = self.cfg.dispatch_window.min(self.pending.len());
+            let source_waiting = (0..window).any(|i| {
+                is_ready(&self.pending[i].inst, &self.pipes, true)
+                    && !self.has_live_pipe_dep(&self.pending[i].inst)
+            });
+            if !source_waiting {
+                self.dispatch_chains()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Extension: one steal per cycle — the emptiest idle tile takes an
+    /// eligible queued task from the most loaded tile.
+    fn steal_cycle(&mut self) {
+        let Some(thief) = (0..self.tiles.len()).find(|&t| self.tiles[t].is_idle()) else {
+            return;
+        };
+        let victim = (0..self.tiles.len())
+            .filter(|&t| t != thief)
+            .max_by_key(|&t| self.tiles[t].queue.len());
+        let Some(victim) = victim else { return };
+        if self.tiles[victim].queue.len() < 2 {
+            return;
+        }
+        let Some(qi) = self.tiles[victim].steal_candidate(self.cfg.prefetch_depth) else {
+            return;
+        };
+        let thief_node = self.cfg.tile_node(thief);
+        let mc = self.cfg.mc_node_for(thief_node);
+        let exec = self.tiles[victim].steal(qi, thief_node, mc);
+        let hint = placement_hint(&exec.inst);
+        self.picker.on_complete(victim, hint);
+        self.picker.on_dispatch(thief, hint);
+        self.task_tile.insert(exec.id, thief);
+        self.stats.bump("steals");
+        self.tiles[thief].enqueue(exec);
+    }
+
+    fn queue_mask(&self) -> Vec<bool> {
+        self.tiles
+            .iter()
+            .map(|t| t.queue_space(&self.cfg) > 0)
+            .collect()
+    }
+
+    /// Tiles with nothing queued (required for consumers whose
+    /// producers are still live — they must run *concurrently* with
+    /// them to pipeline, not queue behind other work).
+    fn idle_mask(&self) -> Vec<bool> {
+        self.tiles.iter().map(|t| t.is_idle()).collect()
+    }
+
+    /// True when the task consumes a pipe whose producer has dispatched
+    /// but not completed (a live, potentially-direct dependence).
+    fn has_live_pipe_dep(&self, inst: &TaskInstance) -> bool {
+        inst.input_pipes().any(|p| {
+            let ps = self.pipes.get(p);
+            ps.producer_dispatched && !ps.producer_completed
+        })
+    }
+
+    /// Dispatches the pending task at `pos`; returns false when no tile
+    /// can take it.
+    fn dispatch_one_at(&mut self, pos: usize) -> Result<bool, RunError> {
+        let mask = if self.has_live_pipe_dep(&self.pending[pos].inst) {
+            self.idle_mask()
+        } else {
+            self.queue_mask()
+        };
+        let Some(tile) = self.picker.pick(&self.pending[pos].inst, &mask) else {
+            return Ok(false);
+        };
+        let p = self.pending.remove(pos).expect("index in range");
+        self.dispatch_to(p, tile, None)?;
+        Ok(true)
+    }
+
+    /// Resolves the multicast transport for a shared input at dispatch:
+    /// join an open (not-yet-serving) read of the same region, or open a
+    /// new one with a batching window during which later sharers may
+    /// join — the multicast table of the paper's memory controllers.
+    fn shared_read_job(
+        &mut self,
+        region: taskstream_model::RegionId,
+        desc: &StreamDesc,
+        tile_node: usize,
+    ) -> Result<u64, RunError> {
+        if let Some(&job) = self.open_regions.get(&region) {
+            if self.memctrl.try_join(job, tile_node) {
+                self.stats.bump("multicast_joins");
+                return Ok(job);
+            }
+            self.open_regions.remove(&region);
+        }
+        let (addrs, gather) = match desc {
+            StreamDesc::Affine {
+                src: DataSrc::Dram,
+                pattern,
+            } => (pattern.iter().collect::<Vec<Addr>>(), false),
+            other => {
+                return Err(RunError::Program(format!(
+                    "shared inputs must be affine DRAM streams, got {other:?}"
+                )))
+            }
+        };
+        let job = self.next_job;
+        self.next_job += 1;
+        self.memctrl.submit_read(
+            ReadReq {
+                job,
+                addrs,
+                gather,
+                dsts: vec![tile_node],
+                after: None,
+            },
+            self.now + self.cfg.mem_req_latency + self.cfg.mcast_batch_window,
+        );
+        self.open_regions.insert(region, job);
+        self.stats.bump("multicast_groups");
+        Ok(job)
+    }
+
+    fn dispatch_chains(&mut self) -> Result<(), RunError> {
+        // keep dispatching ready pipe-consumers of already-dispatched
+        // producers, bounded to avoid runaway chains
+        for _ in 0..self.cfg.tiles * 2 {
+            let window = self.cfg.dispatch_window.min(self.pending.len());
+            let Some(pos) = (0..window).find(|&i| {
+                let inst = &self.pending[i].inst;
+                inst.input_pipes().next().is_some() && is_ready(inst, &self.pipes, true)
+            }) else {
+                return Ok(());
+            };
+            if !self.dispatch_one_at(pos)? {
+                return Ok(());
+            }
+            self.stats.bump("chain_dispatches");
+        }
+        Ok(())
+    }
+
+    /// Places a task on a tile: functional execution, feed/sink
+    /// construction, job issuance, bookkeeping.
+    fn dispatch_to(
+        &mut self,
+        p: PendingTask,
+        tile: usize,
+        shared_job: Option<u64>,
+    ) -> Result<(), RunError> {
+        let PendingTask { id, inst } = p;
+        let _ = shared_job; // multicast resolved below via the join table
+        let info = &self.types[inst.ty.0];
+        let timing = info.timing;
+        let kernel = info.tt.kernel.clone();
+        let type_name = info.tt.name.clone();
+
+        // ---- functional input resolution
+        let mut input_data: Vec<Vec<Value>> = Vec::with_capacity(inst.inputs.len());
+        for b in &inst.inputs {
+            let data = match b {
+                InputBinding::Stream(d) | InputBinding::Shared { desc: d, .. } => {
+                    self.materialize(d, tile)
+                }
+                InputBinding::Pipe(pp) => self
+                    .pipes
+                    .get(*pp)
+                    .data
+                    .clone()
+                    .expect("producer dispatched before consumer"),
+            };
+            input_data.push(data);
+        }
+
+        // ---- functional execution
+        let (out_values, emit_firings, native_cycles) = match &kernel {
+            TaskKernel::Dfg(d) => {
+                let traced = interp::execute_traced(d, &inst.params, &input_data)
+                    .map_err(|e| RunError::Program(format!("{type_name}: {e}")))?;
+                (traced.result.outputs, Some(traced.emit_firings), None)
+            }
+            TaskKernel::Native(n) => {
+                let out = n.run(&inst.params, &input_data);
+                let cycles = out.compute_cycles.max(1);
+                (out.outputs, None, Some(cycles))
+            }
+        };
+
+        // ---- functional output application
+        for (port, binding) in inst.outputs.iter().enumerate() {
+            let values = &out_values[port];
+            match binding {
+                OutputBinding::Memory { desc, mode } => {
+                    let addrs = self.write_addrs(desc, values.len(), tile)?;
+                    for (a, v) in addrs.iter().zip(values) {
+                        self.update_mem(desc_src(desc), *a, *v, *mode, tile);
+                    }
+                }
+                OutputBinding::Scatter {
+                    src,
+                    base,
+                    scale,
+                    addr_port,
+                    mode,
+                } => {
+                    let idxs = &out_values[*addr_port];
+                    if idxs.len() != values.len() {
+                        return Err(RunError::Program(format!(
+                            "{type_name}: scatter ports emit {} values vs {} indices",
+                            values.len(),
+                            idxs.len()
+                        )));
+                    }
+                    for (idx, v) in idxs.iter().zip(values) {
+                        let a = (*base as i64 + idx.wrapping_mul(*scale)) as Addr;
+                        self.update_mem(*src, a, *v, *mode, tile);
+                    }
+                }
+                OutputBinding::Pipe(pp) => {
+                    self.pipes.get_mut(*pp).data = Some(values.clone());
+                    self.pipes.get_mut(*pp).producer_dispatched = true;
+                }
+                OutputBinding::Discard => {}
+            }
+        }
+
+        // ---- feeds + read jobs
+        let tile_node = self.cfg.tile_node(tile);
+        for pp in inst.input_pipes() {
+            self.pipes.get_mut(pp).consumer_node = Some(tile_node);
+        }
+        let mut feeds = Vec::with_capacity(inst.inputs.len());
+        let mut routes: Vec<(u64, usize)> = Vec::new(); // (job, port)
+        let mut pipe_routes: Vec<(taskstream_model::PipeId, usize)> = Vec::new();
+        for (port, b) in inst.inputs.iter().enumerate() {
+            let feed = match b {
+                InputBinding::Shared { desc, region } if self.cfg.features.multicast => {
+                    let job = self.shared_read_job(*region, desc, tile_node)?;
+                    routes.push((job, port));
+                    Feed {
+                        total: desc.len(),
+                        remaining: 0,
+                        kind: FeedKind::Dram { spec: None },
+                    }
+                }
+                InputBinding::Stream(desc) | InputBinding::Shared { desc, .. } => {
+                    self.build_stream_feed(desc, tile)?
+                }
+                InputBinding::Pipe(pp) => {
+                    let total = self
+                        .pipes
+                        .get(*pp)
+                        .data
+                        .as_ref()
+                        .map(|d| d.len() as u64)
+                        .expect("producer data recorded");
+                    match self.pipes.get(*pp).mode {
+                        None => {
+                            // producer dispatched this very batch: direct
+                            pipe_routes.push((*pp, port));
+                            Feed {
+                                total,
+                                remaining: 0,
+                                kind: FeedKind::PipeDirect,
+                            }
+                        }
+                        Some(PipeMode::Spill { .. }) => Feed {
+                            total,
+                            remaining: 0,
+                            kind: FeedKind::PipeSpill {
+                                pipe: *pp,
+                                issued: false,
+                            },
+                        },
+                        Some(PipeMode::Direct { .. }) => {
+                            unreachable!("a pipe's single consumer is this task")
+                        }
+                    }
+                }
+            };
+            feeds.push(feed);
+        }
+
+        // ---- sinks
+        let mut sinks: Vec<Sink> = Vec::with_capacity(inst.outputs.len());
+        for (port, binding) in inst.outputs.iter().enumerate() {
+            let total = out_values[port].len() as u64;
+            let kind = match binding {
+                OutputBinding::Discard => SinkKind::Discard,
+                OutputBinding::Memory { desc, mode } => match desc_src(desc) {
+                    DataSrc::Spad => SinkKind::Spad,
+                    DataSrc::Dram => SinkKind::DramWrite {
+                        addrs: self.write_addrs(desc, out_values[port].len(), tile)?,
+                        mode: *mode,
+                        gather: desc.is_indirect(),
+                        mc_node: self.cfg.mc_node_for(tile_node),
+                    },
+                },
+                OutputBinding::Scatter {
+                    src,
+                    base,
+                    scale,
+                    addr_port,
+                    mode,
+                } => SinkKind::Scatter {
+                    addr_port: *addr_port,
+                    to_dram: *src == DataSrc::Dram,
+                    base: *base,
+                    scale: *scale,
+                    mode: *mode,
+                    mc_node: self.cfg.mc_node_for(tile_node),
+                },
+                OutputBinding::Pipe(pp) => SinkKind::Pipe { pipe: *pp },
+            };
+            sinks.push(Sink {
+                kind,
+                total,
+                sent: 0,
+                acked: false,
+                held: false,
+            });
+        }
+        // mark scatter-managed address ports
+        for port in 0..sinks.len() {
+            if let SinkKind::Scatter { addr_port, .. } = sinks[port].kind {
+                sinks[addr_port].held = true;
+            }
+        }
+
+        // ---- commit
+        let exec = TaskExec::new(
+            id,
+            inst.ty,
+            inst,
+            timing,
+            native_cycles,
+            feeds,
+            out_values,
+            emit_firings,
+            sinks,
+            self.cfg.out_buf,
+            self.cfg.fabric.lanes,
+            self.now,
+        );
+        let work = placement_hint(&exec.inst);
+        for (job, port) in routes {
+            self.tiles[tile]
+                .job_routes
+                .entry(job)
+                .or_default()
+                .push((id, port));
+        }
+        for (pp, port) in pipe_routes {
+            self.tiles[tile].pipe_routes.insert(pp, (id, port));
+        }
+        self.tiles[tile].enqueue(exec);
+        self.task_tile.insert(id, tile);
+        self.picker.on_dispatch(tile, work);
+        self.stats.bump("tasks_dispatched");
+        Ok(())
+    }
+
+    fn build_stream_feed(&mut self, desc: &StreamDesc, tile: usize) -> Result<Feed, RunError> {
+        let total = desc.len();
+        let dram = |spec: DramJobSpec| Feed {
+            total,
+            remaining: 0,
+            kind: FeedKind::Dram {
+                spec: (total > 0).then_some(spec),
+            },
+        };
+        let feed = match desc {
+            StreamDesc::Literal(_) | StreamDesc::Iota { .. } => Feed {
+                total,
+                remaining: total,
+                kind: FeedKind::Instant,
+            },
+            StreamDesc::Affine {
+                src: DataSrc::Spad, ..
+            } => Feed {
+                total,
+                remaining: total,
+                kind: FeedKind::Spad { per_word: 1 },
+            },
+            StreamDesc::Affine {
+                src: DataSrc::Dram,
+                pattern,
+            } => dram(DramJobSpec {
+                addrs: pattern.iter().collect(),
+                gather: false,
+                extra_delay: 0,
+                index_phantom: None,
+            }),
+            StreamDesc::Indirect {
+                src,
+                base,
+                scale,
+                index,
+                index_src,
+            } => {
+                // functional index values give the gather addresses
+                let gather_addrs: Vec<Addr> = index
+                    .iter()
+                    .map(|a| {
+                        let i = self.read_mem(*index_src, a, tile);
+                        (*base as i64 + i.wrapping_mul(*scale)) as Addr
+                    })
+                    .collect();
+                match (src, index_src) {
+                    (DataSrc::Spad, DataSrc::Spad) => Feed {
+                        total,
+                        remaining: total,
+                        kind: FeedKind::Spad { per_word: 2 },
+                    },
+                    // spad index reads delay the gather issue
+                    (DataSrc::Dram, DataSrc::Spad) => dram(DramJobSpec {
+                        addrs: gather_addrs,
+                        gather: true,
+                        extra_delay: (total as f64 / self.cfg.spad_bw).ceil() as u64,
+                        index_phantom: None,
+                    }),
+                    // two-phase: stream indices (phantom), then gather
+                    (DataSrc::Dram, DataSrc::Dram) => dram(DramJobSpec {
+                        addrs: gather_addrs,
+                        gather: true,
+                        extra_delay: 0,
+                        index_phantom: Some(index.iter().collect()),
+                    }),
+                    // indices stream from DRAM and gate the port; the
+                    // scratchpad gather overlaps with index arrival
+                    (DataSrc::Spad, DataSrc::Dram) => dram(DramJobSpec {
+                        addrs: index.iter().collect(),
+                        gather: false,
+                        extra_delay: 0,
+                        index_phantom: None,
+                    }),
+                }
+            }
+        };
+        Ok(feed)
+    }
+
+    fn materialize(&self, desc: &StreamDesc, tile: usize) -> Vec<Value> {
+        match desc {
+            StreamDesc::Literal(v) => v.as_ref().clone(),
+            StreamDesc::Iota { start, step, len } => {
+                let mut out = Vec::with_capacity(*len as usize);
+                let mut v = *start;
+                for _ in 0..*len {
+                    out.push(v);
+                    v = v.wrapping_add(*step);
+                }
+                out
+            }
+            StreamDesc::Affine { src, pattern } => pattern
+                .iter()
+                .map(|a| self.read_mem(*src, a, tile))
+                .collect(),
+            StreamDesc::Indirect {
+                src,
+                base,
+                scale,
+                index,
+                index_src,
+            } => index
+                .iter()
+                .map(|a| {
+                    let i = self.read_mem(*index_src, a, tile);
+                    let addr = (*base as i64 + i.wrapping_mul(*scale)) as Addr;
+                    self.read_mem(*src, addr, tile)
+                })
+                .collect(),
+        }
+    }
+
+    fn read_mem(&self, src: DataSrc, addr: Addr, tile: usize) -> Value {
+        match src {
+            DataSrc::Dram => self.memctrl.dram().storage().read(addr),
+            DataSrc::Spad => self.tiles[tile].spad.storage().read(addr),
+        }
+    }
+
+    fn update_mem(
+        &mut self,
+        src: DataSrc,
+        addr: Addr,
+        value: Value,
+        mode: ts_mem::WriteMode,
+        tile: usize,
+    ) {
+        match src {
+            DataSrc::Dram => self
+                .memctrl
+                .dram_mut()
+                .storage_mut()
+                .update(addr, value, mode),
+            DataSrc::Spad => self.tiles[tile]
+                .spad
+                .storage_mut()
+                .update(addr, value, mode),
+        }
+    }
+
+    fn write_addrs(&self, desc: &StreamDesc, n: usize, tile: usize) -> Result<Vec<Addr>, RunError> {
+        match desc {
+            StreamDesc::Affine { pattern, .. } => {
+                if (n as u64) > pattern.len() {
+                    return Err(RunError::Program(format!(
+                        "output produced {n} words but descriptor covers {}",
+                        pattern.len()
+                    )));
+                }
+                Ok(pattern.iter().take(n).collect())
+            }
+            StreamDesc::Indirect {
+                base,
+                scale,
+                index,
+                index_src,
+                ..
+            } => {
+                if (n as u64) > index.len() {
+                    return Err(RunError::Program(format!(
+                        "output produced {n} words but index covers {}",
+                        index.len()
+                    )));
+                }
+                Ok(index
+                    .iter()
+                    .take(n)
+                    .map(|a| {
+                        let i = self.read_mem(*index_src, a, tile);
+                        (*base as i64 + i.wrapping_mul(*scale)) as Addr
+                    })
+                    .collect())
+            }
+            other => Err(RunError::Program(format!(
+                "writes need an addressable descriptor, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The work estimate the dispatcher tracks for placement. Tasks fed
+/// entirely by pipes execute *concurrently* with their producers (in
+/// direct mode their fabric time overlaps the producers' runtime), so
+/// counting their full hint would double-count work and repel unrelated
+/// tasks from their tile; they are discounted instead.
+fn placement_hint(inst: &TaskInstance) -> u64 {
+    let all_pipes = !inst.inputs.is_empty()
+        && inst
+            .inputs
+            .iter()
+            .all(|b| matches!(b, InputBinding::Pipe(_)));
+    if all_pipes {
+        inst.work_hint / 8
+    } else {
+        inst.work_hint
+    }
+}
+
+fn desc_src(desc: &StreamDesc) -> DataSrc {
+    match desc {
+        StreamDesc::Affine { src, .. } | StreamDesc::Indirect { src, .. } => *src,
+        _ => DataSrc::Dram,
+    }
+}

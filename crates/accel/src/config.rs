@@ -1,0 +1,286 @@
+//! Accelerator configuration and presets.
+
+use taskstream_model::Policy;
+use ts_cgra::FabricConfig;
+use ts_mem::DramConfig;
+
+/// The three TaskStream mechanisms, individually toggleable (the
+/// ablation axes of the evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Features {
+    /// Work-aware load balancing (vs. the configured fallback policy).
+    pub work_aware: bool,
+    /// Pipelined inter-task dependences (vs. serializing through DRAM).
+    pub pipelining: bool,
+    /// Multicast of shared reads (vs. one DRAM read per sharer).
+    pub multicast: bool,
+}
+
+impl Features {
+    /// All mechanisms on (Delta).
+    pub fn all() -> Self {
+        Features {
+            work_aware: true,
+            pipelining: true,
+            multicast: true,
+        }
+    }
+
+    /// All mechanisms off (the static-parallel design).
+    pub fn none() -> Self {
+        Features {
+            work_aware: false,
+            pipelining: false,
+            multicast: false,
+        }
+    }
+}
+
+/// Full configuration of a Delta (or baseline) instance.
+#[derive(Debug, Clone)]
+pub struct DeltaConfig {
+    /// Number of compute tiles.
+    pub tiles: usize,
+    /// Number of memory-controller nodes on the mesh.
+    pub mem_ctrls: usize,
+    /// Per-tile CGRA fabric.
+    pub fabric: FabricConfig,
+    /// Per-tile scratchpad size in words.
+    pub spad_words: usize,
+    /// Per-tile scratchpad accesses per cycle.
+    pub spad_bw: f64,
+    /// Shared DRAM model (capacity is grown automatically to cover the
+    /// program image plus spill space).
+    pub dram: DramConfig,
+    /// Per-port router queue capacity.
+    pub noc_queue: usize,
+    /// Dispatched-task queue depth per tile.
+    pub tile_queue: usize,
+    /// Output-port buffer depth (words) per port.
+    pub out_buf: usize,
+    /// Engine rate for locally generated streams (words/cycle).
+    pub engine_rate: f64,
+    /// Tasks the dispatcher can place per cycle.
+    pub dispatch_per_cycle: usize,
+    /// How far into the pending queue the dispatcher looks for ready
+    /// tasks, multicast groups and pipeline chains.
+    pub dispatch_window: usize,
+    /// Cycles from a spawn decision to the task entering the pending
+    /// queue (task-creation message cost).
+    pub spawn_latency: u64,
+    /// Cycles from task completion to the host seeing it.
+    pub host_latency: u64,
+    /// Fixed per-task startup cost at a tile (descriptor decode, port
+    /// setup).
+    pub task_start_overhead: u64,
+    /// Control-path latency from a stream engine to a memory controller.
+    pub mem_req_latency: u64,
+    /// Extra cycles a shared read waits at the controller so later
+    /// sharers can join the multicast (the multicast table's batching
+    /// window).
+    pub mcast_batch_window: u64,
+    /// Queue positions (from the head) whose DRAM streams may prefetch.
+    /// Depth 1 = only the running task; higher values overlap stream
+    /// setup with the previous task at the cost of contending with it.
+    pub prefetch_depth: usize,
+    /// Placement policy used when `features.work_aware` is false; when
+    /// it is true the policy is forced to [`Policy::WorkAware`].
+    pub policy: Policy,
+    /// TaskStream mechanism toggles.
+    pub features: Features,
+    /// Extension (off in both paper designs): idle tiles steal queued
+    /// tasks from the most loaded tile. Only tasks whose streams have
+    /// not started (outside the prefetch window, no pipes, no
+    /// scratchpad side effects) are eligible.
+    pub work_stealing: bool,
+    /// Seed for mapper restarts and randomized policies.
+    pub seed: u64,
+    /// Hard cycle limit (a wedged model errors instead of spinning).
+    pub max_cycles: u64,
+}
+
+impl DeltaConfig {
+    /// The Delta preset: all TaskStream mechanisms on, work-aware
+    /// placement.
+    pub fn delta(tiles: usize) -> Self {
+        DeltaConfig {
+            tiles,
+            mem_ctrls: (tiles / 2).clamp(1, 8),
+            fabric: FabricConfig::default(),
+            spad_words: 16 * 1024,
+            spad_bw: 4.0,
+            dram: DramConfig {
+                words: 1 << 20,
+                words_per_cycle: (2.0 * tiles as f64).clamp(2.0, 16.0),
+                latency: 60,
+                gather_cost: 4,
+                // small enough that the oldest streams (the running
+                // tasks') get near-full rate instead of fair-share
+                // starvation across every prefetching queued task
+                max_active_jobs: (2 * tiles).clamp(4, 16),
+                burst_words: 8,
+            },
+            noc_queue: 8,
+            tile_queue: 4,
+            out_buf: 16,
+            engine_rate: 4.0,
+            dispatch_per_cycle: 2,
+            dispatch_window: 32,
+            spawn_latency: 12,
+            host_latency: 12,
+            task_start_overhead: 6,
+            mem_req_latency: 8,
+            mcast_batch_window: 24,
+            prefetch_depth: 2,
+            policy: Policy::WorkAware,
+            features: Features::all(),
+            work_stealing: false,
+            seed: 0xDE17A,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// The paper's comparison point: the *same hardware* with the
+    /// TaskStream mechanisms disabled and owner-computes placement.
+    pub fn static_parallel(tiles: usize) -> Self {
+        DeltaConfig {
+            policy: Policy::StaticHash,
+            features: Features::none(),
+            ..Self::delta(tiles)
+        }
+    }
+
+    /// Default 8-tile Delta (the paper-scale configuration).
+    pub fn delta_8_tiles() -> Self {
+        Self::delta(8)
+    }
+
+    /// Default 8-tile static-parallel baseline.
+    pub fn static_parallel_8_tiles() -> Self {
+        Self::static_parallel(8)
+    }
+
+    /// Returns a copy with a different placement policy (and
+    /// `work_aware` synced to whether that policy is
+    /// [`Policy::WorkAware`]).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self.features.work_aware = policy == Policy::WorkAware;
+        self
+    }
+
+    /// Returns a copy with different feature toggles (policy synced for
+    /// `work_aware`).
+    pub fn with_features(mut self, features: Features) -> Self {
+        self.features = features;
+        if features.work_aware {
+            self.policy = Policy::WorkAware;
+        } else if self.policy == Policy::WorkAware {
+            self.policy = Policy::RoundRobin;
+        }
+        self
+    }
+
+    /// The effective placement policy.
+    pub fn effective_policy(&self) -> Policy {
+        if self.features.work_aware {
+            Policy::WorkAware
+        } else {
+            self.policy
+        }
+    }
+
+    /// Mesh dimensions `(width, height)` fitting tiles + memory
+    /// controllers.
+    pub fn mesh_dims(&self) -> (usize, usize) {
+        let nodes = self.tiles + self.mem_ctrls;
+        let w = (nodes as f64).sqrt().ceil() as usize;
+        let h = nodes.div_ceil(w);
+        (w.max(1), h.max(1))
+    }
+
+    /// Mesh node of tile `t` (tiles occupy the first nodes).
+    pub fn tile_node(&self, t: usize) -> usize {
+        t
+    }
+
+    /// Mesh node of memory controller `m` (controllers occupy the last
+    /// nodes).
+    pub fn mc_node(&self, m: usize) -> usize {
+        self.tiles + m
+    }
+
+    /// The controller node serving a given mesh node, chosen by mesh
+    /// column so response/write traffic stays in its own column and
+    /// never contends across destinations.
+    pub fn mc_node_for(&self, node: usize) -> usize {
+        let (w, _) = self.mesh_dims();
+        self.mc_node((node % w) % self.mem_ctrls)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations (zero tiles, zero queues…).
+    pub fn validate(&self) {
+        assert!(self.tiles > 0, "need at least one tile");
+        assert!(self.mem_ctrls > 0, "need at least one memory controller");
+        assert!(self.tile_queue > 0, "tile queue must be positive");
+        assert!(self.out_buf > 0, "output buffer must be positive");
+        assert!(
+            self.dispatch_per_cycle > 0,
+            "dispatch rate must be positive"
+        );
+        assert!(self.dispatch_window > 0, "dispatch window must be positive");
+        let (w, h) = self.mesh_dims();
+        assert!(w * h >= self.tiles + self.mem_ctrls, "mesh too small");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_features_only_plus_policy() {
+        let d = DeltaConfig::delta(8);
+        let s = DeltaConfig::static_parallel(8);
+        assert_eq!(d.tiles, s.tiles);
+        assert_eq!(d.dram.words_per_cycle, s.dram.words_per_cycle);
+        assert_eq!(d.features, Features::all());
+        assert_eq!(s.features, Features::none());
+        assert_eq!(s.effective_policy(), Policy::StaticHash);
+        assert_eq!(d.effective_policy(), Policy::WorkAware);
+    }
+
+    #[test]
+    fn mesh_fits_all_nodes() {
+        for tiles in [1, 2, 4, 8, 16] {
+            let c = DeltaConfig::delta(tiles);
+            c.validate();
+            let (w, h) = c.mesh_dims();
+            assert!(w * h >= tiles + c.mem_ctrls);
+            assert!(c.mc_node(c.mem_ctrls - 1) < w * h);
+        }
+    }
+
+    #[test]
+    fn with_features_syncs_policy() {
+        let c = DeltaConfig::delta(4).with_features(Features {
+            work_aware: false,
+            pipelining: true,
+            multicast: true,
+        });
+        assert_eq!(c.effective_policy(), Policy::RoundRobin);
+        let d = DeltaConfig::static_parallel(4).with_features(Features::all());
+        assert_eq!(d.effective_policy(), Policy::WorkAware);
+    }
+
+    #[test]
+    fn with_policy_syncs_work_aware() {
+        let c = DeltaConfig::delta(4).with_policy(Policy::Random);
+        assert!(!c.features.work_aware);
+        assert_eq!(c.effective_policy(), Policy::Random);
+    }
+}

@@ -1,0 +1,1005 @@
+//! Per-tile task execution: feeds, firing, staging, sinks.
+//!
+//! A tile runs one task at a time from its dispatched-task queue. All
+//! *functional* results were computed at dispatch (dispatch order is the
+//! deterministic serialization point); the tile's job is to *meter* the
+//! task's timing faithfully:
+//!
+//! * **feeds** deliver input-word *counts* into per-port availability
+//!   counters — from the scratchpad (budgeted), from DRAM (words arrive
+//!   as NoC flits), or from pipes (direct flits or spill reads);
+//! * the **fabric** retires one dataflow firing per initiation interval
+//!   when every input port has a word and the output buffers have room;
+//! * emitted values sit in a **staging** delay line for the pipeline
+//!   depth, then move to bounded output buffers;
+//! * **sinks** drain output buffers into the scratchpad, DRAM write
+//!   flits, pipe words, or nowhere (discard), and wait for write acks.
+//!
+//! A task completes when its firings are done, buffers are drained, and
+//! every sink is acknowledged.
+
+use crate::config::DeltaConfig;
+use crate::memctrl::{MemCtrl, ReadReq};
+use crate::msg::Msg;
+use crate::pipes::{PipeMode, PipeTable};
+use std::collections::{HashMap, VecDeque};
+use taskstream_model::{PipeId, TaskId, TaskInstance, TaskTypeId, Value};
+use ts_cgra::KernelTiming;
+use ts_mem::{Spad, WriteMode};
+use ts_noc::Mesh;
+use ts_sim::stats::Stats;
+use ts_sim::TokenBucket;
+use ts_stream::Addr;
+
+/// A deferred DRAM read, issued by the tile when the owning task enters
+/// the prefetch window (so prefetch never starves the running task's
+/// streams).
+#[derive(Debug)]
+pub(crate) struct DramJobSpec {
+    /// Gather addresses (delivery order).
+    pub addrs: Vec<Addr>,
+    /// Random-access pattern flag.
+    pub gather: bool,
+    /// Extra issue delay (e.g. scratchpad index-fetch time).
+    pub extra_delay: u64,
+    /// Addresses of an index stream that must be fetched (as a phantom
+    /// job) before the gather may start (two-phase indirect reads).
+    pub index_phantom: Option<Vec<Addr>>,
+}
+
+/// How one input port receives its words.
+#[derive(Debug)]
+pub(crate) enum FeedKind {
+    /// Literal/iota: generated locally at the engine rate.
+    Instant,
+    /// Scratchpad stream; `per_word` accesses of the tile budget per
+    /// element (1 affine, 2 indirect).
+    Spad {
+        /// Scratchpad accesses charged per delivered word.
+        per_word: u64,
+    },
+    /// DRAM stream; the read job is issued when the task enters the
+    /// prefetch window (`spec` still pending) — words then arrive as
+    /// [`Msg::DramData`] flits routed by the tile's job table. Multicast
+    /// group reads are issued at dispatch and arrive with `spec: None`.
+    Dram {
+        /// Deferred job, present until issued.
+        spec: Option<DramJobSpec>,
+    },
+    /// Direct pipe: words arrive as [`Msg::PipeWord`] flits (routed by
+    /// the tile's pipe table).
+    PipeDirect,
+    /// Spilled pipe: once the producer completes, issue a DRAM read of
+    /// the spill buffer.
+    PipeSpill {
+        /// The pipe.
+        pipe: PipeId,
+        /// Whether the spill read job has been issued.
+        issued: bool,
+    },
+}
+
+/// One input port's feed state.
+#[derive(Debug)]
+pub(crate) struct Feed {
+    /// Words this feed will deliver in total.
+    pub total: u64,
+    /// Words not yet delivered (local kinds only; NoC kinds count via
+    /// flit arrivals).
+    pub remaining: u64,
+    /// Transport.
+    pub kind: FeedKind,
+}
+
+/// Where one output port's words go.
+#[derive(Debug)]
+pub(crate) enum SinkKind {
+    /// Values only visible to the host.
+    Discard,
+    /// Budgeted scratchpad writes (functional effect already applied at
+    /// dispatch).
+    Spad,
+    /// DRAM write stream: one flit per word to a controller node.
+    DramWrite {
+        /// Per-word addresses, in emission order.
+        addrs: Vec<Addr>,
+        /// Write mode (affects DRAM gather cost only; functional effect
+        /// already applied).
+        mode: WriteMode,
+        /// Random-access pattern flag.
+        gather: bool,
+        /// Destination controller node.
+        mc_node: usize,
+    },
+    /// Scatter: pairs this port's values with a sibling port's emitted
+    /// indices.
+    Scatter {
+        /// Sibling output port supplying one index per value.
+        addr_port: usize,
+        /// Scatter into DRAM (true) or the local scratchpad (false).
+        to_dram: bool,
+        /// Base address.
+        base: Addr,
+        /// Index multiplier.
+        scale: i64,
+        /// Write mode (gather cost on DRAM).
+        mode: WriteMode,
+        /// Destination controller node (DRAM scatters).
+        mc_node: usize,
+    },
+    /// Pipe output; transport resolved from the pipe table at drain
+    /// time (Direct → pipe words, Spill → DRAM write stream).
+    Pipe {
+        /// The pipe.
+        pipe: PipeId,
+    },
+}
+
+/// One output port's sink state.
+#[derive(Debug)]
+pub(crate) struct Sink {
+    /// Transport.
+    pub kind: SinkKind,
+    /// Words this sink must move (the port's functional output count).
+    pub total: u64,
+    /// Words moved so far.
+    pub sent: u64,
+    /// Write-stream acknowledgement received.
+    pub acked: bool,
+    /// Drained by a sibling Scatter sink rather than by itself.
+    pub held: bool,
+}
+
+impl Sink {
+    fn needs_ack(&self, pipes: &PipeTable) -> bool {
+        match &self.kind {
+            SinkKind::DramWrite { .. } => self.total > 0,
+            SinkKind::Scatter { to_dram, .. } => *to_dram && self.total > 0,
+            SinkKind::Pipe { pipe } => {
+                matches!(pipes.get(*pipe).mode, Some(PipeMode::Spill { .. })) && self.total > 0
+            }
+            _ => false,
+        }
+    }
+
+    fn is_done(&self, pipes: &PipeTable) -> bool {
+        self.sent == self.total && (!self.needs_ack(pipes) || self.acked)
+    }
+}
+
+/// A dispatched task with all its metering state.
+#[derive(Debug)]
+pub(crate) struct TaskExec {
+    pub id: TaskId,
+    pub ty: TaskTypeId,
+    pub inst: TaskInstance,
+    pub timing: KernelTiming,
+    /// `Some(total_cycles)` for native kernels (rate-based model).
+    pub native_cycles: Option<u64>,
+    pub native_progress: u64,
+    pub firings_total: u64,
+    pub firings_done: u64,
+    /// Slot credit: gains `lanes` per cycle, each firing costs `ii`.
+    fire_credit: u64,
+    /// Vector lanes of the fabric.
+    lanes: u64,
+    /// Per input port: words delivered and not yet consumed.
+    pub in_avail: Vec<u64>,
+    pub in_total: Vec<u64>,
+    pub feeds: Vec<Feed>,
+    /// Per output port: functional values in emission order.
+    pub out_values: Vec<Vec<Value>>,
+    /// DFG only: firing index of each emitted value.
+    pub emit_firings: Option<Vec<Vec<u64>>>,
+    /// Next value to emit per output port.
+    pub out_cursor: Vec<usize>,
+    /// Pipeline-depth delay line per port: `(ready_at, value)`.
+    pub staging: Vec<VecDeque<(u64, Value)>>,
+    /// Bounded output buffers per port.
+    pub out_buf: Vec<VecDeque<Value>>,
+    pub sinks: Vec<Sink>,
+    pub dispatched_at: u64,
+    /// Output-buffer capacity (from config, stored to avoid threading
+    /// the config through hot paths).
+    pub out_buf_cap: usize,
+    /// Native model: cumulative words consumed per input port.
+    pub native_consumed: Vec<u64>,
+}
+
+impl TaskExec {
+    /// Builds the metering state for a freshly dispatched task.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: TaskId,
+        ty: TaskTypeId,
+        inst: TaskInstance,
+        timing: KernelTiming,
+        native_cycles: Option<u64>,
+        feeds: Vec<Feed>,
+        out_values: Vec<Vec<Value>>,
+        emit_firings: Option<Vec<Vec<u64>>>,
+        sinks: Vec<Sink>,
+        out_buf_cap: usize,
+        lanes: u32,
+        now: u64,
+    ) -> Self {
+        let in_total: Vec<u64> = feeds.iter().map(|f| f.total).collect();
+        let firings_total = match (&native_cycles, &emit_firings) {
+            (None, _) => in_total.iter().copied().min().unwrap_or(0),
+            (Some(_), _) => 0,
+        };
+        let ports_out = out_values.len();
+        let ports_in = in_total.len();
+        TaskExec {
+            id,
+            ty,
+            inst,
+            timing,
+            native_cycles,
+            native_progress: 0,
+            firings_total,
+            firings_done: 0,
+            fire_credit: 0,
+            lanes: lanes.max(1) as u64,
+            in_avail: vec![0; ports_in],
+            in_total,
+            feeds,
+            out_values,
+            emit_firings,
+            out_cursor: vec![0; ports_out],
+            staging: (0..ports_out).map(|_| VecDeque::new()).collect(),
+            out_buf: (0..ports_out).map(|_| VecDeque::new()).collect(),
+            sinks,
+            dispatched_at: now,
+            out_buf_cap,
+            native_consumed: vec![0; ports_in],
+        }
+    }
+
+    fn ports_in(&self) -> usize {
+        self.in_total.len()
+    }
+
+    fn ports_out(&self) -> usize {
+        self.out_values.len()
+    }
+
+    fn compute_done(&self) -> bool {
+        match self.native_cycles {
+            Some(c) => self.native_progress >= c,
+            None => self.firings_done >= self.firings_total,
+        }
+    }
+
+    fn fully_done(&self, pipes: &PipeTable) -> bool {
+        self.compute_done()
+            && self.staging.iter().all(|s| s.is_empty())
+            && self.out_buf.iter().all(|b| b.is_empty())
+            && self
+                .out_cursor
+                .iter()
+                .zip(&self.out_values)
+                .all(|(c, v)| *c == v.len())
+            && self.sinks.iter().all(|s| s.is_done(pipes))
+    }
+}
+
+/// What a tile is doing with its queue head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Reconfig { left: u64 },
+    Starting { left: u64 },
+    Running,
+}
+
+/// External resources a tile touches during its tick.
+pub(crate) struct TileIo<'a> {
+    pub now: u64,
+    pub mesh: &'a mut Mesh<Msg>,
+    pub memctrl: &'a mut MemCtrl,
+    pub pipes: &'a mut PipeTable,
+    pub next_job: &'a mut u64,
+}
+
+/// One compute tile.
+#[derive(Debug)]
+pub(crate) struct Tile {
+    pub id: usize,
+    pub node: usize,
+    pub spad: Spad,
+    pub configured: Option<TaskTypeId>,
+    phase: Phase,
+    pub queue: VecDeque<TaskExec>,
+    /// DRAM read job → (task, port) routes at this tile.
+    pub job_routes: HashMap<u64, Vec<(TaskId, usize)>>,
+    /// Pipe → (consumer task, port) for direct pipes ending here.
+    pub pipe_routes: HashMap<PipeId, (TaskId, usize)>,
+    engine: TokenBucket,
+    /// Cycles the current queue head has made no observable progress.
+    head_stall: u64,
+    head_sig: (u64, u64, u64, u64),
+    pub stats: Stats,
+}
+
+/// Cycles of zero progress after which a stalled head task yields the
+/// fabric to the next queued task (the task unit's stall-rotation,
+/// which prevents a co-scheduled consumer from head-of-line blocking
+/// its own producers).
+const STALL_ROTATE: u64 = 48;
+
+impl Tile {
+    pub(crate) fn new(id: usize, node: usize, cfg: &DeltaConfig) -> Self {
+        Tile {
+            id,
+            node,
+            spad: Spad::new(cfg.spad_words, cfg.spad_bw),
+            configured: None,
+            phase: Phase::Idle,
+            queue: VecDeque::new(),
+            job_routes: HashMap::new(),
+            pipe_routes: HashMap::new(),
+            engine: TokenBucket::per_cycle(cfg.engine_rate),
+            head_stall: 0,
+            head_sig: (0, 0, 0, 0),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Space in the dispatched-task queue.
+    pub(crate) fn queue_space(&self, cfg: &DeltaConfig) -> usize {
+        cfg.tile_queue.saturating_sub(self.queue.len())
+    }
+
+    /// True when nothing is queued or running.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Accepts a dispatched task.
+    pub(crate) fn enqueue(&mut self, exec: TaskExec) {
+        self.stats.bump("tasks_dispatched");
+        self.queue.push_back(exec);
+    }
+
+    /// Index of the last queued task that can migrate to another tile:
+    /// outside the prefetch window, no issued/shared DRAM streams, no
+    /// pipes, and no scratchpad side effects.
+    pub(crate) fn steal_candidate(&self, prefetch_depth: usize) -> Option<usize> {
+        let start = prefetch_depth.max(1);
+        (start..self.queue.len()).rev().find(|&qi| {
+            let t = &self.queue[qi];
+            let feeds_ok = t.feeds.iter().all(|f| match &f.kind {
+                FeedKind::Instant | FeedKind::Spad { .. } => true,
+                FeedKind::Dram { spec } => spec.is_some(),
+                FeedKind::PipeDirect | FeedKind::PipeSpill { .. } => false,
+            });
+            let outputs_ok = t.inst.outputs.iter().all(|o| {
+                use taskstream_model::OutputBinding as OB;
+                match o {
+                    OB::Discard => true,
+                    OB::Memory { desc, .. } => !matches!(
+                        desc,
+                        ts_stream::StreamDesc::Affine {
+                            src: ts_stream::DataSrc::Spad,
+                            ..
+                        } | ts_stream::StreamDesc::Indirect {
+                            src: ts_stream::DataSrc::Spad,
+                            ..
+                        }
+                    ),
+                    OB::Scatter { src, .. } => *src == ts_stream::DataSrc::Dram,
+                    OB::Pipe(_) => false,
+                }
+            });
+            feeds_ok && outputs_ok && t.inst.input_pipes().next().is_none()
+        })
+    }
+
+    /// Removes a queued task for migration and retargets its sinks'
+    /// controller homing to the thief's node.
+    pub(crate) fn steal(&mut self, qi: usize, thief_node: usize, mc_node: usize) -> TaskExec {
+        let mut t = self.queue.remove(qi).expect("candidate index valid");
+        let _ = thief_node;
+        for sink in &mut t.sinks {
+            match &mut sink.kind {
+                SinkKind::DramWrite { mc_node: m, .. } | SinkKind::Scatter { mc_node: m, .. } => {
+                    *m = mc_node;
+                }
+                _ => {}
+            }
+        }
+        self.stats.bump("tasks_stolen_away");
+        t
+    }
+
+    fn find_task(&mut self, id: TaskId) -> Option<&mut TaskExec> {
+        self.queue.iter_mut().find(|t| t.id == id)
+    }
+
+    /// Routes one ejected NoC message into task state.
+    pub(crate) fn on_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::DramData {
+                job,
+                words,
+                last: _,
+            } => {
+                // routes stay registered for the whole run: words of one
+                // job may arrive out of order across controller nodes,
+                // so the `last` flag cannot be used for cleanup
+                let routes = self
+                    .job_routes
+                    .get(&job)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("tile {}: unknown read job {job}", self.id));
+                for (task, port) in &routes {
+                    if let Some(t) = self.find_task(*task) {
+                        t.in_avail[*port] += words as u64;
+                    }
+                }
+            }
+            Msg::PipeWord { pipe, last } => {
+                let (task, port) = *self
+                    .pipe_routes
+                    .get(&pipe)
+                    .unwrap_or_else(|| panic!("tile {}: unknown pipe {pipe:?}", self.id));
+                if let Some(t) = self.find_task(task) {
+                    t.in_avail[port] += 1;
+                }
+                if last {
+                    self.pipe_routes.remove(&pipe);
+                }
+            }
+            Msg::WriteAck {
+                stream: (task, port),
+            } => {
+                if let Some(t) = self.find_task(task) {
+                    t.sinks[port].acked = true;
+                }
+            }
+            Msg::DramWrite { .. } => {
+                unreachable!("write flits terminate at memory controllers")
+            }
+        }
+    }
+
+    /// Advances the tile one cycle; returns tasks that completed.
+    pub(crate) fn tick(&mut self, io: &mut TileIo<'_>, cfg: &DeltaConfig) -> Vec<TaskExec> {
+        self.spad.begin_cycle();
+        self.engine.refill();
+
+        // issue deferred DRAM reads for tasks inside the prefetch
+        // window, and spill-pipe reads whose producer is now done
+        self.issue_dram_reads(io, cfg);
+        self.issue_spill_reads(io, cfg);
+
+        if self.queue.is_empty() {
+            self.stats.bump("idle_cycles");
+            self.phase = Phase::Idle;
+            return Vec::new();
+        }
+        self.stats.bump("busy_cycles");
+
+        // phase machine for the queue head
+        match self.phase {
+            Phase::Idle => {
+                let ty = self.queue[0].ty;
+                let cost = self.queue[0].timing.config_cycles;
+                if self.configured == Some(ty) || cost == 0 {
+                    self.configured = Some(ty);
+                    self.phase = Phase::Starting {
+                        left: cfg.task_start_overhead,
+                    };
+                } else {
+                    self.stats.bump("reconfigs");
+                    self.phase = Phase::Reconfig { left: cost };
+                }
+            }
+            Phase::Reconfig { left } => {
+                self.stats.bump("reconfig_cycles");
+                if left <= 1 {
+                    self.configured = Some(self.queue[0].ty);
+                    self.phase = Phase::Starting {
+                        left: cfg.task_start_overhead,
+                    };
+                } else {
+                    self.phase = Phase::Reconfig { left: left - 1 };
+                }
+            }
+            Phase::Starting { left } => {
+                if left <= 1 {
+                    self.phase = Phase::Running;
+                } else {
+                    self.phase = Phase::Starting { left: left - 1 };
+                }
+            }
+            Phase::Running => {}
+        }
+
+        if self.phase != Phase::Running {
+            return Vec::new();
+        }
+
+        // --- running task ------------------------------------------------
+        self.run_feeds(io.now);
+        let before = {
+            let t = &self.queue[0];
+            (t.firings_done, t.native_progress)
+        };
+        self.advance_compute(io.now);
+        {
+            let t = &self.queue[0];
+            if (t.firings_done, t.native_progress) == before && !t.compute_done() {
+                let starved =
+                    (0..t.in_total.len()).any(|p| t.in_total[p] > 0 && t.in_avail[p] == 0);
+                if starved {
+                    self.stats.bump("fire_stall_input");
+                } else {
+                    self.stats.bump("fire_stall_other");
+                }
+            }
+        }
+        self.drain_staging(io.now, cfg);
+        self.drain_sinks(io, cfg);
+
+        // completion
+        let done = {
+            let t = &self.queue[0];
+            t.fully_done(io.pipes)
+        };
+        if done {
+            let t = self.queue.pop_front().expect("head exists");
+            self.stats.bump("tasks_completed");
+            self.stats
+                .sample("task_latency", (io.now - t.dispatched_at) as f64);
+            self.phase = Phase::Idle;
+            self.head_stall = 0;
+            return vec![t];
+        }
+
+        // stall rotation: a head making no progress (e.g. a consumer
+        // whose producers are queued elsewhere) yields to the next task
+        if self.queue.len() > 1 {
+            let t = &self.queue[0];
+            let sig = (
+                t.firings_done,
+                t.native_progress,
+                t.sinks.iter().map(|s| s.sent).sum::<u64>(),
+                0,
+            );
+            if sig == self.head_sig {
+                self.head_stall += 1;
+                if self.head_stall > STALL_ROTATE {
+                    self.queue.rotate_left(1);
+                    self.phase = Phase::Idle;
+                    self.head_stall = 0;
+                    self.stats.bump("task_rotations");
+                }
+            } else {
+                self.head_sig = sig;
+                self.head_stall = 0;
+            }
+        }
+        Vec::new()
+    }
+
+    fn issue_dram_reads(&mut self, io: &mut TileIo<'_>, cfg: &DeltaConfig) {
+        let node = self.node;
+        let depth = cfg.prefetch_depth.max(1).min(self.queue.len());
+        for qi in 0..depth {
+            for pi in 0..self.queue[qi].feeds.len() {
+                let FeedKind::Dram { spec } = &mut self.queue[qi].feeds[pi].kind else {
+                    continue;
+                };
+                let Some(spec) = spec.take() else { continue };
+                let after = spec.index_phantom.map(|idx_addrs| {
+                    let idx_job = *io.next_job;
+                    *io.next_job += 1;
+                    io.memctrl.submit_read(
+                        crate::memctrl::ReadReq {
+                            job: idx_job,
+                            addrs: idx_addrs,
+                            gather: false,
+                            dsts: vec![],
+                            after: None,
+                        },
+                        io.now + cfg.mem_req_latency,
+                    );
+                    idx_job
+                });
+                let job = *io.next_job;
+                *io.next_job += 1;
+                io.memctrl.submit_read(
+                    crate::memctrl::ReadReq {
+                        job,
+                        addrs: spec.addrs,
+                        gather: spec.gather,
+                        dsts: vec![node],
+                        after,
+                    },
+                    io.now + cfg.mem_req_latency + spec.extra_delay,
+                );
+                let tid = self.queue[qi].id;
+                self.job_routes.entry(job).or_default().push((tid, pi));
+            }
+        }
+    }
+
+    fn issue_spill_reads(&mut self, io: &mut TileIo<'_>, cfg: &DeltaConfig) {
+        let node = self.node;
+        for qi in 0..self.queue.len() {
+            for pi in 0..self.queue[qi].feeds.len() {
+                let (pipe, total) = match &self.queue[qi].feeds[pi].kind {
+                    FeedKind::PipeSpill {
+                        pipe,
+                        issued: false,
+                    } => (*pipe, self.queue[qi].feeds[pi].total),
+                    _ => continue,
+                };
+                let ps = io.pipes.get(pipe);
+                if !ps.producer_completed {
+                    continue;
+                }
+                if total == 0 {
+                    if let FeedKind::PipeSpill { issued, .. } = &mut self.queue[qi].feeds[pi].kind {
+                        *issued = true;
+                    }
+                    continue;
+                }
+                let base = match ps.mode {
+                    Some(PipeMode::Spill { base }) => base,
+                    other => panic!("spill feed on pipe with mode {other:?}"),
+                };
+                let job = *io.next_job;
+                *io.next_job += 1;
+                io.memctrl.submit_read(
+                    ReadReq {
+                        job,
+                        addrs: (base..base + total).collect(),
+                        gather: false,
+                        dsts: vec![node],
+                        after: None,
+                    },
+                    io.now + cfg.mem_req_latency,
+                );
+                let tid = self.queue[qi].id;
+                self.job_routes.entry(job).or_default().push((tid, pi));
+                if let FeedKind::PipeSpill { issued, .. } = &mut self.queue[qi].feeds[pi].kind {
+                    *issued = true;
+                }
+                self.stats.bump("spill_reads");
+            }
+        }
+    }
+
+    fn run_feeds(&mut self, _now: u64) {
+        let t = self.queue.front_mut().expect("running task");
+        for (port, feed) in t.feeds.iter_mut().enumerate() {
+            match feed.kind {
+                FeedKind::Instant => {
+                    while feed.remaining > 0 && self.engine.try_take() {
+                        feed.remaining -= 1;
+                        t.in_avail[port] += 1;
+                    }
+                }
+                FeedKind::Spad { per_word } => {
+                    'w: while feed.remaining > 0 {
+                        for _ in 0..per_word {
+                            if !self.spad.try_charge() {
+                                break 'w;
+                            }
+                        }
+                        feed.remaining -= 1;
+                        t.in_avail[port] += 1;
+                    }
+                }
+                // NoC-fed kinds count via on_msg
+                FeedKind::Dram { .. } | FeedKind::PipeDirect | FeedKind::PipeSpill { .. } => {}
+            }
+        }
+    }
+
+    fn advance_compute(&mut self, now: u64) {
+        let t = self.queue.front_mut().expect("running task");
+        match t.native_cycles {
+            None => Self::advance_dfg(t, now),
+            Some(c) => {
+                for _ in 0..t.lanes {
+                    Self::advance_native(t, now, c);
+                }
+            }
+        }
+    }
+
+    fn advance_dfg(t: &mut TaskExec, now: u64) {
+        // slot credit: `lanes` per cycle, `ii` per firing (capped at one
+        // cycle's worth so idle periods don't bank throughput)
+        t.fire_credit = (t.fire_credit + t.lanes).min(2 * t.lanes.max(t.timing.ii as u64));
+        while t.firings_done < t.firings_total && t.fire_credit >= t.timing.ii as u64 {
+            // inputs available on every port?
+            for p in 0..t.ports_in() {
+                if t.in_total[p] > 0 && t.in_avail[p] == 0 {
+                    return;
+                }
+            }
+            // output space for this firing's emissions?
+            let trace = t.emit_firings.as_ref().expect("dfg trace");
+            let cap_hit = (0..t.ports_out()).any(|p| {
+                let emits = trace[p]
+                    .get(t.out_cursor[p])
+                    .is_some_and(|&f| f == t.firings_done);
+                emits && t.staging[p].len() + t.out_buf[p].len() >= t.out_buf_capacity()
+            });
+            if cap_hit {
+                return;
+            }
+            // fire
+            for p in 0..t.ports_in() {
+                if t.in_total[p] > 0 {
+                    t.in_avail[p] -= 1;
+                }
+            }
+            for p in 0..t.ports_out() {
+                let cur = t.out_cursor[p];
+                let emits = t.emit_firings.as_ref().expect("dfg trace")[p]
+                    .get(cur)
+                    .is_some_and(|&f| f == t.firings_done);
+                if emits {
+                    let v = t.out_values[p][cur];
+                    t.staging[p].push_back((now + t.timing.depth as u64, v));
+                    t.out_cursor[p] = cur + 1;
+                }
+            }
+            t.firings_done += 1;
+            t.fire_credit -= t.timing.ii as u64;
+        }
+    }
+
+    fn advance_native(t: &mut TaskExec, now: u64, total_cycles: u64) {
+        if t.native_progress >= total_cycles {
+            return;
+        }
+        let p1 = t.native_progress + 1;
+        // inputs: cumulative need at progress p1 (ceiling so the final
+        // step needs the full stream)
+        for port in 0..t.ports_in() {
+            let need = (t.in_total[port] * p1).div_ceil(total_cycles);
+            let consumed = t.consumed_native(port);
+            let delta = need.saturating_sub(consumed);
+            if t.in_avail[port] < delta {
+                return;
+            }
+        }
+        // output space
+        for port in 0..t.ports_out() {
+            let due = (t.out_values[port].len() as u64 * p1) / total_cycles;
+            let new = due.saturating_sub(t.out_cursor[port] as u64);
+            if new > 0
+                && t.staging[port].len() + t.out_buf[port].len() + new as usize
+                    > t.out_buf_capacity()
+            {
+                return;
+            }
+        }
+        // consume + emit
+        for port in 0..t.ports_in() {
+            let need = (t.in_total[port] * p1).div_ceil(total_cycles);
+            let consumed = t.consumed_native(port);
+            let delta = need.saturating_sub(consumed);
+            t.in_avail[port] -= delta;
+            t.set_consumed_native(port, need);
+        }
+        for port in 0..t.ports_out() {
+            let due = ((t.out_values[port].len() as u64 * p1) / total_cycles) as usize;
+            while t.out_cursor[port] < due {
+                let v = t.out_values[port][t.out_cursor[port]];
+                t.staging[port].push_back((now + 1, v));
+                t.out_cursor[port] += 1;
+            }
+        }
+        t.native_progress = p1;
+    }
+
+    fn drain_staging(&mut self, now: u64, _cfg: &DeltaConfig) {
+        let t = self.queue.front_mut().expect("running task");
+        for p in 0..t.ports_out() {
+            let cap = t.out_buf_capacity();
+            while t.out_buf[p].len() < cap {
+                match t.staging[p].front() {
+                    Some((ready, _)) if *ready <= now => {
+                        let (_, v) = t.staging[p].pop_front().expect("front exists");
+                        t.out_buf[p].push_back(v);
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    fn drain_sinks(&mut self, io: &mut TileIo<'_>, cfg: &DeltaConfig) {
+        let node = self.node;
+        let t = self.queue.front_mut().expect("running task");
+        for p in 0..t.sinks.len() {
+            if t.sinks[p].held {
+                continue; // drained by its scatter manager
+            }
+            loop {
+                if t.sinks[p].sent >= t.sinks[p].total {
+                    break;
+                }
+                let progressed = match &t.sinks[p].kind {
+                    SinkKind::Discard => {
+                        if t.out_buf[p].pop_front().is_some() {
+                            t.sinks[p].sent += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    SinkKind::Spad => {
+                        if !t.out_buf[p].is_empty() && self.spad.try_charge() {
+                            t.out_buf[p].pop_front();
+                            t.sinks[p].sent += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    SinkKind::DramWrite {
+                        addrs,
+                        mode,
+                        gather,
+                        mc_node,
+                    } => {
+                        if let Some(&v) = t.out_buf[p].front() {
+                            let i = t.sinks[p].sent as usize;
+                            let msg = Msg::DramWrite {
+                                addr: addrs[i],
+                                value: v,
+                                mode: *mode,
+                                stream: (t.id, p),
+                                reply_to: node,
+                                last: t.sinks[p].sent + 1 == t.sinks[p].total,
+                                gather: *gather,
+                            };
+                            if io.mesh.inject(node, &[*mc_node], msg).is_ok() {
+                                t.out_buf[p].pop_front();
+                                t.sinks[p].sent += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    SinkKind::Scatter {
+                        addr_port,
+                        to_dram,
+                        base,
+                        scale,
+                        mode,
+                        mc_node,
+                    } => {
+                        let (ap, to_dram, base, scale, mode, mc_node) =
+                            (*addr_port, *to_dram, *base, *scale, *mode, *mc_node);
+                        if t.out_buf[p].is_empty() || t.out_buf[ap].is_empty() {
+                            false
+                        } else {
+                            let idx = *t.out_buf[ap].front().expect("checked");
+                            let v = *t.out_buf[p].front().expect("checked");
+                            let addr = (base as i64 + idx.wrapping_mul(scale)) as Addr;
+                            let ok = if to_dram {
+                                let msg = Msg::DramWrite {
+                                    addr,
+                                    value: v,
+                                    mode,
+                                    stream: (t.id, p),
+                                    reply_to: node,
+                                    last: t.sinks[p].sent + 1 == t.sinks[p].total,
+                                    gather: true,
+                                };
+                                io.mesh.inject(node, &[mc_node], msg).is_ok()
+                            } else {
+                                // spad RMW: two accesses
+                                self.spad.try_charge() && self.spad.try_charge()
+                            };
+                            if ok {
+                                t.out_buf[p].pop_front();
+                                t.out_buf[ap].pop_front();
+                                t.sinks[p].sent += 1;
+                                t.sinks[ap].sent += 1;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                    }
+                    SinkKind::Pipe { pipe } => {
+                        let pipe = *pipe;
+                        // resolve the transport on the first drain
+                        // attempt: direct if the consumer is already
+                        // co-scheduled, spill otherwise
+                        if io.pipes.get(pipe).mode.is_none() {
+                            let consumer = io.pipes.get(pipe).consumer_node;
+                            let mode = match consumer {
+                                Some(cn) if cfg.features.pipelining => {
+                                    self.stats.bump("pipes_direct");
+                                    PipeMode::Direct { consumer_node: cn }
+                                }
+                                _ => {
+                                    self.stats.bump("pipes_spilled");
+                                    PipeMode::Spill {
+                                        base: io.pipes.alloc_spill(t.sinks[p].total),
+                                    }
+                                }
+                            };
+                            io.pipes.get_mut(pipe).mode = Some(mode);
+                        }
+                        match io.pipes.get(pipe).mode {
+                            Some(PipeMode::Direct { consumer_node }) => {
+                                if t.out_buf[p].is_empty() {
+                                    false
+                                } else {
+                                    let msg = Msg::PipeWord {
+                                        pipe,
+                                        last: t.sinks[p].sent + 1 == t.sinks[p].total,
+                                    };
+                                    if io.mesh.inject(node, &[consumer_node], msg).is_ok() {
+                                        t.out_buf[p].pop_front();
+                                        t.sinks[p].sent += 1;
+                                        true
+                                    } else {
+                                        false
+                                    }
+                                }
+                            }
+                            Some(PipeMode::Spill { base }) => {
+                                if let Some(&v) = t.out_buf[p].front() {
+                                    let msg = Msg::DramWrite {
+                                        addr: base + t.sinks[p].sent,
+                                        value: v,
+                                        mode: WriteMode::Overwrite,
+                                        stream: (t.id, p),
+                                        reply_to: node,
+                                        last: t.sinks[p].sent + 1 == t.sinks[p].total,
+                                        gather: false,
+                                    };
+                                    let mc = cfg.mc_node_for(node);
+                                    if io.mesh.inject(node, &[mc], msg).is_ok() {
+                                        t.out_buf[p].pop_front();
+                                        t.sinks[p].sent += 1;
+                                        true
+                                    } else {
+                                        false
+                                    }
+                                } else {
+                                    false
+                                }
+                            }
+                            None => unreachable!("mode resolved above"),
+                        }
+                    }
+                };
+                if !progressed {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl TaskExec {
+    fn out_buf_capacity(&self) -> usize {
+        self.out_buf_cap
+    }
+
+    fn consumed_native(&self, port: usize) -> u64 {
+        self.native_consumed[port]
+    }
+
+    fn set_consumed_native(&mut self, port: usize, v: u64) {
+        self.native_consumed[port] = v;
+    }
+}

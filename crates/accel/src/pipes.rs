@@ -1,0 +1,200 @@
+//! Inter-task pipe bookkeeping.
+
+use std::collections::HashMap;
+use taskstream_model::{PipeDecl, PipeId, TaskId, Value};
+use ts_stream::Addr;
+
+/// How a pipe's words physically travel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PipeMode {
+    /// Producer and consumer are co-scheduled: words stream tile-to-tile
+    /// over the NoC as they are produced (TaskStream's recovered
+    /// pipelined dependence).
+    Direct {
+        /// Consumer's mesh node.
+        consumer_node: usize,
+    },
+    /// Not co-scheduled (or pipelining disabled): producer spills to a
+    /// DRAM buffer; the consumer reads it back after the producer
+    /// completes.
+    Spill {
+        /// Spill buffer base address.
+        base: Addr,
+    },
+}
+
+/// Runtime state of one pipe.
+#[derive(Debug)]
+pub(crate) struct PipeState {
+    /// Kept for diagnostics (capacity hints appear in panic messages).
+    #[allow(dead_code)]
+    pub decl: PipeDecl,
+    pub producer: Option<TaskId>,
+    pub producer_dispatched: bool,
+    pub producer_completed: bool,
+    pub consumer: Option<TaskId>,
+    /// Mesh node of the consumer's tile, set when the consumer
+    /// dispatches.
+    pub consumer_node: Option<usize>,
+    /// Functional payload, recorded when the producer dispatches.
+    pub data: Option<Vec<Value>>,
+    /// Physical transport, resolved lazily at the producer's first
+    /// output drain: direct if the consumer is co-scheduled by then,
+    /// spill otherwise.
+    pub mode: Option<PipeMode>,
+}
+
+/// All pipes of a run, plus the spill-space bump allocator.
+#[derive(Debug)]
+pub(crate) struct PipeTable {
+    pipes: HashMap<PipeId, PipeState>,
+    spill_cursor: Addr,
+    spill_limit: Addr,
+}
+
+impl PipeTable {
+    /// Creates a table whose spill buffers live in
+    /// `[spill_base, spill_base + spill_words)`.
+    pub(crate) fn new(spill_base: Addr, spill_words: u64) -> Self {
+        PipeTable {
+            pipes: HashMap::new(),
+            spill_cursor: spill_base,
+            spill_limit: spill_base + spill_words,
+        }
+    }
+
+    /// Registers a newly declared pipe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate declaration.
+    pub(crate) fn declare(&mut self, decl: PipeDecl) {
+        let prev = self.pipes.insert(
+            decl.id,
+            PipeState {
+                decl,
+                producer: None,
+                producer_dispatched: false,
+                producer_completed: false,
+                consumer: None,
+                consumer_node: None,
+                data: None,
+                mode: None,
+            },
+        );
+        assert!(prev.is_none(), "pipe {:?} declared twice", decl.id);
+    }
+
+    /// Looks a pipe up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipe was never declared.
+    pub(crate) fn get(&self, id: PipeId) -> &PipeState {
+        self.pipes
+            .get(&id)
+            .unwrap_or_else(|| panic!("pipe {id:?} was never declared"))
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipe was never declared.
+    pub(crate) fn get_mut(&mut self, id: PipeId) -> &mut PipeState {
+        self.pipes
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("pipe {id:?} was never declared"))
+    }
+
+    /// True if declared.
+    pub(crate) fn contains(&self, id: PipeId) -> bool {
+        self.pipes.contains_key(&id)
+    }
+
+    /// Allocates a spill buffer of `words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if spill space is exhausted (raise the spill reservation).
+    pub(crate) fn alloc_spill(&mut self, words: u64) -> Addr {
+        let base = self.spill_cursor;
+        assert!(
+            base + words <= self.spill_limit,
+            "pipe spill space exhausted ({} of {} words)",
+            base + words,
+            self.spill_limit
+        );
+        self.spill_cursor += words;
+        base
+    }
+
+    /// Registers a task as producer/consumer of its pipes.
+    pub(crate) fn bind_producer(&mut self, pipe: PipeId, task: TaskId) {
+        let p = self.get_mut(pipe);
+        assert!(p.producer.is_none(), "pipe {pipe:?} already has a producer");
+        p.producer = Some(task);
+    }
+
+    /// Registers the consumer side.
+    pub(crate) fn bind_consumer(&mut self, pipe: PipeId, task: TaskId) {
+        let p = self.get_mut(pipe);
+        assert!(p.consumer.is_none(), "pipe {pipe:?} already has a consumer");
+        p.consumer = Some(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decl(id: u64, cap: u64) -> PipeDecl {
+        PipeDecl {
+            id: PipeId(id),
+            capacity_hint: cap,
+        }
+    }
+
+    #[test]
+    fn declare_and_bind() {
+        let mut t = PipeTable::new(1000, 100);
+        t.declare(decl(0, 16));
+        t.bind_producer(PipeId(0), TaskId(1));
+        t.bind_consumer(PipeId(0), TaskId(2));
+        let p = t.get(PipeId(0));
+        assert_eq!(p.producer, Some(TaskId(1)));
+        assert_eq!(p.consumer, Some(TaskId(2)));
+        assert!(!p.producer_completed);
+    }
+
+    #[test]
+    fn spill_allocator_bumps() {
+        let mut t = PipeTable::new(1000, 100);
+        assert_eq!(t.alloc_spill(40), 1000);
+        assert_eq!(t.alloc_spill(40), 1040);
+    }
+
+    #[test]
+    #[should_panic(expected = "spill space exhausted")]
+    fn spill_overflow_panics() {
+        let mut t = PipeTable::new(0, 10);
+        let _ = t.alloc_spill(11);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_declaration_panics() {
+        let mut t = PipeTable::new(0, 10);
+        t.declare(decl(3, 1));
+        t.declare(decl(3, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a producer")]
+    fn two_producers_panics() {
+        let mut t = PipeTable::new(0, 10);
+        t.declare(decl(1, 1));
+        t.bind_producer(PipeId(1), TaskId(1));
+        t.bind_producer(PipeId(1), TaskId(2));
+    }
+}

@@ -1,0 +1,124 @@
+//! Run results.
+
+use taskstream_model::Value;
+use ts_mem::Storage;
+use ts_sim::stats::Report;
+use ts_stream::Addr;
+
+/// Everything a finished run hands back: cycle count, merged statistics,
+/// and a snapshot of final DRAM contents for validation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Merged statistics from every component (`tileN.*`, `noc.*`,
+    /// `dram.*`, `dispatch.*`).
+    pub stats: Report,
+    /// Final DRAM contents.
+    dram: Storage,
+    /// Tasks completed over the run.
+    pub tasks_completed: u64,
+    /// Sampled occupancy: `(cycle, busy tiles)` every
+    /// [`RunReport::TIMELINE_STRIDE`] cycles.
+    pub timeline: Vec<(u64, u32)>,
+}
+
+impl RunReport {
+    /// Cycles between occupancy samples in [`RunReport::timeline`].
+    pub const TIMELINE_STRIDE: u64 = 256;
+
+    pub(crate) fn new(
+        cycles: u64,
+        stats: Report,
+        dram: Storage,
+        tasks_completed: u64,
+        timeline: Vec<(u64, u32)>,
+    ) -> Self {
+        RunReport {
+            cycles,
+            stats,
+            dram,
+            tasks_completed,
+            timeline,
+        }
+    }
+
+    /// Renders the occupancy timeline as a unicode sparkline
+    /// (one glyph per sample, `█` = all tiles busy), at most `width`
+    /// glyphs (downsampled by striding).
+    pub fn sparkline(&self, tiles: usize, width: usize) -> String {
+        const RAMP: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.timeline.is_empty() || tiles == 0 || width == 0 {
+            return String::new();
+        }
+        let stride = self.timeline.len().div_ceil(width);
+        self.timeline
+            .chunks(stride)
+            .map(|chunk| {
+                let avg: f64 =
+                    chunk.iter().map(|&(_, b)| b as f64).sum::<f64>() / chunk.len() as f64;
+                let level = ((avg / tiles as f64) * 8.0).round() as usize;
+                RAMP[level.min(8)]
+            })
+            .collect()
+    }
+
+    /// Reads one word of the final DRAM image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn dram(&self, addr: Addr) -> Value {
+        self.dram.read(addr)
+    }
+
+    /// Reads a contiguous range of the final DRAM image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn dram_range(&self, base: Addr, len: usize) -> &[Value] {
+        self.dram.read_range(base, len)
+    }
+
+    /// Per-tile busy cycles, in tile order.
+    pub fn tile_busy(&self) -> Vec<f64> {
+        let mut v: Vec<(usize, f64)> = self
+            .stats
+            .matching(".busy_cycles")
+            .into_iter()
+            .filter_map(|(k, val)| {
+                let n: usize = k.strip_prefix("tile")?.split('.').next()?.parse().ok()?;
+                Some((n, val))
+            })
+            .collect();
+        v.sort_by_key(|(n, _)| *n);
+        v.into_iter().map(|(_, val)| val).collect()
+    }
+
+    /// Load imbalance: max over mean of per-tile busy cycles (1.0 =
+    /// perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let busy = self.tile_busy();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let max = busy.iter().cloned().fold(0.0f64, f64::max);
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Total DRAM words moved (reads + writes).
+    pub fn dram_words(&self) -> f64 {
+        self.stats.get_or_zero("dram.read_words") + self.stats.get_or_zero("dram.write_words")
+    }
+
+    /// Total NoC flit-hops.
+    pub fn noc_hops(&self) -> f64 {
+        self.stats.get_or_zero("noc.flit_hops")
+    }
+}

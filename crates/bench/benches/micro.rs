@@ -1,0 +1,115 @@
+//! Criterion microbenchmarks of the simulator's hot substrates: the
+//! DFG interpreter, the CGRA mapper, the NoC, the DRAM model, and a
+//! full tiny accelerator run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ts_cgra::{Fabric, FabricConfig};
+use ts_delta::{Accelerator, DeltaConfig};
+use ts_dfg::{interp, DfgBuilder};
+use ts_mem::{Dram, DramConfig, JobKind};
+use ts_noc::Mesh;
+use ts_workloads::{spmv::Spmv, Workload};
+
+fn dfg_interpreter(c: &mut Criterion) {
+    let mut b = DfgBuilder::new("mac");
+    let x = b.input();
+    let y = b.input();
+    let last = b.input();
+    let prod = b.mul(x, y);
+    let acc = b.acc_gate(prod, last);
+    b.output_when(acc, last);
+    let g = b.finish().unwrap();
+    let xs: Vec<i64> = (0..1024).collect();
+    let ys: Vec<i64> = (0..1024).rev().collect();
+    let flags: Vec<i64> = (0..1024).map(|i| i64::from(i % 16 == 15)).collect();
+    c.bench_function("dfg_interp_1k_mac", |bench| {
+        bench.iter(|| interp::execute(&g, &[], &[xs.clone(), ys.clone(), flags.clone()]).unwrap())
+    });
+}
+
+fn cgra_mapper(c: &mut Criterion) {
+    let mut b = DfgBuilder::new("chain");
+    let x = b.input();
+    let mut cur = x;
+    for i in 0..12 {
+        let k = b.constant(i);
+        cur = if i % 3 == 0 {
+            b.mul(cur, k)
+        } else {
+            b.add(cur, k)
+        };
+    }
+    b.output(cur);
+    let g = b.finish().unwrap();
+    let fabric = Fabric::new(FabricConfig::default());
+    c.bench_function("cgra_map_12op", |bench| {
+        bench.iter(|| fabric.map(black_box(&g), 7).unwrap())
+    });
+}
+
+fn noc_saturation(c: &mut Criterion) {
+    c.bench_function("noc_4x3_1k_flits", |bench| {
+        bench.iter(|| {
+            let mut mesh: Mesh<u64> = Mesh::new(4, 3, 8);
+            let mut sent = 0u64;
+            let mut done = 0usize;
+            while done < 1000 {
+                while sent < 1000 && mesh.inject(0, &[11], sent).is_ok() {
+                    sent += 1;
+                }
+                mesh.tick();
+                while mesh.eject(11).is_some() {
+                    done += 1;
+                }
+            }
+            black_box(done)
+        })
+    });
+}
+
+fn dram_streaming(c: &mut Criterion) {
+    c.bench_function("dram_stream_4k_words", |bench| {
+        bench.iter(|| {
+            let mut d = Dram::new(DramConfig {
+                words: 8192,
+                latency: 20,
+                ..DramConfig::default()
+            });
+            d.submit(
+                JobKind::Read {
+                    addrs: (0..4096).collect(),
+                    gather: false,
+                },
+                0,
+            )
+            .unwrap();
+            let mut now = 0;
+            while !d.is_idle() {
+                black_box(d.tick(now));
+                now += 1;
+            }
+            now
+        })
+    });
+}
+
+fn full_run(c: &mut Criterion) {
+    c.bench_function("accel_spmv_tiny", |bench| {
+        let wl = Spmv::tiny(3);
+        bench.iter(|| {
+            let mut p = wl.make_program();
+            Accelerator::new(DeltaConfig::delta(4))
+                .run(p.as_mut())
+                .unwrap()
+                .cycles
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = dfg_interpreter, cgra_mapper, noc_saturation, dram_streaming, full_run
+);
+criterion_main!(micro);

@@ -1,0 +1,21 @@
+//! `cargo bench` target that regenerates the full evaluation (every
+//! table and figure) at the default scale, printing paper-style tables.
+//! Uses `harness = false`: the output *is* the benchmark result.
+
+use std::time::Instant;
+use ts_bench::experiments::{self, ALL};
+use ts_workloads::Scale;
+
+fn main() {
+    println!("TaskStream/Delta evaluation reproduction (scale: small, 8 tiles)");
+    println!("================================================================\n");
+    let total = Instant::now();
+    for id in ALL {
+        let t0 = Instant::now();
+        let out = experiments::run(id, Scale::Small);
+        println!("=== {id} ===");
+        println!("{out}");
+        println!("  ({:.1?})\n", t0.elapsed());
+    }
+    println!("total: {:.1?}", total.elapsed());
+}

@@ -1,0 +1,38 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro                  # run everything at the default (small) scale
+//! repro fig_overall      # one experiment
+//! repro --tiny           # everything, test-sized instances
+//! ```
+
+use std::time::Instant;
+use ts_bench::experiments::{self, ALL};
+use ts_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--tiny") {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let ids: Vec<&str> = if wanted.is_empty() {
+        ALL.to_vec()
+    } else {
+        wanted
+    };
+
+    for id in ids {
+        let t0 = Instant::now();
+        let out = experiments::run(id, scale);
+        println!("=== {id} ===");
+        println!("{out}");
+        println!("  ({:.1?})\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,823 @@
+//! The experiments: one function per table/figure.
+
+use crate::{fmt_x, run_validated, Table};
+use taskstream_model::Policy;
+use ts_delta::{area, DeltaConfig, Features};
+use ts_sim::stats::geomean;
+use ts_workloads::{
+    bfs::Bfs, dtree::DTree, gemm::Gemm, hash_join::HashJoin, kmeans::KMeans, merge_sort::MergeSort,
+    spmv::Spmv, suite, Scale, Workload,
+};
+
+/// Default experiment seed (all experiments are reproducible from it).
+pub const SEED: u64 = 42;
+
+/// Paper-scale tile count.
+pub const TILES: usize = 8;
+
+/// Result of the headline experiment.
+#[derive(Debug)]
+pub struct Overall {
+    /// The printable table.
+    pub table: Table,
+    /// Geomean speedup over the whole suite.
+    pub geomean: f64,
+    /// Geomean over the irregular (task-parallel-native) subset.
+    pub irregular_geomean: f64,
+}
+
+/// `fig_overall` — the headline: Delta vs. the equivalent
+/// static-parallel design, per workload.
+pub fn fig_overall(scale: Scale) -> Overall {
+    let mut table = Table::new(&[
+        "workload",
+        "delta cyc",
+        "static cyc",
+        "speedup",
+        "delta imb",
+        "static imb",
+    ]);
+    let mut speedups = Vec::new();
+    let mut irregular = Vec::new();
+    for wl in suite(scale, SEED) {
+        let d = run_validated(wl.as_ref(), DeltaConfig::delta(TILES), false);
+        let s = run_validated(wl.as_ref(), DeltaConfig::static_parallel(TILES), true);
+        let sp = s.cycles as f64 / d.cycles as f64;
+        speedups.push(sp);
+        if matches!(
+            wl.name(),
+            "bfs" | "sssp" | "dtree" | "merge_sort" | "spmv" | "hash_join" | "tri_count"
+        ) {
+            irregular.push(sp);
+        }
+        table.row(vec![
+            wl.name().into(),
+            d.cycles.to_string(),
+            s.cycles.to_string(),
+            fmt_x(sp),
+            format!("{:.2}", d.load_imbalance()),
+            format!("{:.2}", s.load_imbalance()),
+        ]);
+    }
+    let g = geomean(&speedups);
+    let gi = geomean(&irregular);
+    table.row(vec![
+        "geomean".into(),
+        "-".into(),
+        "-".into(),
+        fmt_x(g),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "geomean (irregular)".into(),
+        "-".into(),
+        "-".into(),
+        fmt_x(gi),
+        "-".into(),
+        "-".into(),
+    ]);
+    Overall {
+        table,
+        geomean: g,
+        irregular_geomean: gi,
+    }
+}
+
+/// `fig_ablation` — cumulative mechanism breakdown. Speedups are
+/// relative to the static-parallel design running the static program
+/// formulation:
+/// `+tasks` = task-parallel program on static placement;
+/// `+balance` = work-aware placement; `+pipeline` = direct pipes;
+/// `+multicast` = shared-read recovery (= Delta).
+pub fn fig_ablation(scale: Scale) -> Table {
+    let steps: [(&str, Features, Policy); 4] = [
+        ("+tasks", Features::none(), Policy::StaticHash),
+        (
+            "+balance",
+            Features {
+                work_aware: true,
+                pipelining: false,
+                multicast: false,
+            },
+            Policy::WorkAware,
+        ),
+        (
+            "+pipeline",
+            Features {
+                work_aware: true,
+                pipelining: true,
+                multicast: false,
+            },
+            Policy::WorkAware,
+        ),
+        ("+multicast", Features::all(), Policy::WorkAware),
+    ];
+    let mut table = Table::new(&[
+        "workload",
+        "static",
+        "+tasks",
+        "+balance",
+        "+pipeline",
+        "+multicast",
+    ]);
+    for wl in suite(scale, SEED) {
+        let base = run_validated(wl.as_ref(), DeltaConfig::static_parallel(TILES), true);
+        let mut cells = vec![wl.name().to_string(), "1.00x".to_string()];
+        for (_, features, policy) in steps {
+            let cfg = DeltaConfig::static_parallel(TILES)
+                .with_policy(policy)
+                .with_features(features);
+            let r = run_validated(wl.as_ref(), cfg, false);
+            cells.push(fmt_x(base.cycles as f64 / r.cycles as f64));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// `fig_tiles` — tile-count scaling, Delta vs static-parallel.
+pub fn fig_tiles(scale: Scale, tile_counts: &[usize]) -> Table {
+    let mut table = Table::new(&["workload", "tiles", "delta cyc", "static cyc", "speedup"]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![
+            Box::new(Spmv::tiny(SEED)),
+            Box::new(Bfs::tiny(SEED)),
+            Box::new(DTree::tiny(SEED)),
+            Box::new(Gemm::tiny(SEED)),
+        ],
+        Scale::Small => vec![
+            Box::new(Spmv::small(SEED)),
+            Box::new(Bfs::small(SEED)),
+            Box::new(DTree::small(SEED)),
+            Box::new(Gemm::small(SEED)),
+        ],
+    };
+    for wl in &wls {
+        for &t in tile_counts {
+            let d = run_validated(wl.as_ref(), DeltaConfig::delta(t), false);
+            let s = run_validated(wl.as_ref(), DeltaConfig::static_parallel(t), true);
+            table.row(vec![
+                wl.name().into(),
+                t.to_string(),
+                d.cycles.to_string(),
+                s.cycles.to_string(),
+                fmt_x(s.cycles as f64 / d.cycles as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// `fig_grain` — task-granularity sweep (SpMV rows per task).
+pub fn fig_grain(scale: Scale) -> Table {
+    let grains: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+    let (n, max_row) = match scale {
+        Scale::Tiny => (256, 64),
+        Scale::Small => (2048, 2048),
+    };
+    let mut table = Table::new(&["rows/task", "tasks", "delta cyc", "static cyc", "speedup"]);
+    for &g in grains {
+        let wl = Spmv::new(n, max_row, g, SEED);
+        let d = run_validated(&wl, DeltaConfig::delta(TILES), false);
+        let s = run_validated(&wl, DeltaConfig::static_parallel(TILES), true);
+        table.row(vec![
+            g.to_string(),
+            wl.info().tasks.to_string(),
+            d.cycles.to_string(),
+            s.cycles.to_string(),
+            fmt_x(s.cycles as f64 / d.cycles as f64),
+        ]);
+    }
+    table
+}
+
+/// `fig_imbalance` — per-tile busy cycles under both designs.
+pub fn fig_imbalance(scale: Scale) -> Table {
+    let mut table = Table::new(&[
+        "workload",
+        "design",
+        "per-tile busy (max/mean)",
+        "imbalance",
+    ]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+    };
+    for wl in &wls {
+        for (design, cfg, base) in [
+            ("delta", DeltaConfig::delta(TILES), false),
+            ("static", DeltaConfig::static_parallel(TILES), true),
+        ] {
+            let r = run_validated(wl.as_ref(), cfg, base);
+            let busy = r.tile_busy();
+            let max = busy.iter().cloned().fold(0.0f64, f64::max);
+            let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+            table.row(vec![
+                wl.name().into(),
+                design.into(),
+                format!("{max:.0}/{mean:.0}"),
+                format!("{:.2}", r.load_imbalance()),
+            ]);
+        }
+    }
+    table
+}
+
+/// `fig_noc` — DRAM words and NoC flit-hops with and without multicast.
+pub fn fig_noc(scale: Scale) -> Table {
+    let mut table = Table::new(&[
+        "workload",
+        "dram rd (mc)",
+        "dram rd (uni)",
+        "saved",
+        "hops (mc)",
+        "hops (uni)",
+    ]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![
+            Box::new(DTree::tiny(SEED)),
+            Box::new(KMeans::tiny(SEED)),
+            Box::new(HashJoin::tiny(SEED)),
+        ],
+        Scale::Small => vec![
+            Box::new(DTree::small(SEED)),
+            Box::new(KMeans::small(SEED)),
+            Box::new(HashJoin::small(SEED)),
+        ],
+    };
+    for wl in &wls {
+        let with = run_validated(wl.as_ref(), DeltaConfig::delta(TILES), false);
+        let without = run_validated(
+            wl.as_ref(),
+            DeltaConfig::delta(TILES).with_features(Features {
+                work_aware: true,
+                pipelining: true,
+                multicast: false,
+            }),
+            false,
+        );
+        let rd_mc = with.stats.get_or_zero("dram.read_words");
+        let rd_uni = without.stats.get_or_zero("dram.read_words");
+        table.row(vec![
+            wl.name().into(),
+            format!("{rd_mc:.0}"),
+            format!("{rd_uni:.0}"),
+            format!("{:.0}%", 100.0 * (1.0 - rd_mc / rd_uni.max(1.0))),
+            format!("{:.0}", with.noc_hops()),
+            format!("{:.0}", without.noc_hops()),
+        ]);
+    }
+    table
+}
+
+/// `fig_policy` — placement-policy comparison on skewed workloads
+/// (other mechanisms held on). Cells are slowdown relative to
+/// work-aware; `least-queued` isolates the value of the *work* hint
+/// (it balances task counts but not task sizes).
+pub fn fig_policy(scale: Scale) -> Table {
+    let mut table = Table::new(&[
+        "workload",
+        "work-aware",
+        "least-queued",
+        "round-robin",
+        "random",
+        "static-hash",
+    ]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+    };
+    for wl in &wls {
+        let mut cells = vec![wl.name().to_string()];
+        let base = run_validated(
+            wl.as_ref(),
+            DeltaConfig::delta(TILES).with_policy(Policy::WorkAware),
+            false,
+        );
+        for pol in Policy::ALL {
+            let r = run_validated(
+                wl.as_ref(),
+                DeltaConfig::delta(TILES).with_policy(pol),
+                false,
+            );
+            cells.push(fmt_x(r.cycles as f64 / base.cycles as f64));
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// `fig_window` — dispatcher lookahead-window ablation (a design
+/// choice of this implementation: how far into the pending queue the
+/// dispatcher searches for ready/placeable tasks, multicast sharers and
+/// pipe chains).
+pub fn fig_window(scale: Scale) -> Table {
+    let windows: &[usize] = &[1, 4, 16, 32, 64];
+    let mut table = Table::new(&["workload", "window", "cycles", "vs 32"]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(DTree::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Box::new(DTree::small(SEED)), Box::new(Bfs::small(SEED))],
+    };
+    for wl in &wls {
+        let base = run_validated(
+            wl.as_ref(),
+            DeltaConfig {
+                dispatch_window: 32,
+                ..DeltaConfig::delta(TILES)
+            },
+            false,
+        );
+        for &w in windows {
+            let r = run_validated(
+                wl.as_ref(),
+                DeltaConfig {
+                    dispatch_window: w,
+                    ..DeltaConfig::delta(TILES)
+                },
+                false,
+            );
+            table.row(vec![
+                wl.name().into(),
+                w.to_string(),
+                r.cycles.to_string(),
+                fmt_x(base.cycles as f64 / r.cycles as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// `fig_prefetch` — stream prefetch-depth ablation (how many queue
+/// positions may issue DRAM streams; deep prefetch steals bandwidth
+/// from the running task).
+pub fn fig_prefetch(scale: Scale) -> Table {
+    let depths: &[usize] = &[1, 2, 4];
+    let mut table = Table::new(&["workload", "depth", "cycles", "vs 2"]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Gemm::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Gemm::small(SEED))],
+    };
+    for wl in &wls {
+        let base = run_validated(
+            wl.as_ref(),
+            DeltaConfig {
+                prefetch_depth: 2,
+                ..DeltaConfig::delta(TILES)
+            },
+            false,
+        );
+        for &d in depths {
+            let r = run_validated(
+                wl.as_ref(),
+                DeltaConfig {
+                    prefetch_depth: d,
+                    ..DeltaConfig::delta(TILES)
+                },
+                false,
+            );
+            table.row(vec![
+                wl.name().into(),
+                d.to_string(),
+                r.cycles.to_string(),
+                fmt_x(base.cycles as f64 / r.cycles as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// `fig_batch` — multicast batching-window ablation (how long a shared
+/// read waits for sharers to join before it starts streaming).
+pub fn fig_batch(scale: Scale) -> Table {
+    let windows: &[u64] = &[0, 8, 24, 64, 256];
+    let mut table = Table::new(&["window cyc", "cycles", "dram reads", "vs 24"]);
+    let wl: Box<dyn Workload> = match scale {
+        Scale::Tiny => Box::new(DTree::tiny(SEED)),
+        Scale::Small => Box::new(DTree::small(SEED)),
+    };
+    let base = run_validated(
+        wl.as_ref(),
+        DeltaConfig {
+            mcast_batch_window: 24,
+            ..DeltaConfig::delta(TILES)
+        },
+        false,
+    );
+    for &w in windows {
+        let r = run_validated(
+            wl.as_ref(),
+            DeltaConfig {
+                mcast_batch_window: w,
+                ..DeltaConfig::delta(TILES)
+            },
+            false,
+        );
+        table.row(vec![
+            w.to_string(),
+            r.cycles.to_string(),
+            format!("{:.0}", r.stats.get_or_zero("dram.read_words")),
+            fmt_x(base.cycles as f64 / r.cycles as f64),
+        ]);
+    }
+    table
+}
+
+/// `fig_spawn` — task-creation overhead sensitivity (spawn + host
+/// notification latency sweep). Dynamically spawning workloads feel
+/// this; statically spawned ones shrug it off.
+pub fn fig_spawn(scale: Scale) -> Table {
+    let latencies: &[u64] = &[0, 12, 48, 192, 768];
+    let mut table = Table::new(&["workload", "latency", "cycles", "slowdown"]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Bfs::tiny(SEED)), Box::new(Spmv::tiny(SEED))],
+        Scale::Small => vec![Box::new(Bfs::small(SEED)), Box::new(Spmv::small(SEED))],
+    };
+    for wl in &wls {
+        let mut base_cycles = None;
+        for &lat in latencies {
+            let r = run_validated(
+                wl.as_ref(),
+                DeltaConfig {
+                    spawn_latency: lat,
+                    host_latency: lat,
+                    ..DeltaConfig::delta(TILES)
+                },
+                false,
+            );
+            let base = *base_cycles.get_or_insert(r.cycles);
+            table.row(vec![
+                wl.name().into(),
+                lat.to_string(),
+                r.cycles.to_string(),
+                fmt_x(r.cycles as f64 / base as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// `fig_queue` — tile task-queue depth sensitivity (Delta).
+pub fn fig_queue(scale: Scale) -> Table {
+    let depths: &[usize] = &[1, 2, 4, 8];
+    let mut table = Table::new(&["workload", "depth", "cycles", "vs depth=4"]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(HashJoin::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(HashJoin::small(SEED))],
+    };
+    for wl in &wls {
+        let base = run_validated(
+            wl.as_ref(),
+            DeltaConfig {
+                tile_queue: 4,
+                ..DeltaConfig::delta(TILES)
+            },
+            false,
+        );
+        for &depth in depths {
+            let r = run_validated(
+                wl.as_ref(),
+                DeltaConfig {
+                    tile_queue: depth,
+                    ..DeltaConfig::delta(TILES)
+                },
+                false,
+            );
+            table.row(vec![
+                wl.name().into(),
+                depth.to_string(),
+                r.cycles.to_string(),
+                fmt_x(base.cycles as f64 / r.cycles as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// `fig_reconfig` — reconfiguration-cost sensitivity (workloads with
+/// multiple task types sharing tiles).
+pub fn fig_reconfig(scale: Scale) -> Table {
+    let costs: &[u64] = &[0, 2, 8, 32, 128];
+    let mut table = Table::new(&["workload", "cfg cyc/PE", "delta cyc", "slowdown"]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![
+            Box::new(HashJoin::tiny(SEED)),
+            Box::new(MergeSort::tiny(SEED)),
+        ],
+        Scale::Small => vec![
+            Box::new(HashJoin::small(SEED)),
+            Box::new(MergeSort::small(SEED)),
+        ],
+    };
+    for wl in &wls {
+        let mut base_cycles = None;
+        for &c in costs {
+            let mut cfg = DeltaConfig::delta(TILES);
+            cfg.fabric.config_per_pe = c;
+            let r = run_validated(wl.as_ref(), cfg, false);
+            let base = *base_cycles.get_or_insert(r.cycles);
+            table.row(vec![
+                wl.name().into(),
+                c.to_string(),
+                r.cycles.to_string(),
+                fmt_x(r.cycles as f64 / base as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// `fig_steal` — extension study: can tile-side work stealing replace
+/// (or add to) work-aware dispatch? Columns are cycles under: static
+/// placement, static + stealing, work-aware, work-aware + stealing.
+pub fn fig_steal(scale: Scale) -> Table {
+    let mut table = Table::new(&[
+        "workload",
+        "static",
+        "static+steal",
+        "work-aware",
+        "work-aware+steal",
+    ]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+    };
+    for wl in &wls {
+        let mut cells = vec![wl.name().to_string()];
+        for (policy, steal) in [
+            (Policy::StaticHash, false),
+            (Policy::StaticHash, true),
+            (Policy::WorkAware, false),
+            (Policy::WorkAware, true),
+        ] {
+            let cfg = DeltaConfig {
+                work_stealing: steal,
+                ..DeltaConfig::delta(TILES).with_policy(policy)
+            };
+            let r = run_validated(wl.as_ref(), cfg, false);
+            cells.push(r.cycles.to_string());
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// `tbl_workloads` — workload characteristics.
+pub fn tbl_workloads(scale: Scale) -> Table {
+    let mut table = Table::new(&["workload", "tasks", "elements", "grain", "stresses"]);
+    for wl in suite(scale, SEED) {
+        let i = wl.info();
+        table.row(vec![
+            i.name.into(),
+            i.tasks.to_string(),
+            i.elements.to_string(),
+            i.grain.to_string(),
+            i.stresses.into(),
+        ]);
+    }
+    table
+}
+
+/// `tbl_config` — architecture parameters of the evaluated design.
+pub fn tbl_config() -> Table {
+    let c = DeltaConfig::delta(TILES);
+    let (w, h) = c.mesh_dims();
+    let mut table = Table::new(&["parameter", "value"]);
+    let mut kv = |k: &str, v: String| table.row(vec![k.into(), v]);
+    kv("tiles", c.tiles.to_string());
+    kv(
+        "fabric per tile",
+        format!(
+            "{}x{} PEs, mul/div every {}",
+            c.fabric.rows, c.fabric.cols, c.fabric.muldiv_every
+        ),
+    );
+    kv(
+        "fabric reconfig",
+        format!("{} cycles", c.fabric.config_cycles()),
+    );
+    kv(
+        "scratchpad",
+        format!("{} KiB @ {} acc/cyc", c.spad_words * 8 / 1024, c.spad_bw),
+    );
+    kv(
+        "mesh",
+        format!("{w}x{h} (tiles + {} mem ctrls)", c.mem_ctrls),
+    );
+    kv(
+        "dram",
+        format!(
+            "{} w/cyc, {} cyc latency, gather x{}",
+            c.dram.words_per_cycle, c.dram.latency, c.dram.gather_cost
+        ),
+    );
+    kv("task queue/tile", c.tile_queue.to_string());
+    kv(
+        "dispatch",
+        format!("{}/cyc, window {}", c.dispatch_per_cycle, c.dispatch_window),
+    );
+    kv(
+        "spawn/host latency",
+        format!("{}/{} cycles", c.spawn_latency, c.host_latency),
+    );
+    kv(
+        "multicast batch window",
+        format!("{} cycles", c.mcast_batch_window),
+    );
+    table
+}
+
+/// `fig_lanes` — vector-lane sweep (an extension of the fabric model:
+/// up to `lanes` firings retire per cycle). Compute-bound workloads
+/// scale until the memory system becomes the wall.
+pub fn fig_lanes(scale: Scale) -> Table {
+    let lanes: &[u32] = &[1, 2, 4, 8];
+    let mut table = Table::new(&["workload", "lanes", "cycles", "speedup vs 1"]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![
+            Box::new(Gemm::tiny(SEED)),
+            Box::new(DTree::tiny(SEED)),
+            Box::new(Spmv::tiny(SEED)),
+        ],
+        Scale::Small => vec![
+            Box::new(Gemm::small(SEED)),
+            Box::new(DTree::small(SEED)),
+            Box::new(Spmv::small(SEED)),
+        ],
+    };
+    for wl in &wls {
+        let mut base_cycles = None;
+        for &l in lanes {
+            let mut cfg = DeltaConfig::delta(TILES);
+            cfg.fabric.lanes = l;
+            let r = run_validated(wl.as_ref(), cfg, false);
+            let base = *base_cycles.get_or_insert(r.cycles);
+            table.row(vec![
+                wl.name().into(),
+                l.to_string(),
+                r.cycles.to_string(),
+                fmt_x(base as f64 / r.cycles as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// `fig_timeline` — tile-occupancy sparklines over the run (the classic
+/// utilization figure): Delta keeps tiles busy; static placement shows
+/// the straggler tail / sweep troughs.
+pub fn fig_timeline(scale: Scale) -> Table {
+    let mut table = Table::new(&["workload", "design", "occupancy over time"]);
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+    };
+    for wl in &wls {
+        for (design, cfg, base) in [
+            ("delta", DeltaConfig::delta(TILES), false),
+            ("static", DeltaConfig::static_parallel(TILES), true),
+        ] {
+            let r = run_validated(wl.as_ref(), cfg, base);
+            table.row(vec![
+                wl.name().into(),
+                design.into(),
+                r.sparkline(TILES, 64),
+            ]);
+        }
+    }
+    table
+}
+
+/// `tbl_energy` — per-workload energy, Delta vs static-parallel
+/// (analytical event-energy model; see `ts_delta::energy`).
+pub fn tbl_energy(scale: Scale) -> Table {
+    let mut table = Table::new(&["workload", "delta uJ", "static uJ", "savings"]);
+    for wl in suite(scale, SEED) {
+        let dcfg = DeltaConfig::delta(TILES);
+        let scfg = DeltaConfig::static_parallel(TILES);
+        let d = run_validated(wl.as_ref(), dcfg.clone(), false);
+        let s = run_validated(wl.as_ref(), scfg.clone(), true);
+        let de = ts_delta::energy::breakdown(&dcfg, &d).total_uj();
+        let se = ts_delta::energy::breakdown(&scfg, &s).total_uj();
+        table.row(vec![
+            wl.name().into(),
+            format!("{de:.1}"),
+            format!("{se:.1}"),
+            format!("{:.0}%", 100.0 * (1.0 - de / se)),
+        ]);
+    }
+    table
+}
+
+/// `tbl_area` — analytical area breakdown and the TaskStream overhead.
+pub fn tbl_area() -> Table {
+    let b = area::breakdown(&DeltaConfig::delta(TILES));
+    let mut table = Table::new(&["component", "mm2", "taskstream"]);
+    for item in &b.items {
+        table.row(vec![
+            item.name.into(),
+            format!("{:.3}", item.mm2),
+            if item.taskstream { "yes" } else { "" }.into(),
+        ]);
+    }
+    table.row(vec![
+        "total".into(),
+        format!("{:.3}", b.total_mm2()),
+        "".into(),
+    ]);
+    table.row(vec![
+        "taskstream overhead".into(),
+        format!("{:.1}%", 100.0 * b.taskstream_overhead()),
+        "".into(),
+    ]);
+    table
+}
+
+/// All experiment ids, in report order.
+pub const ALL: &[&str] = &[
+    "tbl_config",
+    "tbl_workloads",
+    "fig_overall",
+    "fig_ablation",
+    "fig_tiles",
+    "fig_grain",
+    "fig_imbalance",
+    "fig_noc",
+    "fig_policy",
+    "fig_queue",
+    "fig_reconfig",
+    "fig_window",
+    "fig_prefetch",
+    "fig_batch",
+    "fig_spawn",
+    "fig_steal",
+    "fig_lanes",
+    "fig_timeline",
+    "tbl_energy",
+    "tbl_area",
+];
+
+/// Runs one experiment by id and returns its rendered output.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the caller lists [`ALL`]).
+pub fn run(id: &str, scale: Scale) -> String {
+    match id {
+        "tbl_config" => tbl_config().to_string(),
+        "tbl_workloads" => tbl_workloads(scale).to_string(),
+        "fig_overall" => {
+            let o = fig_overall(scale);
+            format!(
+                "{}\n  headline: {} overall, {} on the irregular subset\n",
+                o.table,
+                fmt_x(o.geomean),
+                fmt_x(o.irregular_geomean)
+            )
+        }
+        "fig_ablation" => fig_ablation(scale).to_string(),
+        "fig_tiles" => fig_tiles(scale, &[1, 2, 4, 8, 16]).to_string(),
+        "fig_grain" => fig_grain(scale).to_string(),
+        "fig_imbalance" => fig_imbalance(scale).to_string(),
+        "fig_noc" => fig_noc(scale).to_string(),
+        "fig_policy" => fig_policy(scale).to_string(),
+        "fig_queue" => fig_queue(scale).to_string(),
+        "fig_reconfig" => fig_reconfig(scale).to_string(),
+        "fig_window" => fig_window(scale).to_string(),
+        "fig_prefetch" => fig_prefetch(scale).to_string(),
+        "fig_batch" => fig_batch(scale).to_string(),
+        "fig_spawn" => fig_spawn(scale).to_string(),
+        "fig_steal" => fig_steal(scale).to_string(),
+        "fig_lanes" => fig_lanes(scale).to_string(),
+        "fig_timeline" => fig_timeline(scale).to_string(),
+        "tbl_energy" => tbl_energy(scale).to_string(),
+        "tbl_area" => tbl_area().to_string(),
+        other => panic!("unknown experiment '{other}' (known: {ALL:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        assert!(tbl_config().to_string().contains("tiles"));
+        assert!(tbl_area().to_string().contains("taskstream overhead"));
+        assert!(tbl_workloads(Scale::Tiny).len() == 9);
+    }
+
+    #[test]
+    fn overall_tiny_has_sane_shape() {
+        let o = fig_overall(Scale::Tiny);
+        assert!(o.geomean > 0.8, "geomean {} collapsed", o.geomean);
+        assert!(o.irregular_geomean >= o.geomean * 0.9);
+        assert_eq!(o.table.len(), 11); // 9 workloads + 2 geomean rows
+    }
+
+    #[test]
+    fn run_rejects_unknown_id() {
+        let err = std::panic::catch_unwind(|| run("nope", Scale::Tiny));
+        assert!(err.is_err());
+    }
+}

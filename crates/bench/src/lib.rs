@@ -1,0 +1,68 @@
+//! Benchmark and figure/table regeneration harness.
+//!
+//! One function per table/figure of the evaluation (see DESIGN.md's
+//! experiment index). Each experiment runs real simulations, validates
+//! every result against the workload references, and returns printable
+//! rows; `cargo bench` (the `repro` bench target) regenerates the whole
+//! evaluation, and `cargo run -p ts-bench --release --bin repro --
+//! <experiment>` regenerates one.
+//!
+//! | Id | Reproduces |
+//! |----|------------|
+//! | `tbl_config` | architecture-parameter table |
+//! | `tbl_workloads` | workload characteristics |
+//! | `fig_overall` | headline speedup, Delta vs static-parallel |
+//! | `fig_ablation` | per-mechanism breakdown |
+//! | `fig_tiles` | tile-count scaling |
+//! | `fig_grain` | task-granularity sweep |
+//! | `fig_imbalance` | per-tile load distribution |
+//! | `fig_noc` | DRAM/NoC traffic with and without multicast |
+//! | `fig_policy` | scheduling-policy comparison |
+//! | `fig_queue` | task-queue depth sensitivity |
+//! | `fig_reconfig` | reconfiguration-cost sensitivity |
+//! | `fig_window` | dispatcher lookahead-window ablation |
+//! | `fig_prefetch` | stream prefetch-depth ablation |
+//! | `fig_batch` | multicast batching-window ablation |
+//! | `fig_spawn` | task-creation latency sensitivity |
+//! | `fig_steal` | extension: work stealing vs work-aware dispatch |
+//! | `fig_lanes` | extension: vector-lane scaling |
+//! | `fig_timeline` | tile-occupancy sparklines over the run |
+//! | `tbl_energy` | per-workload energy, Delta vs static |
+//! | `tbl_area` | area breakdown + TaskStream overhead |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod table;
+
+pub use table::Table;
+
+use taskstream_model::Program;
+use ts_delta::{Accelerator, DeltaConfig, RunReport};
+use ts_workloads::Workload;
+
+/// Runs one workload on one configuration and validates the result.
+///
+/// # Panics
+///
+/// Panics if the run errors or the result fails validation — a harness
+/// that silently benchmarks wrong answers would be worthless.
+pub fn run_validated(wl: &dyn Workload, cfg: DeltaConfig, baseline_program: bool) -> RunReport {
+    let mut program: Box<dyn Program> = if baseline_program {
+        wl.make_baseline_program()
+    } else {
+        wl.make_program()
+    };
+    let report = Accelerator::new(cfg)
+        .run(program.as_mut())
+        .unwrap_or_else(|e| panic!("{} failed: {e}", wl.name()));
+    wl.validate(&report)
+        .unwrap_or_else(|e| panic!("{} produced wrong results: {e}", wl.name()));
+    report
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}

@@ -1,0 +1,120 @@
+//! Plain-text table rendering for the repro harness.
+
+use std::fmt;
+
+/// A simple left/right-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use ts_bench::Table;
+///
+/// let mut t = Table::new(&["workload", "speedup"]);
+/// t.row(vec!["spmv".into(), "1.40x".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("spmv"));
+/// assert!(s.contains("speedup"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.headers.iter().enumerate() {
+            width[c] = h.len();
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (c, cell) in cells.iter().enumerate() {
+                if c == 0 {
+                    write!(f, "  {cell:<w$}", w = width[c])?;
+                } else {
+                    write!(f, "  {cell:>w$}", w = width[c])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = width.iter().sum::<usize>() + 2 * cols;
+        writeln!(f, "  {}", "-".repeat(total.saturating_sub(2)))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "123456".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same width
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[0].contains("name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn emptiness() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

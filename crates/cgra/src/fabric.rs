@@ -1,0 +1,174 @@
+//! Fabric description and timing summary.
+
+use crate::mapper::{self, MapError, Mapping};
+use ts_dfg::Dfg;
+
+/// Static description of one tile's CGRA.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Grid rows. Input ports enter at column 0, one per row, so `rows`
+    /// bounds the number of stream inputs a kernel may have.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Every `muldiv_every`-th PE (in row-major order) carries a
+    /// multiplier/divider in addition to its ALU. `1` makes the fabric
+    /// homogeneous.
+    pub muldiv_every: usize,
+    /// Maximum graph nodes time-multiplexed onto one PE. Values above 1
+    /// trade initiation interval for capacity.
+    pub ops_per_pe: usize,
+    /// Reconfiguration cost per PE in cycles (the configuration bitstream
+    /// is streamed in; total cost is `rows * cols * config_per_pe`).
+    pub config_per_pe: u64,
+    /// Vector width of the datapath and ports: up to `lanes` dataflow
+    /// firings retire per cycle (inputs permitting). Native kernels
+    /// advance `lanes` model-cycles per machine cycle.
+    pub lanes: u32,
+}
+
+impl Default for FabricConfig {
+    /// A 6×5 fabric with a multiplier on every second PE — comparable to
+    /// the paper family's per-tile arrays.
+    fn default() -> Self {
+        FabricConfig {
+            rows: 6,
+            cols: 5,
+            muldiv_every: 2,
+            ops_per_pe: 2,
+            config_per_pe: 8,
+            lanes: 1,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Number of PEs in the grid.
+    pub fn pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True if the PE at row-major index `i` has a multiplier/divider.
+    pub fn pe_has_muldiv(&self, i: usize) -> bool {
+        self.muldiv_every <= 1 || i.is_multiple_of(self.muldiv_every)
+    }
+
+    /// Total reconfiguration cost in cycles.
+    pub fn config_cycles(&self) -> u64 {
+        self.pes() as u64 * self.config_per_pe
+    }
+}
+
+/// Timing summary of one mapped kernel — everything the execution model
+/// needs to meter a task's fabric time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTiming {
+    /// Initiation interval: a new firing starts every `ii` cycles.
+    pub ii: u32,
+    /// Pipeline depth: cycles from consuming the first inputs to the
+    /// first output emerging.
+    pub depth: u32,
+    /// Cycles to reconfigure a tile to this kernel.
+    pub config_cycles: u64,
+}
+
+impl KernelTiming {
+    /// Fabric-busy cycles to process `n` firings from a cold pipeline
+    /// (excluding reconfiguration): `depth + (n-1) * ii`, or 0 for no
+    /// firings.
+    pub fn cycles_for(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.depth as u64 + (n - 1) * self.ii as u64
+        }
+    }
+}
+
+/// A CGRA fabric that kernels can be mapped onto.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    config: FabricConfig,
+}
+
+impl Fabric {
+    /// Creates a fabric from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or capacity is zero.
+    pub fn new(config: FabricConfig) -> Self {
+        assert!(
+            config.rows > 0 && config.cols > 0,
+            "fabric must be non-empty"
+        );
+        assert!(config.ops_per_pe > 0, "ops_per_pe must be positive");
+        Fabric { config }
+    }
+
+    /// The fabric's configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Places and routes `dfg` onto this fabric.
+    ///
+    /// Runs several seeded restarts of the greedy placer and returns the
+    /// best mapping found (lowest II, then lowest depth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] when the graph cannot fit (too many inputs/
+    /// outputs for the edge rows, or more compute nodes than PE slots).
+    pub fn map(&self, dfg: &Dfg, seed: u64) -> Result<Mapping, MapError> {
+        mapper::map(&self.config, dfg, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = FabricConfig::default();
+        assert_eq!(c.pes(), 30);
+        assert!(c.config_cycles() > 0);
+    }
+
+    #[test]
+    fn muldiv_distribution() {
+        let c = FabricConfig {
+            muldiv_every: 2,
+            ..FabricConfig::default()
+        };
+        let with: usize = (0..c.pes()).filter(|&i| c.pe_has_muldiv(i)).count();
+        assert_eq!(with, c.pes() / 2);
+        let homo = FabricConfig {
+            muldiv_every: 1,
+            ..FabricConfig::default()
+        };
+        assert!((0..homo.pes()).all(|i| homo.pe_has_muldiv(i)));
+    }
+
+    #[test]
+    fn cycles_for_pipelined_throughput() {
+        let t = KernelTiming {
+            ii: 2,
+            depth: 10,
+            config_cycles: 100,
+        };
+        assert_eq!(t.cycles_for(0), 0);
+        assert_eq!(t.cycles_for(1), 10);
+        assert_eq!(t.cycles_for(11), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_dim_panics() {
+        let _ = Fabric::new(FabricConfig {
+            rows: 0,
+            ..FabricConfig::default()
+        });
+    }
+}

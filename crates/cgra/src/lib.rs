@@ -1,0 +1,54 @@
+//! CGRA fabric model: grid, place-and-route mapper, timing extraction.
+//!
+//! Each Delta tile contains a coarse-grained reconfigurable array — a
+//! grid of processing elements (PEs) joined by a mesh of word-wide
+//! links. A task type's dataflow graph is *mapped* onto the fabric
+//! (placement + routing) once; every instance of that task type then
+//! executes fully pipelined with the mapping's **initiation interval**
+//! (II): one graph firing starts every II cycles.
+//!
+//! What the rest of the system consumes from this crate is a
+//! [`KernelTiming`]:
+//!
+//! * `ii` — firings start every `ii` cycles. II > 1 arises when the
+//!   mapper must time-multiplex a PE or a link between graph nodes or
+//!   edges.
+//! * `depth` — pipeline fill latency from first input to first output
+//!   (FU stages plus routing hops on the critical path).
+//! * `config_cycles` — cost of reconfiguring a tile to this kernel,
+//!   proportional to fabric size. TaskStream's scheduler tries to avoid
+//!   paying this by keeping task types resident.
+//!
+//! The mapper is a greedy topological placer with congestion-aware
+//! Dijkstra routing and random restarts — the same recipe (minus
+//! simulated-annealing polish) used by the paper family's spatial
+//! compilers.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_cgra::{Fabric, FabricConfig};
+//! use ts_dfg::DfgBuilder;
+//!
+//! let mut b = DfgBuilder::new("axpy");
+//! let x = b.input();
+//! let y = b.input();
+//! let a = b.param(0);
+//! let ax = b.mul(a, x);
+//! let r = b.add(ax, y);
+//! b.output(r);
+//! let dfg = b.finish().unwrap();
+//!
+//! let fabric = Fabric::new(FabricConfig::default());
+//! let mapping = fabric.map(&dfg, 42).unwrap();
+//! assert_eq!(mapping.timing().ii, 1); // tiny graph maps without sharing
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fabric;
+mod mapper;
+
+pub use fabric::{Fabric, FabricConfig, KernelTiming};
+pub use mapper::{MapError, Mapping};

@@ -1,0 +1,485 @@
+//! Greedy place-and-route with congestion-aware routing and restarts.
+
+use crate::fabric::{FabricConfig, KernelTiming};
+use std::collections::HashMap;
+use std::fmt;
+use ts_dfg::{Dfg, NodeId, Op};
+use ts_sim::rng::SimRng;
+
+/// Errors from mapping a graph onto a fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// More stream inputs than west-edge port rows.
+    TooManyInputs {
+        /// Inputs the graph declares.
+        got: usize,
+        /// Port rows available.
+        max: usize,
+    },
+    /// More output ports than east-edge port rows.
+    TooManyOutputs {
+        /// Outputs the graph declares.
+        got: usize,
+        /// Port rows available.
+        max: usize,
+    },
+    /// More compute nodes than PE slots (`pes * ops_per_pe`).
+    TooManyOps {
+        /// Compute nodes in the graph.
+        got: usize,
+        /// Total PE slots.
+        capacity: usize,
+    },
+    /// No functional unit of the required class has a free slot.
+    NoCompatiblePe {
+        /// The node that could not be placed.
+        node: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::TooManyInputs { got, max } => {
+                write!(f, "graph has {got} inputs but fabric has {max} input rows")
+            }
+            MapError::TooManyOutputs { got, max } => {
+                write!(
+                    f,
+                    "graph has {got} outputs but fabric has {max} output rows"
+                )
+            }
+            MapError::TooManyOps { got, capacity } => {
+                write!(
+                    f,
+                    "graph has {got} compute nodes but fabric has {capacity} slots"
+                )
+            }
+            MapError::NoCompatiblePe { node } => {
+                write!(f, "no compatible PE slot for node n{node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Row-major cell index.
+type Cell = usize;
+
+/// Directed inter-PE link: `(from_cell, to_cell)`, 4-neighbour only.
+type Link = (Cell, Cell);
+
+/// A completed placement + routing of one graph on one fabric.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    timing: KernelTiming,
+    placement: HashMap<usize, Cell>,
+    max_link_load: u32,
+    max_pe_load: u32,
+    total_hops: u64,
+}
+
+impl Mapping {
+    /// The timing summary the execution model consumes.
+    pub fn timing(&self) -> KernelTiming {
+        self.timing
+    }
+
+    /// Cell each placed graph node landed on (keyed by node index;
+    /// constants/params are absent — they are baked into PE configs).
+    pub fn placement(&self) -> &HashMap<usize, Cell> {
+        &self.placement
+    }
+
+    /// Heaviest time-multiplexing on any link (contributes to II).
+    pub fn max_link_load(&self) -> u32 {
+        self.max_link_load
+    }
+
+    /// Heaviest op count on any PE (contributes to II).
+    pub fn max_pe_load(&self) -> u32 {
+        self.max_pe_load
+    }
+
+    /// Total routed hops (wirelength proxy).
+    pub fn total_hops(&self) -> u64 {
+        self.total_hops
+    }
+}
+
+struct Grid<'a> {
+    cfg: &'a FabricConfig,
+}
+
+impl Grid<'_> {
+    fn cell(&self, row: usize, col: usize) -> Cell {
+        row * self.cfg.cols + col
+    }
+
+    fn row_col(&self, cell: Cell) -> (usize, usize) {
+        (cell / self.cfg.cols, cell % self.cfg.cols)
+    }
+
+    fn neighbours(&self, cell: Cell) -> impl Iterator<Item = Cell> + '_ {
+        let (r, c) = self.row_col(cell);
+        let mut out = Vec::with_capacity(4);
+        if c + 1 < self.cfg.cols {
+            out.push(self.cell(r, c + 1));
+        }
+        if c > 0 {
+            out.push(self.cell(r, c - 1));
+        }
+        if r + 1 < self.cfg.rows {
+            out.push(self.cell(r + 1, c));
+        }
+        if r > 0 {
+            out.push(self.cell(r - 1, c));
+        }
+        out.into_iter()
+    }
+
+    fn manhattan(&self, a: Cell, b: Cell) -> usize {
+        let (ar, ac) = self.row_col(a);
+        let (br, bc) = self.row_col(b);
+        ar.abs_diff(br) + ac.abs_diff(bc)
+    }
+}
+
+/// Maps `dfg` onto the fabric described by `cfg`, best of several
+/// seeded restarts.
+pub fn map(cfg: &FabricConfig, dfg: &Dfg, seed: u64) -> Result<Mapping, MapError> {
+    if dfg.input_count() > cfg.rows {
+        return Err(MapError::TooManyInputs {
+            got: dfg.input_count(),
+            max: cfg.rows,
+        });
+    }
+    if dfg.output_count() > cfg.rows {
+        return Err(MapError::TooManyOutputs {
+            got: dfg.output_count(),
+            max: cfg.rows,
+        });
+    }
+    let compute: Vec<NodeId> = dfg.compute_nodes().collect();
+    let capacity = cfg.pes() * cfg.ops_per_pe;
+    if compute.len() > capacity {
+        return Err(MapError::TooManyOps {
+            got: compute.len(),
+            capacity,
+        });
+    }
+
+    const RESTARTS: u64 = 4;
+    let mut best: Option<Mapping> = None;
+    let mut last_err = None;
+    for r in 0..RESTARTS {
+        match attempt(cfg, dfg, &compute, seed.wrapping_add(r * 0x9E37)) {
+            Ok(m) => {
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (m.timing.ii, m.timing.depth, m.total_hops)
+                            < (b.timing.ii, b.timing.depth, b.total_hops)
+                    }
+                };
+                if better {
+                    best = Some(m);
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| last_err.expect("either a mapping or an error exists"))
+}
+
+fn attempt(
+    cfg: &FabricConfig,
+    dfg: &Dfg,
+    compute: &[NodeId],
+    seed: u64,
+) -> Result<Mapping, MapError> {
+    let grid = Grid { cfg };
+    let mut rng = SimRng::seed(seed);
+    let n_cells = cfg.pes();
+
+    // --- placement -------------------------------------------------
+    // input port taps live at column 0, one per row, in port order
+    let mut place: HashMap<usize, Cell> = HashMap::new();
+    for id in dfg.node_ids() {
+        if let Op::Input(port) = dfg.op(id) {
+            place.insert(id.index(), grid.cell(port, 0));
+        }
+    }
+
+    let mut pe_load = vec![0u32; n_cells];
+    let is_compute: Vec<bool> = {
+        let mut v = vec![false; dfg.node_count()];
+        for c in compute {
+            v[c.index()] = true;
+        }
+        v
+    };
+
+    for &node in compute {
+        let needs_muldiv = dfg.op(node).fu_class() == ts_dfg::Op::Mul.fu_class()
+            && matches!(dfg.op(node), Op::Mul | Op::Div | Op::Rem);
+        let mut cand: Vec<Cell> = (0..n_cells)
+            .filter(|&cell| {
+                pe_load[cell] < cfg.ops_per_pe as u32 && (!needs_muldiv || cfg.pe_has_muldiv(cell))
+            })
+            .collect();
+        if cand.is_empty() {
+            return Err(MapError::NoCompatiblePe { node: node.index() });
+        }
+        rng.shuffle(&mut cand);
+        let best_cell = cand
+            .into_iter()
+            .min_by_key(|&cell| {
+                let wire: usize = dfg
+                    .operands(node)
+                    .iter()
+                    .filter_map(|o| place.get(&o.index()))
+                    .map(|&p| grid.manhattan(p, cell))
+                    .sum();
+                wire + 2 * pe_load[cell] as usize
+            })
+            .expect("candidates non-empty");
+        pe_load[best_cell] += 1;
+        place.insert(node.index(), best_cell);
+    }
+
+    // --- routing ----------------------------------------------------
+    let mut link_load: HashMap<Link, u32> = HashMap::new();
+    let mut edge_hops: HashMap<(usize, usize, usize), u32> = HashMap::new();
+
+    let route = |from: Cell, to: Cell, link_load: &mut HashMap<Link, u32>| -> u32 {
+        if from == to {
+            return 0;
+        }
+        // Dijkstra with congestion-aware cost
+        let mut dist = vec![u64::MAX; n_cells];
+        let mut prev: Vec<Option<Cell>> = vec![None; n_cells];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[from] = 0;
+        heap.push(std::cmp::Reverse((0u64, from)));
+        while let Some(std::cmp::Reverse((d, cell))) = heap.pop() {
+            if d > dist[cell] {
+                continue;
+            }
+            if cell == to {
+                break;
+            }
+            for nb in grid.neighbours(cell) {
+                let cong = *link_load.get(&(cell, nb)).unwrap_or(&0) as u64;
+                let nd = d + 1 + 4 * cong;
+                if nd < dist[nb] {
+                    dist[nb] = nd;
+                    prev[nb] = Some(cell);
+                    heap.push(std::cmp::Reverse((nd, nb)));
+                }
+            }
+        }
+        // walk back, bumping link usage
+        let mut hops = 0;
+        let mut cur = to;
+        while let Some(p) = prev[cur] {
+            *link_load.entry((p, cur)).or_insert(0) += 1;
+            hops += 1;
+            cur = p;
+            if cur == from {
+                break;
+            }
+        }
+        hops
+    };
+
+    let mut total_hops = 0u64;
+    for edge in dfg.edges() {
+        let from_op = dfg.op(edge.from);
+        if from_op.is_free() {
+            continue; // constants/params are baked into the consumer PE
+        }
+        let (Some(&fc), Some(&tc)) = (place.get(&edge.from.index()), place.get(&edge.to.index()))
+        else {
+            continue; // edge into an output spec handled below
+        };
+        let hops = route(fc, tc, &mut link_load);
+        total_hops += hops as u64;
+        edge_hops.insert((edge.from.index(), edge.to.index(), edge.operand), hops);
+    }
+
+    // output ports exit at column cols-1, one row per port
+    let mut out_hops: Vec<u32> = Vec::with_capacity(dfg.output_count());
+    for (port, spec) in dfg.outputs().iter().enumerate() {
+        let egress = grid.cell(port, cfg.cols - 1);
+        let src = place.get(&spec.node.index()).copied().unwrap_or(egress); // const outputs need no route
+        let hops = route(src, egress, &mut link_load);
+        total_hops += hops as u64;
+        out_hops.push(hops);
+    }
+
+    // --- timing -----------------------------------------------------
+    let max_pe_load = pe_load.iter().copied().max().unwrap_or(0).max(1);
+    let max_link_load = link_load.values().copied().max().unwrap_or(0).max(1);
+    let ii = max_pe_load.max(max_link_load);
+
+    // critical path: FU latency 1 per compute node + routed hops per edge
+    let mut level = vec![0u64; dfg.node_count()];
+    for id in dfg.node_ids() {
+        let mut base = 0u64;
+        for (slot, o) in dfg.operands(id).iter().enumerate() {
+            let hop = *edge_hops.get(&(o.index(), id.index(), slot)).unwrap_or(&0) as u64;
+            base = base.max(level[o.index()] + hop);
+        }
+        let fu = u64::from(is_compute[id.index()]);
+        level[id.index()] = base + fu;
+    }
+    let mut depth = 1u64; // minimum: the output register stage
+    for (port, spec) in dfg.outputs().iter().enumerate() {
+        depth = depth.max(level[spec.node.index()] + out_hops[port] as u64 + 1);
+    }
+
+    Ok(Mapping {
+        timing: KernelTiming {
+            ii,
+            depth: depth.min(u32::MAX as u64) as u32,
+            config_cycles: cfg.config_cycles(),
+        },
+        placement: place,
+        max_link_load,
+        max_pe_load,
+        total_hops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use ts_dfg::DfgBuilder;
+
+    fn small_fabric() -> Fabric {
+        Fabric::new(FabricConfig::default())
+    }
+
+    fn chain_graph(len: usize) -> Dfg {
+        let mut b = DfgBuilder::new("chain");
+        let x = b.input();
+        let mut cur = x;
+        for i in 0..len {
+            let c = b.constant(i as i64);
+            cur = b.add(cur, c);
+        }
+        b.output(cur);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn small_graph_maps_at_ii_1() {
+        let m = small_fabric().map(&chain_graph(4), 1).unwrap();
+        assert_eq!(m.timing().ii, 1);
+        assert!(m.timing().depth >= 5); // 4 FUs + output stage
+    }
+
+    #[test]
+    fn every_compute_node_is_placed() {
+        let g = chain_graph(8);
+        let m = small_fabric().map(&g, 2).unwrap();
+        for node in g.compute_nodes() {
+            assert!(
+                m.placement().contains_key(&node.index()),
+                "node {node} unplaced"
+            );
+        }
+    }
+
+    #[test]
+    fn pe_sharing_raises_ii() {
+        // more compute nodes than PEs on a tiny fabric forces sharing
+        let f = Fabric::new(FabricConfig {
+            rows: 2,
+            cols: 2,
+            muldiv_every: 1,
+            ops_per_pe: 4,
+            config_per_pe: 1,
+            lanes: 1,
+        });
+        let m = f.map(&chain_graph(9), 3).unwrap();
+        assert!(m.timing().ii >= 3, "ii = {}", m.timing().ii);
+    }
+
+    #[test]
+    fn capacity_errors() {
+        let f = Fabric::new(FabricConfig {
+            rows: 2,
+            cols: 2,
+            muldiv_every: 1,
+            ops_per_pe: 1,
+            config_per_pe: 1,
+            lanes: 1,
+        });
+        assert!(matches!(
+            f.map(&chain_graph(10), 0),
+            Err(MapError::TooManyOps { .. })
+        ));
+
+        let mut b = DfgBuilder::new("wide");
+        let a = b.input();
+        let c = b.input();
+        let d = b.input();
+        let s1 = b.add(a, c);
+        let s2 = b.add(s1, d);
+        b.output(s2);
+        let g = b.finish().unwrap();
+        assert!(matches!(
+            f.map(&g, 0),
+            Err(MapError::TooManyInputs { got: 3, max: 2 })
+        ));
+    }
+
+    #[test]
+    fn muldiv_nodes_land_on_muldiv_pes() {
+        let cfg = FabricConfig {
+            rows: 4,
+            cols: 4,
+            muldiv_every: 4,
+            ops_per_pe: 2,
+            config_per_pe: 1,
+            lanes: 1,
+        };
+        let f = Fabric::new(cfg.clone());
+        let mut b = DfgBuilder::new("muls");
+        let x = b.input();
+        let y = b.input();
+        let m1 = b.mul(x, y);
+        let m2 = b.mul(m1, y);
+        b.output(m2);
+        let g = b.finish().unwrap();
+        let m = f.map(&g, 7).unwrap();
+        for node in g.node_ids() {
+            if matches!(g.op(node), ts_dfg::Op::Mul) {
+                let cell = m.placement()[&node.index()];
+                assert!(cfg.pe_has_muldiv(cell), "mul on non-muldiv PE {cell}");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic_for_a_seed() {
+        let g = chain_graph(6);
+        let f = small_fabric();
+        let a = f.map(&g, 11).unwrap();
+        let b = f.map(&g, 11).unwrap();
+        assert_eq!(a.timing(), b.timing());
+        assert_eq!(a.total_hops(), b.total_hops());
+    }
+
+    #[test]
+    fn deeper_graphs_have_deeper_pipelines() {
+        let f = small_fabric();
+        let d1 = f.map(&chain_graph(2), 5).unwrap().timing().depth;
+        let d2 = f.map(&chain_graph(10), 5).unwrap().timing().depth;
+        assert!(d2 > d1, "{d2} should exceed {d1}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the place-and-route mapper.
+
+use proptest::prelude::*;
+use ts_cgra::{Fabric, FabricConfig};
+use ts_dfg::{Dfg, DfgBuilder, NodeId, Op};
+use ts_sim::rng::SimRng;
+
+/// Builds a random layered DAG with `ops` compute nodes over two
+/// inputs, always ending in one output.
+fn random_dfg(ops: usize, seed: u64) -> Dfg {
+    let mut rng = SimRng::seed(seed);
+    let mut b = DfgBuilder::new("prop");
+    let mut pool: Vec<NodeId> = vec![b.input(), b.input()];
+    for i in 0..ops {
+        let a = pool[rng.index(pool.len())];
+        let c = pool[rng.index(pool.len())];
+        let op = match i % 5 {
+            0 => Op::Mul,
+            1 => Op::Add,
+            2 => Op::Min,
+            3 => Op::Xor,
+            _ => Op::Sub,
+        };
+        let n = b.node(op, &[a, c]);
+        pool.push(n);
+    }
+    let out = *pool.last().expect("nonempty");
+    b.output(out);
+    b.finish().expect("random DAG is structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every mappable graph gets a complete placement with II within
+    /// the resource bounds.
+    #[test]
+    fn mapping_invariants(ops in 1usize..28, seed in 0u64..1000) {
+        let cfg = FabricConfig::default();
+        let fabric = Fabric::new(cfg.clone());
+        let dfg = random_dfg(ops, seed);
+        let mapping = fabric.map(&dfg, seed).expect("graph fits the fabric");
+
+        // every compute node is placed, on a capable PE
+        for node in dfg.compute_nodes() {
+            let cell = *mapping
+                .placement()
+                .get(&node.index())
+                .unwrap_or_else(|| panic!("{node} unplaced"));
+            prop_assert!(cell < cfg.pes());
+            if matches!(dfg.op(node), Op::Mul | Op::Div | Op::Rem) {
+                prop_assert!(cfg.pe_has_muldiv(cell), "mul on plain ALU at {cell}");
+            }
+        }
+
+        let t = mapping.timing();
+        // II bounds: at least the PE-sharing lower bound, at most the
+        // configured multiplex capacity (links can add on top, but the
+        // mapper's restarts keep II equal to the worst resource load)
+        let lower = dfg.compute_nodes().count().div_ceil(cfg.pes()) as u32;
+        prop_assert!(t.ii >= lower.max(1));
+        prop_assert_eq!(
+            t.ii,
+            mapping.max_pe_load().max(mapping.max_link_load())
+        );
+        // depth at least the combinational depth
+        prop_assert!(t.depth as usize >= dfg.depth());
+        prop_assert_eq!(t.config_cycles, cfg.config_cycles());
+    }
+
+    /// Mapping is deterministic in (graph, seed).
+    #[test]
+    fn mapping_is_deterministic(ops in 1usize..20, seed in 0u64..200) {
+        let fabric = Fabric::new(FabricConfig::default());
+        let dfg = random_dfg(ops, seed);
+        let a = fabric.map(&dfg, seed).unwrap();
+        let b = fabric.map(&dfg, seed).unwrap();
+        prop_assert_eq!(a.timing(), b.timing());
+        prop_assert_eq!(a.placement(), b.placement());
+    }
+}

@@ -1,0 +1,54 @@
+//! # The TaskStream execution model
+//!
+//! This crate is the reproduction of the paper's primary contribution:
+//! an execution model for reconfigurable accelerators in which **tasks
+//! and their potential for communication structure are first-class
+//! primitives**. The insight is that task-parallel programs *have*
+//! structure — producer/consumer pipelines, shared read sets, per-task
+//! work estimates — but conventional task runtimes erase it when they
+//! chop the program into individually scheduled units. If the hardware
+//! is told about that structure (cheaply, as annotations on task
+//! dependences), it can recover what the static-parallel world takes for
+//! granted:
+//!
+//! * **Work-aware load balancing** — every [`TaskInstance`] carries a
+//!   [`work_hint`](TaskInstance::work_hint) derived from its stream
+//!   lengths; the [`TilePicker`] with [`Policy::WorkAware`] places each
+//!   task on the tile with the least outstanding estimated work, instead
+//!   of hashing it to a fixed owner.
+//! * **Pipelined inter-task dependences** — a producer's output port and
+//!   a consumer's input port can be bound to the same [`PipeId`]; the
+//!   accelerator streams words tile-to-tile as they are produced rather
+//!   than spilling to memory and waiting for a barrier.
+//! * **Read-sharing recovery via multicast** — inputs annotated with a
+//!   [`RegionId`] declare "other tasks read exactly this too"; the
+//!   dispatcher groups such tasks and serves them with one DRAM read
+//!   multicast over the NoC.
+//!
+//! The model is hierarchical dataflow: each task's body is a fine-grain
+//! dataflow graph (`ts-dfg`) executed pipelined on a CGRA, while tasks
+//! themselves form a coarse-grain dataflow graph whose edges are the
+//! annotated dependences above.
+//!
+//! The hardware that *executes* this model (tiles, stream engines,
+//! dispatcher) lives in `ts-delta`; this crate defines the model itself:
+//! task types and instances ([`task`]), kernels ([`kernel`]), scheduling
+//! policies ([`sched`]) and the program interface ([`program`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod program;
+pub mod sched;
+pub mod task;
+
+pub use kernel::{MergeKernel, NativeKernel, NativeOutcome, TaskKernel};
+pub use program::{CompletedTask, MemoryImage, PipeDecl, Program, Spawner};
+pub use sched::{Policy, TilePicker};
+pub use task::{
+    InputBinding, OutputBinding, PipeId, RegionId, TaskId, TaskInstance, TaskType, TaskTypeId,
+};
+
+/// Scalar value domain (matches `ts_dfg::Value`).
+pub type Value = i64;

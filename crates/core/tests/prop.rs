@@ -1,0 +1,73 @@
+//! Property tests for the scheduling policies: the work-aware picker's
+//! greedy bound, and bookkeeping consistency across all policies.
+
+use proptest::prelude::*;
+use taskstream_model::{Policy, TaskInstance, TaskTypeId, TilePicker};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Greedy work-aware placement satisfies the classic LPT-style
+    /// bound: max load <= mean load + max task, i.e. it never stacks
+    /// work it could have spread.
+    #[test]
+    fn work_aware_respects_greedy_bound(
+        hints in prop::collection::vec(1u64..1000, 1..60),
+        tiles in 1usize..9,
+    ) {
+        let mut p = TilePicker::new(Policy::WorkAware, tiles, 0);
+        let mask = vec![true; tiles];
+        let mut load = vec![0u64; tiles];
+        for &h in &hints {
+            let t = p
+                .pick(&TaskInstance::new(TaskTypeId(0)).work_hint(h), &mask)
+                .expect("space everywhere");
+            p.on_dispatch(t, h);
+            load[t] += h;
+        }
+        let total: u64 = hints.iter().sum();
+        let max_task = *hints.iter().max().unwrap();
+        let max_load = *load.iter().max().unwrap();
+        let mean = total.div_ceil(tiles as u64);
+        prop_assert!(
+            max_load <= mean + max_task,
+            "max load {max_load} exceeds mean {mean} + max task {max_task}"
+        );
+        prop_assert_eq!(p.outstanding().iter().sum::<u64>(), total);
+    }
+
+    /// Every policy picks only masked-in tiles and keeps outstanding
+    /// totals consistent through dispatch/complete pairs.
+    #[test]
+    fn all_policies_respect_masks(
+        ops in prop::collection::vec((0u64..100, 0usize..8), 1..80),
+        policy_idx in 0usize..5,
+        tiles in 1usize..7,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut p = TilePicker::new(policy, tiles, 3);
+        let mut in_flight: Vec<(usize, u64)> = Vec::new();
+        for (hint, mask_seed) in ops {
+            // mask out a rotating subset, never all
+            let mut mask = vec![true; tiles];
+            if tiles > 1 {
+                mask[mask_seed % tiles] = false;
+            }
+            let task = TaskInstance::new(TaskTypeId(0))
+                .work_hint(hint)
+                .affinity(hint);
+            if let Some(t) = p.pick(&task, &mask) {
+                prop_assert!(mask[t], "{policy:?} picked a masked tile");
+                p.on_dispatch(t, hint);
+                in_flight.push((t, hint));
+            }
+            // occasionally retire the oldest
+            if in_flight.len() > 4 {
+                let (t, h) = in_flight.remove(0);
+                p.on_complete(t, h);
+            }
+        }
+        let expect: u64 = in_flight.iter().map(|(_, h)| h).sum();
+        prop_assert_eq!(p.outstanding().iter().sum::<u64>(), expect);
+    }
+}

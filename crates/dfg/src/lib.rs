@@ -1,0 +1,68 @@
+//! Dataflow-graph IR for the TaskStream/Delta reproduction.
+//!
+//! A [`Dfg`] is the fine-grain half of TaskStream's hierarchical dataflow
+//! model: the computation a single task instance executes, expressed as a
+//! graph of simple operations that the CGRA fabric runs fully pipelined.
+//! Coarse-grain structure (tasks, their dependences and communication) is
+//! the `taskstream-model` crate's job; this crate only cares about what
+//! happens *inside* one task.
+//!
+//! The crate provides:
+//!
+//! * [`Op`] — the operation set (arithmetic, logic, comparison, select,
+//!   and the stateful segmented accumulator [`Op::AccGate`] that makes
+//!   variable-length reductions such as sparse dot products expressible).
+//! * [`DfgBuilder`] — an ergonomic, validated way to construct graphs.
+//! * [`Dfg`] — the immutable, validated graph with structural queries
+//!   (depth, op counts, edges) used by the CGRA mapper.
+//! * [`interp::execute`] — a functional interpreter with exact firing
+//!   semantics, used both for correctness (the simulator computes real
+//!   results) and as the test oracle.
+//!
+//! # Firing semantics
+//!
+//! Per *firing*, every [`Op::Input`] node consumes exactly one element
+//! from its stream; the number of firings of an execution is the length
+//! of the shortest input stream. Outputs emit according to their
+//! [`OutputMode`]: every firing, only when a predicate is non-zero, or
+//! only on the final firing.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_dfg::{DfgBuilder, interp};
+//!
+//! // Sparse dot product: multiply-accumulate with segment flags.
+//! let mut b = DfgBuilder::new("dot");
+//! let v = b.input();
+//! let x = b.input();
+//! let last = b.input(); // 1 on the final element of each segment
+//! let prod = b.mul(v, x);
+//! let sum = b.acc_gate(prod, last);
+//! b.output_when(sum, last);
+//! let dfg = b.finish().unwrap();
+//!
+//! let out = interp::execute(
+//!     &dfg,
+//!     &[],
+//!     &[vec![1, 2, 3], vec![10, 10, 10], vec![0, 0, 1]],
+//! ).unwrap();
+//! assert_eq!(out.outputs[0], vec![60]); // (1+2+3)*10
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+pub mod interp;
+mod op;
+
+pub use graph::{Dfg, DfgBuilder, DfgError, Edge, NodeId, OutputMode, OutputSpec};
+pub use op::Op;
+
+/// The scalar value domain of the fabric: 64-bit signed integers.
+///
+/// The paper family's fabrics are fixed-point/integer engines; `i64`
+/// covers every workload in the suite without a floating-point unit
+/// model.
+pub type Value = i64;

@@ -1,0 +1,255 @@
+//! The fabric operation set.
+
+use crate::Value;
+use std::fmt;
+
+/// One operation a functional unit can perform.
+///
+/// The set mirrors the integer ALU of the paper family's processing
+/// elements. Every op is total: division and remainder by zero yield
+/// zero, and shift amounts are masked to six bits, so the interpreter and
+/// the hardware model can never trap.
+///
+/// Stateful ops ([`Op::Acc`], [`Op::AccGate`], [`Op::FiringIdx`]) hold
+/// per-task-execution state that resets between task instances; they are
+/// what let a fully pipelined fabric express reductions and segmented
+/// reductions over variable-length streams — the shape of computation
+/// irregular task-parallel workloads are made of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Stream input; the payload is the input-port index.
+    Input(usize),
+    /// Compile-time constant.
+    Const(Value),
+    /// Task scalar argument; the payload is the parameter index.
+    Param(usize),
+    /// Two's-complement wrapping addition.
+    Add,
+    /// Two's-complement wrapping subtraction.
+    Sub,
+    /// Two's-complement wrapping multiplication.
+    Mul,
+    /// Division; `x / 0 == 0`.
+    Div,
+    /// Remainder; `x % 0 == 0`.
+    Rem,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+    /// Absolute value (of `i64::MIN` is `i64::MAX`, saturating).
+    Abs,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOT.
+    Not,
+    /// Left shift; amount masked to `0..64`.
+    Shl,
+    /// Arithmetic right shift; amount masked to `0..64`.
+    Shr,
+    /// `1` if `a < b`, else `0`.
+    Lt,
+    /// `1` if `a <= b`, else `0`.
+    Le,
+    /// `1` if `a == b`, else `0`.
+    Eq,
+    /// `1` if `a != b`, else `0`.
+    Ne,
+    /// `sel != 0 ? a : b`; inputs are `(sel, a, b)`.
+    Select,
+    /// Running accumulator: adds its input every firing and outputs the
+    /// running sum. State resets per task execution.
+    Acc,
+    /// Segmented accumulator: inputs `(value, last)`. Adds `value` every
+    /// firing and outputs the running segment sum; when `last != 0` the
+    /// state resets *after* the output, starting a new segment.
+    AccGate,
+    /// Outputs the zero-based firing index.
+    FiringIdx,
+}
+
+impl Op {
+    /// Number of input operands the op consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Input(_) | Op::Const(_) | Op::Param(_) | Op::FiringIdx => 0,
+            Op::Abs | Op::Not | Op::Acc => 1,
+            Op::Select => 3,
+            Op::AccGate => 2,
+            _ => 2,
+        }
+    }
+
+    /// True for ops holding per-execution state.
+    pub fn is_stateful(self) -> bool {
+        matches!(self, Op::Acc | Op::AccGate | Op::FiringIdx)
+    }
+
+    /// True for stream-input nodes.
+    pub fn is_input(self) -> bool {
+        matches!(self, Op::Input(_))
+    }
+
+    /// True for nodes that need no functional unit (constants and
+    /// parameters are baked into the configuration).
+    pub fn is_free(self) -> bool {
+        matches!(self, Op::Const(_) | Op::Param(_))
+    }
+
+    /// The functional-unit class this op requires, used by the mapper and
+    /// the area model. Multipliers/dividers are bigger than ALUs.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            Op::Mul | Op::Div | Op::Rem => FuClass::MulDiv,
+            Op::Input(_) | Op::Const(_) | Op::Param(_) => FuClass::None,
+            _ => FuClass::Alu,
+        }
+    }
+
+    /// Evaluates the op on operands `a` (and `b`, `c` as arity demands).
+    ///
+    /// Stateful ops are *not* evaluated here; the interpreter handles
+    /// them (they need state threading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a stateful or source op, which have no pure
+    /// evaluation.
+    pub fn eval(self, operands: &[Value]) -> Value {
+        let a = operands.first().copied().unwrap_or(0);
+        let b = operands.get(1).copied().unwrap_or(0);
+        let c = operands.get(2).copied().unwrap_or(0);
+        match self {
+            Op::Add => a.wrapping_add(b),
+            Op::Sub => a.wrapping_sub(b),
+            Op::Mul => a.wrapping_mul(b),
+            Op::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            Op::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            Op::Min => a.min(b),
+            Op::Max => a.max(b),
+            Op::Abs => a.checked_abs().unwrap_or(Value::MAX),
+            Op::And => a & b,
+            Op::Or => a | b,
+            Op::Xor => a ^ b,
+            Op::Not => !a,
+            Op::Shl => a.wrapping_shl((b & 63) as u32),
+            Op::Shr => a.wrapping_shr((b & 63) as u32),
+            Op::Lt => (a < b) as Value,
+            Op::Le => (a <= b) as Value,
+            Op::Eq => (a == b) as Value,
+            Op::Ne => (a != b) as Value,
+            Op::Select => {
+                if a != 0 {
+                    b
+                } else {
+                    c
+                }
+            }
+            Op::Input(_) | Op::Const(_) | Op::Param(_) | Op::Acc | Op::AccGate | Op::FiringIdx => {
+                panic!("op {self} has no pure evaluation")
+            }
+        }
+    }
+}
+
+/// Functional-unit class required by an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// No FU required (source nodes).
+    None,
+    /// Simple ALU.
+    Alu,
+    /// Multiplier/divider.
+    MulDiv,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Input(i) => write!(f, "in{i}"),
+            Op::Const(c) => write!(f, "const({c})"),
+            Op::Param(p) => write!(f, "param{p}"),
+            other => write!(f, "{}", format!("{other:?}").to_lowercase()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_division() {
+        assert_eq!(Op::Div.eval(&[5, 0]), 0);
+        assert_eq!(Op::Rem.eval(&[5, 0]), 0);
+        assert_eq!(Op::Div.eval(&[i64::MIN, -1]), i64::MIN); // wrapping
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(Op::Shl.eval(&[1, 64]), 1); // 64 & 63 == 0
+        assert_eq!(Op::Shl.eval(&[1, 3]), 8);
+        assert_eq!(Op::Shr.eval(&[-8, 1]), -4); // arithmetic shift
+    }
+
+    #[test]
+    fn comparisons_yield_bits() {
+        assert_eq!(Op::Lt.eval(&[1, 2]), 1);
+        assert_eq!(Op::Lt.eval(&[2, 1]), 0);
+        assert_eq!(Op::Eq.eval(&[3, 3]), 1);
+        assert_eq!(Op::Ne.eval(&[3, 3]), 0);
+    }
+
+    #[test]
+    fn select_picks_branch() {
+        assert_eq!(Op::Select.eval(&[1, 10, 20]), 10);
+        assert_eq!(Op::Select.eval(&[0, 10, 20]), 20);
+    }
+
+    #[test]
+    fn abs_saturates_at_min() {
+        assert_eq!(Op::Abs.eval(&[i64::MIN]), i64::MAX);
+        assert_eq!(Op::Abs.eval(&[-5]), 5);
+    }
+
+    #[test]
+    fn arity_table() {
+        assert_eq!(Op::Input(0).arity(), 0);
+        assert_eq!(Op::Abs.arity(), 1);
+        assert_eq!(Op::Add.arity(), 2);
+        assert_eq!(Op::Select.arity(), 3);
+        assert_eq!(Op::AccGate.arity(), 2);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Op::Acc.is_stateful());
+        assert!(Op::Input(1).is_input());
+        assert!(Op::Const(3).is_free());
+        assert_eq!(Op::Mul.fu_class(), FuClass::MulDiv);
+        assert_eq!(Op::Add.fu_class(), FuClass::Alu);
+        assert_eq!(Op::Param(0).fu_class(), FuClass::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pure evaluation")]
+    fn stateful_eval_panics() {
+        Op::Acc.eval(&[1]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the DFG interpreter.
+//!
+//! Strategy: generate random expression trees over two input streams,
+//! evaluate them (a) through the DFG interpreter and (b) through a direct
+//! recursive evaluator, and require identical results. Also checks firing
+//! and structural invariants.
+
+use proptest::prelude::*;
+use ts_dfg::{interp, Dfg, DfgBuilder, NodeId, Op, Value};
+
+/// A small expression AST we can evaluate independently of the DFG.
+#[derive(Debug, Clone)]
+enum Expr {
+    In(usize),
+    Const(i64),
+    Bin(Op, Box<Expr>, Box<Expr>),
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0usize..2).prop_map(Expr::In),
+        (-100i64..100).prop_map(Expr::Const),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Div),
+        Just(Op::Rem),
+        Just(Op::Min),
+        Just(Op::Max),
+        Just(Op::And),
+        Just(Op::Or),
+        Just(Op::Xor),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::Eq),
+        Just(Op::Ne),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::Select(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, ins: &[Value; 2]) -> Value {
+    match e {
+        Expr::In(i) => ins[*i],
+        Expr::Const(c) => *c,
+        Expr::Bin(op, a, b) => op.eval(&[eval_expr(a, ins), eval_expr(b, ins)]),
+        Expr::Select(c, a, b) => {
+            if eval_expr(c, ins) != 0 {
+                eval_expr(a, ins)
+            } else {
+                eval_expr(b, ins)
+            }
+        }
+    }
+}
+
+fn build_expr(b: &mut DfgBuilder, e: &Expr, in_nodes: &[NodeId; 2]) -> NodeId {
+    match e {
+        Expr::In(i) => in_nodes[*i],
+        Expr::Const(c) => b.constant(*c),
+        Expr::Bin(op, l, r) => {
+            let ln = build_expr(b, l, in_nodes);
+            let rn = build_expr(b, r, in_nodes);
+            b.node(*op, &[ln, rn])
+        }
+        Expr::Select(c, t, f) => {
+            let cn = build_expr(b, c, in_nodes);
+            let tn = build_expr(b, t, in_nodes);
+            let fn_ = build_expr(b, f, in_nodes);
+            b.select(cn, tn, fn_)
+        }
+    }
+}
+
+fn to_dfg(e: &Expr) -> Dfg {
+    let mut b = DfgBuilder::new("prop");
+    let a = b.input();
+    let c = b.input();
+    let root = build_expr(&mut b, e, &[a, c]);
+    b.output(root);
+    b.finish().expect("generated graph must be valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The interpreter agrees with direct recursive evaluation on every
+    /// firing.
+    #[test]
+    fn interp_matches_reference(e in expr(), s0 in prop::collection::vec(-1000i64..1000, 0..20), s1 in prop::collection::vec(-1000i64..1000, 0..20)) {
+        let dfg = to_dfg(&e);
+        let r = interp::execute(&dfg, &[], &[s0.clone(), s1.clone()]).unwrap();
+        let firings = s0.len().min(s1.len());
+        prop_assert_eq!(r.firings as usize, firings);
+        prop_assert_eq!(r.outputs[0].len(), firings);
+        for f in 0..firings {
+            let expect = eval_expr(&e, &[s0[f], s1[f]]);
+            prop_assert_eq!(r.outputs[0][f], expect);
+        }
+    }
+
+    /// Structural invariants: depth is bounded by compute-node count and
+    /// every edge points backward (topological construction order).
+    #[test]
+    fn structural_invariants(e in expr()) {
+        let dfg = to_dfg(&e);
+        let compute = dfg.compute_nodes().count();
+        prop_assert!(dfg.depth() <= compute + 1);
+        for edge in dfg.edges() {
+            prop_assert!(edge.from.index() < edge.to.index());
+        }
+    }
+
+    /// Acc over a stream equals the running prefix sums (wrapping).
+    #[test]
+    fn acc_is_prefix_sum(xs in prop::collection::vec(-1_000_000i64..1_000_000, 1..50)) {
+        let mut b = DfgBuilder::new("acc");
+        let x = b.input();
+        let s = b.acc(x);
+        b.output(s);
+        let g = b.finish().unwrap();
+        let r = interp::execute(&g, &[], std::slice::from_ref(&xs)).unwrap();
+        let mut run = 0i64;
+        for (i, x) in xs.iter().enumerate() {
+            run = run.wrapping_add(*x);
+            prop_assert_eq!(r.outputs[0][i], run);
+        }
+    }
+
+    /// AccGate segment sums match a straightforward segmented reference.
+    #[test]
+    fn acc_gate_matches_segmented_reference(
+        segs in prop::collection::vec(prop::collection::vec(-1000i64..1000, 1..8), 1..8)
+    ) {
+        let mut values = Vec::new();
+        let mut flags = Vec::new();
+        for seg in &segs {
+            for (i, v) in seg.iter().enumerate() {
+                values.push(*v);
+                flags.push(i64::from(i + 1 == seg.len()));
+            }
+        }
+        let mut b = DfgBuilder::new("segsum");
+        let v = b.input();
+        let last = b.input();
+        let s = b.acc_gate(v, last);
+        b.output_when(s, last);
+        let g = b.finish().unwrap();
+        let r = interp::execute(&g, &[], &[values, flags]).unwrap();
+        let expect: Vec<i64> = segs.iter().map(|s| s.iter().sum()).collect();
+        prop_assert_eq!(&r.outputs[0], &expect);
+    }
+}

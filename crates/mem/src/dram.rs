@@ -1,0 +1,573 @@
+//! Bandwidth- and latency-modelled DRAM.
+
+use crate::storage::Storage;
+use crate::{Addr, Value};
+use std::collections::VecDeque;
+use ts_sim::stats::Stats;
+use ts_sim::TokenBucket;
+
+/// Identifier of one submitted DRAM job.
+pub type JobId = u64;
+
+/// Configuration of the DRAM model.
+#[derive(Debug, Clone)]
+pub struct DramConfig {
+    /// Capacity in words.
+    pub words: usize,
+    /// Streaming bandwidth, in words per cycle (shared by reads and
+    /// writes).
+    pub words_per_cycle: f64,
+    /// Fixed service latency added to every word, in cycles.
+    pub latency: u64,
+    /// Bandwidth cost multiplier for gather/scatter (random) accesses:
+    /// a random word costs this many streaming-word tokens.
+    pub gather_cost: u64,
+    /// Maximum concurrently active jobs served round-robin; further jobs
+    /// wait in the admission queue.
+    pub max_active_jobs: usize,
+    /// Consecutive words served per job per round-robin turn (row-buffer
+    /// burst granularity). Streaming jobs keep locality; gathers still
+    /// pay `gather_cost` per word.
+    pub burst_words: usize,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            words: 1 << 22, // 4M words = 32 MiB
+            words_per_cycle: 8.0,
+            latency: 60,
+            gather_cost: 4,
+            max_active_jobs: 16,
+            burst_words: 8,
+        }
+    }
+}
+
+/// One DRAM request: a read of an address list or a write of
+/// address/value pairs.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Read each address in order; one [`DramOut`] per word.
+    Read {
+        /// Addresses to read, in delivery order.
+        addrs: Vec<Addr>,
+        /// True if the access pattern is random (pays `gather_cost`).
+        gather: bool,
+    },
+    /// Write each (address, value) pair; a single [`DramOut`] with
+    /// `is_write_ack` is produced when the last word lands.
+    Write {
+        /// Addresses to write.
+        addrs: Vec<Addr>,
+        /// Values, parallel to `addrs`.
+        data: Vec<Value>,
+        /// True if the pattern is random (pays `gather_cost`).
+        gather: bool,
+        /// Read-modify-write mode.
+        mode: crate::WriteMode,
+        /// Apply the write to the backing store. `false` meters timing
+        /// and traffic only — used when the functional effect was already
+        /// applied at a deterministic serialization point.
+        apply: bool,
+    },
+}
+
+impl JobKind {
+    fn words(&self) -> usize {
+        match self {
+            JobKind::Read { addrs, .. } => addrs.len(),
+            JobKind::Write { addrs, .. } => addrs.len(),
+        }
+    }
+}
+
+/// One word (or write acknowledgement) leaving the DRAM after its
+/// latency has elapsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramOut {
+    /// The job that produced this output.
+    pub job: JobId,
+    /// The opaque tag the submitter attached to the job.
+    pub tag: u64,
+    /// Word index within the job (0-based, delivery order).
+    pub index: u64,
+    /// Word value (zero for write acks).
+    pub value: Value,
+    /// True on the final output of a job.
+    pub last: bool,
+    /// True if this is a write completion rather than read data.
+    pub is_write_ack: bool,
+}
+
+#[derive(Debug)]
+struct ActiveJob {
+    id: JobId,
+    tag: u64,
+    kind: JobKind,
+    next_word: usize,
+}
+
+/// The DRAM model: functional storage plus a bandwidth/latency pipe.
+///
+/// Jobs are admitted FIFO into a bounded active set that is served
+/// round-robin, one word per bandwidth token (gathers cost
+/// [`DramConfig::gather_cost`] tokens). Each served word emerges from
+/// [`Dram::tick`] after [`DramConfig::latency`] cycles.
+#[derive(Debug)]
+pub struct Dram {
+    config: DramConfig,
+    storage: Storage,
+    bw: TokenBucket,
+    waiting: VecDeque<ActiveJob>,
+    active: VecDeque<ActiveJob>,
+    /// (ready_cycle, out) in issue order; latency is constant so this
+    /// stays sorted.
+    inflight: VecDeque<(u64, DramOut)>,
+    next_job: JobId,
+    stats: Stats,
+}
+
+impl Dram {
+    /// Creates a DRAM from its configuration.
+    pub fn new(config: DramConfig) -> Self {
+        // the burst must cover one gather's cost, or low-bandwidth
+        // configurations could never accumulate enough tokens to serve
+        // a single random access
+        let bw = TokenBucket::with_burst(
+            config.words_per_cycle,
+            config.words_per_cycle.max(config.gather_cost as f64) + 1.0,
+        );
+        Dram {
+            storage: Storage::new(config.words),
+            bw,
+            waiting: VecDeque::new(),
+            active: VecDeque::new(),
+            inflight: VecDeque::new(),
+            next_job: 0,
+            stats: Stats::new(),
+            config,
+        }
+    }
+
+    /// Functional access to the backing store (for loading images and
+    /// validating results).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable functional access to the backing store.
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Submits a job with an opaque `tag` the submitter uses to route
+    /// outputs. Returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(kind)` (handing the job back) if the job is empty —
+    /// zero-word jobs would never produce a completion.
+    pub fn submit(&mut self, kind: JobKind, tag: u64) -> Result<JobId, JobKind> {
+        if kind.words() == 0 {
+            return Err(kind);
+        }
+        let id = self.next_job;
+        self.next_job += 1;
+        self.stats.bump("jobs");
+        self.stats.bump_by("job_words", kind.words() as u64);
+        self.waiting.push_back(ActiveJob {
+            id,
+            tag,
+            kind,
+            next_word: 0,
+        });
+        Ok(id)
+    }
+
+    /// Number of jobs not yet fully issued (waiting + active).
+    pub fn pending_jobs(&self) -> usize {
+        self.waiting.len() + self.active.len()
+    }
+
+    /// True when no job or in-flight word remains.
+    pub fn is_idle(&self) -> bool {
+        self.waiting.is_empty() && self.active.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Statistics scope.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Advances one cycle: admits jobs, spends bandwidth round-robin
+    /// across active jobs, and returns the outputs whose latency expired
+    /// at cycle `now`.
+    pub fn tick(&mut self, now: u64) -> Vec<DramOut> {
+        self.bw.refill();
+
+        // admit
+        while self.active.len() < self.config.max_active_jobs {
+            match self.waiting.pop_front() {
+                Some(j) => self.active.push_back(j),
+                None => break,
+            }
+        }
+
+        // serve round-robin: rotate through active jobs, one word each,
+        // until bandwidth runs out or all jobs are drained for this cycle
+        let mut served_any = true;
+        while served_any && !self.active.is_empty() {
+            served_any = false;
+            let mut remaining = self.active.len();
+            while remaining > 0 {
+                remaining -= 1;
+                let Some(mut job) = self.active.pop_front() else {
+                    break;
+                };
+                let (gather, total) = match &job.kind {
+                    JobKind::Read { addrs, gather } => (*gather, addrs.len()),
+                    JobKind::Write { addrs, gather, .. } => (*gather, addrs.len()),
+                };
+                let cost = if gather { self.config.gather_cost } else { 1 };
+                // serve a burst of consecutive words for this job while
+                // bandwidth lasts (row-buffer locality)
+                let mut served_words = 0usize;
+                let mut finished = false;
+                while served_words < self.config.burst_words.max(1) {
+                    // check before taking: a partial take would discard
+                    // tokens and starve expensive (gather) accesses on
+                    // low-bandwidth configurations forever
+                    if self.bw.available() < cost {
+                        break;
+                    }
+                    let got = self.bw.take_up_to(cost);
+                    debug_assert_eq!(got, cost);
+                    served_any = true;
+                    served_words += 1;
+                    let w = job.next_word;
+                    job.next_word += 1;
+                    let last = job.next_word == total;
+                    let ready = now + self.config.latency;
+                    match &job.kind {
+                        JobKind::Read { addrs, .. } => {
+                            let value = self.storage.read(addrs[w]);
+                            self.stats.bump("read_words");
+                            self.inflight.push_back((
+                                ready,
+                                DramOut {
+                                    job: job.id,
+                                    tag: job.tag,
+                                    index: w as u64,
+                                    value,
+                                    last,
+                                    is_write_ack: false,
+                                },
+                            ));
+                        }
+                        JobKind::Write {
+                            addrs,
+                            data,
+                            mode,
+                            apply,
+                            ..
+                        } => {
+                            if *apply {
+                                self.storage.update(addrs[w], data[w], *mode);
+                            }
+                            self.stats.bump("write_words");
+                            if last {
+                                self.inflight.push_back((
+                                    ready,
+                                    DramOut {
+                                        job: job.id,
+                                        tag: job.tag,
+                                        index: w as u64,
+                                        value: 0,
+                                        last: true,
+                                        is_write_ack: true,
+                                    },
+                                ));
+                            }
+                        }
+                    }
+                    if last {
+                        finished = true;
+                        break;
+                    }
+                }
+                if served_words == 0 {
+                    // out of bandwidth this cycle; keep job for later
+                    self.active.push_front(job);
+                    remaining = 0;
+                    continue;
+                }
+                if !finished {
+                    self.active.push_back(job);
+                }
+            }
+        }
+
+        // release outputs whose latency expired
+        let mut out = Vec::new();
+        while let Some((ready, _)) = self.inflight.front() {
+            if *ready <= now {
+                out.push(self.inflight.pop_front().unwrap().1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WriteMode;
+
+    fn run_until_idle(dram: &mut Dram, max: u64) -> Vec<DramOut> {
+        let mut outs = Vec::new();
+        for now in 0..max {
+            outs.extend(dram.tick(now));
+            if dram.is_idle() {
+                break;
+            }
+        }
+        outs
+    }
+
+    #[test]
+    fn read_returns_values_in_order() {
+        let mut d = Dram::new(DramConfig {
+            words: 64,
+            latency: 5,
+            ..DramConfig::default()
+        });
+        d.storage_mut().load(0, &[10, 20, 30]);
+        d.submit(
+            JobKind::Read {
+                addrs: vec![0, 1, 2],
+                gather: false,
+            },
+            7,
+        )
+        .unwrap();
+        let outs = run_until_idle(&mut d, 1000);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(
+            outs.iter().map(|o| o.value).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert!(outs[2].last);
+        assert!(outs.iter().all(|o| o.tag == 7 && !o.is_write_ack));
+    }
+
+    #[test]
+    fn latency_delays_first_word() {
+        let mut d = Dram::new(DramConfig {
+            words: 16,
+            latency: 10,
+            ..DramConfig::default()
+        });
+        d.submit(
+            JobKind::Read {
+                addrs: vec![0],
+                gather: false,
+            },
+            0,
+        )
+        .unwrap();
+        for now in 0..10 {
+            assert!(d.tick(now).is_empty(), "word appeared before latency");
+        }
+        assert_eq!(d.tick(10).len(), 1);
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        let mut d = Dram::new(DramConfig {
+            words: 4096,
+            words_per_cycle: 2.0,
+            latency: 0,
+            ..DramConfig::default()
+        });
+        d.submit(
+            JobKind::Read {
+                addrs: (0..100).collect(),
+                gather: false,
+            },
+            0,
+        )
+        .unwrap();
+        // 100 words at 2/cycle needs ~50 cycles
+        let mut cycles = 0;
+        for now in 0..1000 {
+            let _ = d.tick(now);
+            cycles = now;
+            if d.is_idle() {
+                break;
+            }
+        }
+        assert!((49..=55).contains(&cycles), "took {cycles} cycles");
+    }
+
+    #[test]
+    fn gather_pays_cost_factor() {
+        let mk = |gather| {
+            let mut d = Dram::new(DramConfig {
+                words: 4096,
+                words_per_cycle: 4.0,
+                latency: 0,
+                gather_cost: 4,
+                ..DramConfig::default()
+            });
+            d.submit(
+                JobKind::Read {
+                    addrs: (0..64).collect(),
+                    gather,
+                },
+                0,
+            )
+            .unwrap();
+            let mut cycles = 0;
+            for now in 0..10_000 {
+                let _ = d.tick(now);
+                cycles = now;
+                if d.is_idle() {
+                    break;
+                }
+            }
+            cycles
+        };
+        let stream = mk(false);
+        let gather = mk(true);
+        assert!(
+            gather >= stream * 3,
+            "gather {gather} should be ~4x stream {stream}"
+        );
+    }
+
+    #[test]
+    fn write_job_acks_once_and_updates_storage() {
+        let mut d = Dram::new(DramConfig {
+            words: 64,
+            latency: 2,
+            ..DramConfig::default()
+        });
+        d.submit(
+            JobKind::Write {
+                addrs: vec![3, 4],
+                data: vec![30, 40],
+                gather: false,
+                mode: WriteMode::Overwrite,
+                apply: true,
+            },
+            1,
+        )
+        .unwrap();
+        let outs = run_until_idle(&mut d, 100);
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].is_write_ack && outs[0].last);
+        assert_eq!(d.storage().read(3), 30);
+        assert_eq!(d.storage().read(4), 40);
+    }
+
+    #[test]
+    fn min_mode_applies_rmw() {
+        let mut d = Dram::new(DramConfig {
+            words: 8,
+            latency: 0,
+            ..DramConfig::default()
+        });
+        d.storage_mut().write(0, 5);
+        d.submit(
+            JobKind::Write {
+                addrs: vec![0, 0],
+                data: vec![9, 2],
+                gather: true,
+                mode: WriteMode::Min,
+                apply: true,
+            },
+            0,
+        )
+        .unwrap();
+        run_until_idle(&mut d, 100);
+        assert_eq!(d.storage().read(0), 2);
+    }
+
+    #[test]
+    fn gather_progresses_below_gather_cost_bandwidth() {
+        // regression: with words_per_cycle < gather_cost, a partial
+        // token take must not discard credit, or gathers starve forever
+        let mut d = Dram::new(DramConfig {
+            words: 64,
+            words_per_cycle: 1.0,
+            latency: 0,
+            gather_cost: 4,
+            max_active_jobs: 4,
+            burst_words: 8,
+        });
+        d.submit(
+            JobKind::Read {
+                addrs: vec![1, 2, 3],
+                gather: true,
+            },
+            0,
+        )
+        .unwrap();
+        let mut served = 0;
+        for now in 0..100 {
+            served += d.tick(now).len();
+        }
+        assert_eq!(served, 3, "gather starved at low bandwidth");
+    }
+
+    #[test]
+    fn round_robin_interleaves_jobs() {
+        let mut d = Dram::new(DramConfig {
+            words: 4096,
+            words_per_cycle: 1.0,
+            latency: 0,
+            ..DramConfig::default()
+        });
+        d.submit(
+            JobKind::Read {
+                addrs: (0..10).collect(),
+                gather: false,
+            },
+            100,
+        )
+        .unwrap();
+        d.submit(
+            JobKind::Read {
+                addrs: (0..10).collect(),
+                gather: false,
+            },
+            200,
+        )
+        .unwrap();
+        let outs = run_until_idle(&mut d, 1000);
+        // both jobs should finish within one word of each other, i.e.
+        // outputs interleave rather than job 1 running first
+        let first_of_second = outs.iter().position(|o| o.tag == 200).unwrap();
+        assert!(
+            first_of_second <= 2,
+            "second job starved until position {first_of_second}"
+        );
+    }
+
+    #[test]
+    fn empty_job_rejected() {
+        let mut d = Dram::new(DramConfig::default());
+        assert!(d
+            .submit(
+                JobKind::Read {
+                    addrs: vec![],
+                    gather: false
+                },
+                0
+            )
+            .is_err());
+    }
+}

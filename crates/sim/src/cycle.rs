@@ -1,0 +1,164 @@
+//! Simulated clock cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) simulated time, measured in clock cycles.
+///
+/// `Cycle` is deliberately a thin `u64` newtype: it exists so that
+/// latencies, deadlines, and timestamps cannot be confused with element
+/// counts or addresses. Subtraction saturates at zero, because a negative
+/// span is always a modelling bug that we prefer to clamp rather than wrap.
+///
+/// # Examples
+///
+/// ```
+/// use ts_sim::Cycle;
+///
+/// let start = Cycle::new(10);
+/// let end = start + Cycle::new(5);
+/// assert_eq!(end.as_u64(), 15);
+/// assert_eq!((start - end).as_u64(), 0); // saturating
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Cycle zero — the beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable cycle, used as "never".
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle value from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the immediately following cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on overflow (a simulation would have to run
+    /// for ~10^12 years at 1 GHz to reach it).
+    #[inline]
+    pub fn next(self) -> Self {
+        Cycle(self.0 + 1)
+    }
+
+    /// Saturating addition of a raw number of cycles.
+    #[inline]
+    pub fn saturating_add(self, rhs: u64) -> Self {
+        Cycle(self.0.saturating_add(rhs))
+    }
+
+    /// Returns `self - rhs`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycle) -> Self {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if this value is being used as a "never happens" sentinel.
+    #[inline]
+    pub fn is_never(self) -> bool {
+        self == Cycle::MAX
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_is_saturating() {
+        assert_eq!(Cycle::new(3) - Cycle::new(5), Cycle::ZERO);
+        assert_eq!(Cycle::MAX + Cycle::new(1), Cycle::MAX);
+        assert_eq!(Cycle::MAX.saturating_add(10), Cycle::MAX);
+    }
+
+    #[test]
+    fn ordering_and_next() {
+        let a = Cycle::new(7);
+        assert!(a < a.next());
+        assert_eq!(a.next().as_u64(), 8);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [1u64, 2, 3].into_iter().map(Cycle::new).sum();
+        assert_eq!(total, Cycle::new(6));
+    }
+
+    #[test]
+    fn never_sentinel() {
+        assert!(Cycle::MAX.is_never());
+        assert!(!Cycle::ZERO.is_never());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Cycle::new(42).to_string(), "42cyc");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let c: Cycle = 9u64.into();
+        let raw: u64 = c.into();
+        assert_eq!(raw, 9);
+    }
+}

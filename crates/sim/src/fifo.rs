@@ -1,0 +1,219 @@
+//! Bounded FIFO queues used for all hardware buffers.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned by [`Fifo::push`] when the queue is full.
+///
+/// Carries the rejected item back to the caller so it can be retried on a
+/// later cycle without cloning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushError<T>(pub T);
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo is full")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for PushError<T> {}
+
+/// A bounded first-in/first-out queue modelling a hardware buffer.
+///
+/// Hardware queues have a fixed capacity and exert backpressure when full;
+/// `Fifo` models exactly that. Every buffer in the simulator — stream
+/// ports, router input queues, task queues — is a `Fifo`.
+///
+/// # Examples
+///
+/// ```
+/// use ts_sim::Fifo;
+///
+/// let mut q = Fifo::new(2);
+/// q.push(1).unwrap();
+/// q.push(2).unwrap();
+/// assert!(q.push(3).is_err()); // backpressure
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    /// Running high-water mark, useful for sizing studies.
+    peak: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates an empty FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-entry buffer cannot transfer
+    /// data and always indicates a configuration mistake.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Fifo {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Creates an effectively unbounded FIFO (capacity `usize::MAX`).
+    ///
+    /// Used for software-side collections where backpressure is modelled
+    /// elsewhere.
+    pub fn unbounded() -> Self {
+        Fifo {
+            items: VecDeque::new(),
+            capacity: usize::MAX,
+            peak: 0,
+        }
+    }
+
+    /// Attempts to enqueue an item, returning it in `Err` if full.
+    pub fn push(&mut self, item: T) -> Result<(), PushError<T>> {
+        if self.items.len() >= self.capacity {
+            return Err(PushError(item));
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable access to the oldest item (e.g. to decrement a credit field).
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity (further pushes fail).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining space before the queue exerts backpressure.
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest occupancy observed since construction.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Iterates over queued items from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes all items, returning them oldest-first.
+    pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.items.drain(..)
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    /// Extends the queue, silently dropping items past capacity.
+    ///
+    /// Only use for initialization; simulation paths should use
+    /// [`Fifo::push`] so backpressure is visible.
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            if self.push(item).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order() {
+        let mut q = Fifo::new(3);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_returns_item() {
+        let mut q = Fifo::new(1);
+        q.push(10).unwrap();
+        let err = q.push(11).unwrap_err();
+        assert_eq!(err.0, 11);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut q = Fifo::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.pop();
+        q.push(3).unwrap();
+        assert_eq!(q.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn unbounded_accepts_many() {
+        let mut q = Fifo::unbounded();
+        for i in 0..10_000 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 10_000);
+        assert!(!q.is_full());
+    }
+
+    #[test]
+    fn free_space_accounting() {
+        let mut q = Fifo::new(3);
+        assert_eq!(q.free_space(), 3);
+        q.push(0).unwrap();
+        assert_eq!(q.free_space(), 2);
+    }
+
+    #[test]
+    fn drain_preserves_order() {
+        let mut q = Fifo::new(8);
+        q.extend([1, 2, 3]);
+        let v: Vec<_> = q.drain_all().collect();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Simulation kernel for the TaskStream/Delta reproduction.
+//!
+//! This crate provides the small, dependency-light substrate every other
+//! crate in the workspace builds on:
+//!
+//! * [`Cycle`] — a newtype for simulated clock cycles with saturating
+//!   arithmetic, so timing code cannot accidentally mix cycles with other
+//!   integers.
+//! * [`Fifo`] — a bounded queue used for hardware buffers (ports, router
+//!   input queues, task queues).
+//! * [`TokenBucket`] — fractional-rate throughput accounting used to model
+//!   bandwidth-limited resources (DRAM channels, fabric initiation
+//!   intervals).
+//! * [`stats`] — hierarchical counter/histogram collection that every
+//!   component reports into, and that the benchmark harness reads back out.
+//! * [`rng`] — deterministic seeded random-number helpers so every
+//!   experiment is reproducible from a single seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_sim::{Cycle, Fifo, TokenBucket};
+//!
+//! let mut clock = Cycle::ZERO;
+//! let mut port: Fifo<u64> = Fifo::new(4);
+//! let mut rate = TokenBucket::per_cycle(0.5); // one item every two cycles
+//!
+//! for _ in 0..8 {
+//!     rate.refill();
+//!     while rate.try_take() && port.push(clock.as_u64()).is_ok() {}
+//!     clock = clock.next();
+//! }
+//! assert_eq!(port.len(), 4); // filled to capacity at half rate
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod fifo;
+pub mod rng;
+pub mod stats;
+mod token;
+
+pub use cycle::Cycle;
+pub use fifo::{Fifo, PushError};
+pub use token::TokenBucket;

@@ -1,0 +1,190 @@
+//! Deterministic random-number helpers.
+//!
+//! Every stochastic choice in the workspace — workload generation, mapper
+//! restarts, random scheduling policies — flows through a [`SimRng`]
+//! derived from an experiment seed, so a whole experiment is reproducible
+//! from a single `u64`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator for simulation use.
+///
+/// Thin wrapper over [`rand::rngs::StdRng`] that adds domain helpers
+/// (power-law sampling for skewed workloads, stream splitting so
+/// subsystems get decorrelated but still deterministic streams).
+///
+/// # Examples
+///
+/// ```
+/// use ts_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed(42);
+/// let mut b = SimRng::seed(42);
+/// assert_eq!(a.index(100), b.index(100)); // same seed, same sequence
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from an experiment seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream (e.g. one per subsystem).
+    ///
+    /// The child is a pure function of `(parent seed sequence, salt)`, so
+    /// adding a consumer of the parent stream does not perturb existing
+    /// children created earlier.
+    pub fn split(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed(s)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Samples from a bounded discrete power law on `[1, max]` with
+    /// exponent `alpha` (> 0). Larger `alpha` → heavier skew toward 1.
+    ///
+    /// Used to generate skewed row lengths / vertex degrees, the source of
+    /// load imbalance TaskStream's work-aware scheduler targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero or `alpha` is not positive and finite.
+    pub fn power_law(&mut self, max: u64, alpha: f64) -> u64 {
+        assert!(max >= 1, "power_law max must be >= 1");
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        // Inverse-CDF sampling of a continuous Pareto truncated to [1, max+1),
+        // floored to an integer.
+        let u = self.unit();
+        let lo = 1.0f64;
+        let hi = (max + 1) as f64;
+        let g = 1.0 - alpha;
+        let x = if (g.abs()) < 1e-9 {
+            // alpha == 1: logarithmic CDF
+            (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+        } else {
+            (lo.powf(g) + u * (hi.powf(g) - lo.powf(g))).powf(1.0 / g)
+        };
+        (x.floor() as u64).clamp(1, max)
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.range_u64(0, 1000), b.range_u64(0, 1000));
+        }
+    }
+
+    #[test]
+    fn split_streams_differ_but_are_deterministic() {
+        let mut root1 = SimRng::seed(1);
+        let mut root2 = SimRng::seed(1);
+        let mut c1 = root1.split(10);
+        let mut c2 = root2.split(10);
+        assert_eq!(c1.range_u64(0, 1 << 30), c2.range_u64(0, 1 << 30));
+
+        let mut other = SimRng::seed(1).split(11);
+        // different salt should (overwhelmingly) give a different stream
+        let mut same = SimRng::seed(1).split(10);
+        let a: Vec<u64> = (0..8).map(|_| other.range_u64(0, u64::MAX - 1)).collect();
+        let b: Vec<u64> = (0..8).map(|_| same.range_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn power_law_in_bounds_and_skewed() {
+        let mut rng = SimRng::seed(3);
+        let samples: Vec<u64> = (0..20_000).map(|_| rng.power_law(1000, 1.8)).collect();
+        assert!(samples.iter().all(|&s| (1..=1000).contains(&s)));
+        let small = samples.iter().filter(|&&s| s <= 10).count();
+        // with alpha=1.8 the mass near 1 dominates
+        assert!(
+            small > samples.len() / 2,
+            "expected skew toward small values, got {small}/{}",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed(9);
+        let mut v: Vec<u32> = (0..64).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn index_zero_bound_panics() {
+        SimRng::seed(0).index(0);
+    }
+}

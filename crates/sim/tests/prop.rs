@@ -1,0 +1,50 @@
+//! Property tests for the simulation kernel primitives.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use ts_sim::{Fifo, TokenBucket};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Long-run token-bucket throughput equals the configured rate to
+    /// within one token (fixed-point rounding).
+    #[test]
+    fn token_bucket_rate_is_exact(num in 1u32..20, den in 1u32..20, cycles in 100u64..2000) {
+        let rate = num as f64 / den as f64;
+        let mut tb = TokenBucket::per_cycle(rate);
+        let mut got = 0u64;
+        for _ in 0..cycles {
+            tb.refill();
+            got += tb.take_up_to(u64::MAX);
+        }
+        let expect = rate * cycles as f64;
+        prop_assert!(
+            (got as f64 - expect).abs() <= 1.0 + expect * 1e-5,
+            "got {got}, expected ~{expect}"
+        );
+    }
+
+    /// The FIFO behaves exactly like a capacity-checked VecDeque.
+    #[test]
+    fn fifo_matches_model(cap in 1usize..16, ops in prop::collection::vec((0u8..2, 0i64..100), 1..200)) {
+        let mut fifo = Fifo::new(cap);
+        let mut model: VecDeque<i64> = VecDeque::new();
+        for (op, v) in ops {
+            if op == 0 {
+                let ours = fifo.push(v);
+                if model.len() < cap {
+                    prop_assert!(ours.is_ok());
+                    model.push_back(v);
+                } else {
+                    prop_assert!(ours.is_err());
+                }
+            } else {
+                prop_assert_eq!(fifo.pop(), model.pop_front());
+            }
+            prop_assert_eq!(fifo.len(), model.len());
+            prop_assert_eq!(fifo.is_full(), model.len() == cap);
+            prop_assert_eq!(fifo.front().copied(), model.front().copied());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Stream descriptors for the TaskStream/Delta reproduction.
+//!
+//! Streams are how the paper family's accelerators express *all* data
+//! movement: a stream descriptor names a (possibly multi-dimensional or
+//! indirect) sequence of memory words, and dedicated stream engines move
+//! that sequence between memory and the fabric's ports without any
+//! per-element instructions.
+//!
+//! In TaskStream the descriptors do double duty: they are also the
+//! *dependence annotations*. A consumer task whose input stream is the
+//! producer's output stream (see `taskstream-model`) recovers a pipelined
+//! inter-task dependence; two tasks whose input descriptors cover the same
+//! region recover read sharing, which the hardware serves with one
+//! multicast.
+//!
+//! This crate is pure description + address arithmetic; the engines that
+//! execute descriptors against memory/NoC live in `ts-delta`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ts_stream::{Affine, DataSrc, StreamDesc};
+//!
+//! // Rows 0..4 of an 8-wide matrix in DRAM, one row per "inner" loop.
+//! let pat = Affine::dims2(0x1000, 8, 4, 1, 8);
+//! assert_eq!(pat.len(), 32);
+//! let desc = StreamDesc::affine(DataSrc::Dram, pat);
+//! assert_eq!(desc.len(), 32);
+//! assert_eq!(desc.dram_words(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod affine;
+mod desc;
+
+pub use affine::{Affine, AffineIter};
+pub use desc::{DataSrc, StreamDesc};
+
+/// Word address within a memory space (DRAM or a tile scratchpad).
+///
+/// The machine is word-addressed: one address names one 64-bit value.
+pub type Addr = u64;
+
+/// Scalar element type carried by streams (same domain as `ts_dfg::Value`).
+pub type Value = i64;

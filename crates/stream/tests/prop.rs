@@ -1,0 +1,62 @@
+//! Property tests for stream descriptors.
+
+use proptest::prelude::*;
+use ts_stream::{Affine, DataSrc, StreamDesc};
+
+fn affine_strategy() -> impl Strategy<Value = Affine> {
+    (0u64..10_000, -16i64..17, 1u64..20, -64i64..65, 1u64..8).prop_filter_map(
+        "must stay non-negative",
+        |(base, s0, l0, s1, l1)| {
+            let worst = (l0 as i64 - 1) * s0.min(0) + (l1 as i64 - 1) * s1.min(0);
+            if base as i64 + worst < 0 {
+                None
+            } else {
+                Some(Affine::dims2(base, s1, l1, s0, l0))
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `addr_of(i)` agrees with the iterator, for every element.
+    #[test]
+    fn addr_of_matches_iter(a in affine_strategy()) {
+        let addrs: Vec<u64> = a.iter().collect();
+        prop_assert_eq!(addrs.len() as u64, a.len());
+        for (i, &addr) in addrs.iter().enumerate() {
+            prop_assert_eq!(a.addr_of(i as u64), addr);
+        }
+    }
+
+    /// Every generated address lies inside the reported span, and the
+    /// span's extremes are actually touched.
+    #[test]
+    fn span_is_tight(a in affine_strategy()) {
+        let (lo, hi) = a.span().expect("non-empty");
+        let addrs: Vec<u64> = a.iter().collect();
+        for &addr in &addrs {
+            prop_assert!((lo..hi).contains(&addr), "{addr} outside {lo}..{hi}");
+        }
+        prop_assert_eq!(*addrs.iter().min().unwrap(), lo);
+        prop_assert_eq!(*addrs.iter().max().unwrap(), hi - 1);
+    }
+
+    /// Traffic accounting is consistent with length and placement.
+    #[test]
+    fn traffic_matches_len(a in affine_strategy(), in_dram in prop::bool::ANY) {
+        let src = if in_dram { DataSrc::Dram } else { DataSrc::Spad };
+        let d = StreamDesc::affine(src, a);
+        prop_assert_eq!(d.dram_words() + d.spad_words(), d.len());
+        let ind = StreamDesc::Indirect {
+            src,
+            base: 0,
+            scale: 1,
+            index: a,
+            index_src: DataSrc::Dram,
+        };
+        // indirect: index fetch + data fetch
+        prop_assert_eq!(ind.dram_words() + ind.spad_words(), 2 * ind.len());
+    }
+}

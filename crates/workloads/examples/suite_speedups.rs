@@ -1,0 +1,38 @@
+use std::time::Instant;
+use ts_delta::{Accelerator, DeltaConfig};
+use ts_sim::stats::geomean;
+use ts_workloads::{suite, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Small,
+    };
+    let mut speedups = Vec::new();
+    for wl in suite(scale, 42) {
+        let t0 = Instant::now();
+        let mut p1 = wl.make_program();
+        let d = Accelerator::new(DeltaConfig::delta(8))
+            .run(p1.as_mut())
+            .unwrap();
+        wl.validate(&d).expect("delta result valid");
+        let mut p2 = wl.make_baseline_program();
+        let s = Accelerator::new(DeltaConfig::static_parallel(8))
+            .run(p2.as_mut())
+            .unwrap();
+        wl.validate(&s).expect("baseline result valid");
+        let sp = s.cycles as f64 / d.cycles as f64;
+        speedups.push(sp);
+        println!(
+            "{:<12} delta {:>9} static {:>9} speedup {:>5.2}x  imb {:.2}/{:.2}  wall {:?}",
+            wl.name(),
+            d.cycles,
+            s.cycles,
+            sp,
+            d.load_imbalance(),
+            s.load_imbalance(),
+            t0.elapsed()
+        );
+    }
+    println!("geomean speedup: {:.2}x", geomean(&speedups));
+}

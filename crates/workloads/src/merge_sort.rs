@@ -1,0 +1,239 @@
+//! Merge sort: a static task *tree* connected by pipes.
+//!
+//! Leaves sort chunks in-fabric; every inner node is a streaming
+//! two-way merge whose inputs are the pipes of its children. With
+//! TaskStream, adjacent tree levels are co-scheduled and stream
+//! tile-to-tile; the static-parallel design serializes every level
+//! through DRAM.
+
+use crate::kernels::SortKernel;
+use crate::{check_range, Workload, WorkloadInfo};
+use taskstream_model::{
+    CompletedTask, MemoryImage, MergeKernel, PipeId, Program, Spawner, TaskInstance, TaskKernel,
+    TaskType, TaskTypeId,
+};
+use ts_delta::RunReport;
+use ts_mem::WriteMode;
+use ts_sim::rng::SimRng;
+use ts_stream::StreamDesc;
+
+const IN_BASE: u64 = 0;
+
+/// A seeded merge-sort instance of `leaves × chunk` elements
+/// (`leaves` must be a power of two).
+#[derive(Debug, Clone)]
+pub struct MergeSort {
+    /// Number of leaf chunks (power of two).
+    pub leaves: usize,
+    /// Elements per leaf chunk.
+    pub chunk: usize,
+    data: Vec<i64>,
+    sorted_ref: Vec<i64>,
+}
+
+impl MergeSort {
+    /// Builds an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `leaves` is a power of two and both dimensions are
+    /// positive.
+    pub fn new(leaves: usize, chunk: usize, seed: u64) -> Self {
+        assert!(leaves.is_power_of_two() && leaves > 0, "leaves must be 2^k");
+        assert!(chunk > 0, "chunk must be positive");
+        let mut rng = SimRng::seed(seed ^ 0x50_47);
+        let n = leaves * chunk;
+        let data: Vec<i64> = (0..n).map(|_| rng.range_i64(-10_000, 10_000)).collect();
+        let mut sorted_ref = data.clone();
+        sorted_ref.sort_unstable();
+        MergeSort {
+            leaves,
+            chunk,
+            data,
+            sorted_ref,
+        }
+    }
+
+    /// Test-sized instance.
+    pub fn tiny(seed: u64) -> Self {
+        Self::new(4, 32, seed)
+    }
+
+    /// Evaluation-sized instance.
+    pub fn small(seed: u64) -> Self {
+        Self::new(4, 2048, seed)
+    }
+
+    /// Total elements.
+    pub fn n(&self) -> usize {
+        self.leaves * self.chunk
+    }
+
+    fn out_base(&self) -> u64 {
+        IN_BASE + self.n() as u64
+    }
+
+    fn task_count(&self) -> usize {
+        2 * self.leaves - 1
+    }
+}
+
+struct MergeSortProgram {
+    wl: MergeSort,
+}
+
+impl Program for MergeSortProgram {
+    fn name(&self) -> &str {
+        "merge_sort"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![
+            TaskType::new("sort_chunk", TaskKernel::native(SortKernel)),
+            TaskType::new("merge2", TaskKernel::native(MergeKernel)),
+        ]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new()
+            .dram_segment(IN_BASE, self.wl.data.clone())
+            .dram_segment(self.wl.out_base(), vec![0; self.wl.n()])
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        let chunk = self.wl.chunk as u64;
+        if self.wl.leaves == 1 {
+            // degenerate tree: the single sort writes straight to DRAM
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(IN_BASE, chunk))
+                    .output_memory(
+                        StreamDesc::dram(self.wl.out_base(), chunk),
+                        WriteMode::Overwrite,
+                    ),
+            );
+            return;
+        }
+        // level 0: leaf sorts, each feeding a pipe
+        let mut level: Vec<PipeId> = Vec::with_capacity(self.wl.leaves);
+        for leaf in 0..self.wl.leaves {
+            let pipe = s.pipe(chunk);
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(IN_BASE + leaf as u64 * chunk, chunk))
+                    .output_pipe(pipe)
+                    .affinity(leaf as u64),
+            );
+            level.push(pipe);
+        }
+        // inner levels: pairwise merges
+        let mut span = chunk;
+        let mut affinity = self.wl.leaves as u64;
+        while level.len() > 1 {
+            span *= 2;
+            let is_root = level.len() == 2;
+            let mut next: Vec<PipeId> = Vec::with_capacity(level.len() / 2);
+            for pair in level.chunks(2) {
+                let t = TaskInstance::new(TaskTypeId(1))
+                    .input_pipe(pair[0])
+                    .input_pipe(pair[1])
+                    .work_hint(span)
+                    .affinity(affinity);
+                affinity += 1;
+                if is_root {
+                    s.spawn(t.output_memory(
+                        StreamDesc::dram(self.wl.out_base(), self.wl.n() as u64),
+                        WriteMode::Overwrite,
+                    ));
+                } else {
+                    let pipe = s.pipe(span);
+                    s.spawn(t.output_pipe(pipe));
+                    next.push(pipe);
+                }
+            }
+            level = next;
+        }
+    }
+
+    fn on_complete(&mut self, _done: &CompletedTask, _s: &mut Spawner) {}
+}
+
+impl Workload for MergeSort {
+    fn name(&self) -> &'static str {
+        "merge_sort"
+    }
+
+    fn make_program(&self) -> Box<dyn Program> {
+        Box::new(MergeSortProgram { wl: self.clone() })
+    }
+
+    fn validate(&self, report: &RunReport) -> Result<(), String> {
+        check_range(report, self.out_base(), &self.sorted_ref, "sorted")
+    }
+
+    fn info(&self) -> WorkloadInfo {
+        WorkloadInfo {
+            name: "merge_sort",
+            description: "leaf sorts + streaming merge tree over pipes",
+            pattern: "static task tree with pipelined levels",
+            stresses: "pipelined inter-task dependences",
+            tasks: self.task_count() as u64,
+            elements: self.n() as u64,
+            grain: self.chunk as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_delta::{Accelerator, DeltaConfig, Features};
+
+    #[test]
+    fn single_leaf_is_just_a_sort() {
+        let w = MergeSort::new(1, 16, 3);
+        let mut p = w.make_program();
+        let r = Accelerator::new(DeltaConfig::delta(2))
+            .run(p.as_mut())
+            .unwrap();
+        w.validate(&r).unwrap();
+    }
+
+    #[test]
+    fn validates_on_delta_and_baseline() {
+        for cfg in [DeltaConfig::delta(4), DeltaConfig::static_parallel(4)] {
+            let w = MergeSort::tiny(8);
+            let mut p = w.make_program();
+            let r = Accelerator::new(cfg).run(p.as_mut()).unwrap();
+            w.validate(&r).unwrap();
+        }
+    }
+
+    #[test]
+    fn pipelining_beats_serialized_levels() {
+        let run = |pipelining: bool| {
+            let w = MergeSort::new(4, 512, 5);
+            let mut p = w.make_program();
+            let r = Accelerator::new(DeltaConfig::delta(8).with_features(Features {
+                work_aware: true,
+                pipelining,
+                multicast: true,
+            }))
+            .run(p.as_mut())
+            .unwrap();
+            w.validate(&r).unwrap();
+            r.cycles
+        };
+        let piped = run(true);
+        let serial = run(false);
+        assert!(
+            piped < serial,
+            "pipelined {piped} should beat serialized {serial}"
+        );
+    }
+
+    #[test]
+    fn task_count_is_tree_size() {
+        assert_eq!(MergeSort::new(8, 4, 0).task_count(), 15);
+    }
+}

@@ -1,0 +1,53 @@
+//! Visualize tile occupancy over a run: Delta's recovered structure
+//! keeps the machine full; the static-parallel design shows stragglers
+//! and sweep troughs.
+//!
+//! ```text
+//! cargo run --release --example occupancy [spmv|bfs|sssp|merge_sort]
+//! ```
+
+use taskstream::delta::{Accelerator, DeltaConfig};
+use taskstream::workloads::{bfs::Bfs, merge_sort::MergeSort, spmv::Spmv, sssp::Sssp, Workload};
+
+const TILES: usize = 8;
+const WIDTH: usize = 72;
+
+fn show(wl: &dyn Workload) {
+    println!("--- {} ({TILES} tiles, one glyph ≈ 1/{WIDTH} of the run) ---", wl.name());
+    for (design, cfg, baseline) in [
+        ("delta ", DeltaConfig::delta(TILES), false),
+        ("static", DeltaConfig::static_parallel(TILES), true),
+    ] {
+        let mut p = if baseline {
+            wl.make_baseline_program()
+        } else {
+            wl.make_program()
+        };
+        let r = Accelerator::new(cfg).run(p.as_mut()).expect("run");
+        wl.validate(&r).expect("results");
+        println!(
+            "  {design} |{:<WIDTH$}| {:>8} cycles",
+            r.sparkline(TILES, WIDTH),
+            r.cycles
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let wls: Vec<Box<dyn Workload>> = match which.as_str() {
+        "spmv" => vec![Box::new(Spmv::small(42))],
+        "bfs" => vec![Box::new(Bfs::small(42))],
+        "sssp" => vec![Box::new(Sssp::small(42))],
+        "merge_sort" => vec![Box::new(MergeSort::small(42))],
+        _ => vec![
+            Box::new(Spmv::small(42)),
+            Box::new(Bfs::small(42)),
+            Box::new(MergeSort::small(42)),
+        ],
+    };
+    for wl in &wls {
+        show(wl.as_ref());
+    }
+}

@@ -1,0 +1,52 @@
+//! # TaskStream / Delta — a reproduction in Rust
+//!
+//! This facade crate re-exports the whole workspace implementing the
+//! ASPLOS 2022 paper *"TaskStream: accelerating task-parallel workloads
+//! by recovering program structure"* (Dadu & Nowatzki): a task execution
+//! model for reconfigurable dataflow accelerators, the **Delta**
+//! accelerator built on it, an equivalent static-parallel baseline, and
+//! the workload suite plus harness that regenerates the paper's
+//! evaluation.
+//!
+//! ## Crate map
+//!
+//! | Module | Source crate | Contents |
+//! |--------|--------------|----------|
+//! | [`sim`] | `ts-sim` | simulation kernel: cycles, FIFOs, stats, seeded RNG |
+//! | [`dfg`] | `ts-dfg` | dataflow-graph IR + functional interpreter |
+//! | [`cgra`] | `ts-cgra` | CGRA fabric, place-and-route mapper, II timing |
+//! | [`mem`] | `ts-mem` | banked DRAM + scratchpad models |
+//! | [`noc`] | `ts-noc` | 2D-mesh NoC with XY routing and tree multicast |
+//! | [`stream`] | `ts-stream` | stream descriptors, ports, stream engines |
+//! | [`model`] | `taskstream-model` | **the TaskStream execution model** |
+//! | [`delta`] | `ts-delta` | the Delta accelerator + static baseline + area model |
+//! | [`workloads`] | `ts-workloads` | task-parallel workload suite |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`; the short version:
+//!
+//! ```
+//! use taskstream::delta::{Accelerator, DeltaConfig};
+//! use taskstream::workloads::{spmv::Spmv, Workload};
+//!
+//! let wl = Spmv::tiny(7); // seeded test-sized instance
+//! let mut program = wl.make_program();
+//! let mut accel = Accelerator::new(DeltaConfig::delta(4));
+//! let run = accel.run(program.as_mut()).unwrap();
+//! wl.validate(&run).unwrap();
+//! println!("finished in {} cycles", run.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use taskstream_model as model;
+pub use ts_cgra as cgra;
+pub use ts_delta as delta;
+pub use ts_dfg as dfg;
+pub use ts_mem as mem;
+pub use ts_noc as noc;
+pub use ts_sim as sim;
+pub use ts_stream as stream;
+pub use ts_workloads as workloads;

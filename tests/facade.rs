@@ -1,0 +1,37 @@
+//! Smoke tests of the facade crate's surface: every re-export is
+//! usable and the analytical models compose through it.
+
+use taskstream::cgra::{Fabric, FabricConfig};
+use taskstream::delta::{area, energy, Accelerator, DeltaConfig};
+use taskstream::dfg::DfgBuilder;
+use taskstream::sim::Cycle;
+use taskstream::workloads::{gemm::Gemm, Workload};
+
+#[test]
+fn facade_reexports_compose() {
+    // dfg -> cgra through the facade paths
+    let mut b = DfgBuilder::new("k");
+    let x = b.input();
+    let y = b.abs(x);
+    b.output(y);
+    let dfg = b.finish().unwrap();
+    assert!(dfg.to_dot().contains("digraph"));
+    let mapping = Fabric::new(FabricConfig::default()).map(&dfg, 1).unwrap();
+    assert!(mapping.timing().ii >= 1);
+
+    // sim primitives
+    assert_eq!(Cycle::new(1) + Cycle::new(2), Cycle::new(3));
+
+    // a full run + both analytical models
+    let cfg = DeltaConfig::delta(2);
+    let wl = Gemm::tiny(3);
+    let mut program = wl.make_program();
+    let report = Accelerator::new(cfg.clone()).run(program.as_mut()).unwrap();
+    wl.validate(&report).unwrap();
+
+    let a = area::breakdown(&cfg);
+    assert!(a.taskstream_overhead() > 0.0 && a.taskstream_overhead() < 0.1);
+    let e = energy::breakdown(&cfg, &report);
+    assert!(e.total_uj() > 0.0);
+    assert!(!report.sparkline(2, 16).is_empty() || report.cycles < 256);
+}
