@@ -93,6 +93,14 @@ pub struct DeltaConfig {
     /// not started (outside the prefetch window, no pipes, no
     /// scratchpad side effects) are eligible.
     pub work_stealing: bool,
+    /// Simulator fast path (not a modelled mechanism): when the whole
+    /// machine is quiescent and the only future work sits in the spawn/
+    /// host latency queues, jump the cycle counter to the next due event
+    /// instead of ticking every component through dead cycles. Results
+    /// are bit-identical either way (each component's idle tick is
+    /// replayed in closed form); the toggle exists so equivalence can be
+    /// regression-tested.
+    pub idle_skip: bool,
     /// Seed for mapper restarts and randomized policies.
     pub seed: u64,
     /// Hard cycle limit (a wedged model errors instead of spinning).
@@ -135,6 +143,7 @@ impl DeltaConfig {
             policy: Policy::WorkAware,
             features: Features::all(),
             work_stealing: false,
+            idle_skip: true,
             seed: 0xDE17A,
             max_cycles: 200_000_000,
         }

@@ -356,6 +356,19 @@ impl Tile {
         self.queue.is_empty()
     }
 
+    /// Fast-forwards `n` idle cycles. Mirrors the empty-queue path of
+    /// [`tick`](Tile::tick) exactly: scratchpad and engine budget
+    /// refills (saturating, so they collapse to one closed-form add),
+    /// the `idle_cycles` statistic, and the phase reset. The DRAM/spill
+    /// issue sweeps run over an empty queue and are no-ops.
+    pub(crate) fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.queue.is_empty(), "skip with queued work");
+        self.spad.skip_cycles(n);
+        self.engine.refill_n(n);
+        self.stats.bump_by("idle_cycles", n);
+        self.phase = Phase::Idle;
+    }
+
     /// Accepts a dispatched task.
     pub(crate) fn enqueue(&mut self, exec: TaskExec) {
         self.stats.bump("tasks_dispatched");

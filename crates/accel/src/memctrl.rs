@@ -305,6 +305,15 @@ impl MemCtrl {
     pub(crate) fn dram_stats(&self) -> &ts_sim::stats::Stats {
         self.dram.stats()
     }
+
+    /// Fast-forwards `n` cycles with nothing in flight. An idle
+    /// controller tick only refills the DRAM bandwidth bucket (every
+    /// queue sweep runs over empty collections), so this is exactly
+    /// equivalent to `n` [`tick`](MemCtrl::tick) calls.
+    pub(crate) fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.is_idle(), "skip with controller work in flight");
+        self.dram.skip_idle_cycles(n);
+    }
 }
 
 #[cfg(test)]

@@ -21,6 +21,11 @@ pub struct RunReport {
     /// Sampled occupancy: `(cycle, busy tiles)` every
     /// [`RunReport::TIMELINE_STRIDE`] cycles.
     pub timeline: Vec<(u64, u32)>,
+    /// Cycles covered by the idle-skip fast path instead of dense
+    /// ticking. Simulator bookkeeping, not a modelled quantity — kept
+    /// out of [`RunReport::stats`] so reports are bit-identical whether
+    /// skipping is enabled or not.
+    pub skipped_cycles: u64,
 }
 
 impl RunReport {
@@ -33,6 +38,7 @@ impl RunReport {
         dram: Storage,
         tasks_completed: u64,
         timeline: Vec<(u64, u32)>,
+        skipped_cycles: u64,
     ) -> Self {
         RunReport {
             cycles,
@@ -40,6 +46,7 @@ impl RunReport {
             dram,
             tasks_completed,
             timeline,
+            skipped_cycles,
         }
     }
 

@@ -1,0 +1,198 @@
+//! Equivalence tests for the idle-cycle skip fast path: a run with
+//! `idle_skip` enabled must produce a bit-identical [`RunReport`] to
+//! the densely ticked run, while actually exercising the fast path.
+
+use taskstream_model::{
+    CompletedTask, MemoryImage, Program, Spawner, TaskInstance, TaskKernel, TaskType, TaskTypeId,
+};
+use ts_delta::{Accelerator, DeltaConfig};
+use ts_dfg::DfgBuilder;
+use ts_stream::StreamDesc;
+
+fn reduce_type(name: &str) -> TaskType {
+    let mut b = DfgBuilder::new(name);
+    let x = b.input();
+    let s = b.acc(x);
+    b.output_on_last(s);
+    TaskType::new(name, TaskKernel::dfg(b.finish().unwrap()))
+}
+
+/// A strictly serial chain: each completion spawns the next task, so
+/// every spawn/host latency window leaves the whole machine quiescent.
+struct SerialChain {
+    remaining: usize,
+}
+
+impl Program for SerialChain {
+    fn name(&self) -> &str {
+        "serial-chain"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![reduce_type("link")]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=64i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.remaining -= 1;
+        s.spawn(
+            TaskInstance::new(TaskTypeId(0))
+                .input_stream(StreamDesc::dram(0, 64))
+                .output_discard(),
+        );
+    }
+
+    fn on_complete(&mut self, done: &CompletedTask, s: &mut Spawner) {
+        assert_eq!(done.outputs[0], vec![64 * 65 / 2]);
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(0, 64))
+                    .output_discard(),
+            );
+        }
+    }
+}
+
+/// Waves of parallel tasks separated by long quiescent windows: each
+/// completed wave spawns the next from `on_complete` of its last task.
+struct Waves {
+    waves: usize,
+    width: usize,
+    outstanding: usize,
+}
+
+impl Program for Waves {
+    fn name(&self) -> &str {
+        "waves"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![reduce_type("wave")]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=32i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.waves -= 1;
+        self.outstanding = self.width;
+        for i in 0..self.width {
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(0, 32))
+                    .output_discard()
+                    .affinity(i as u64),
+            );
+        }
+    }
+
+    fn on_complete(&mut self, _done: &CompletedTask, s: &mut Spawner) {
+        self.outstanding -= 1;
+        if self.outstanding == 0 && self.waves > 0 {
+            self.waves -= 1;
+            self.outstanding = self.width;
+            for i in 0..self.width {
+                s.spawn(
+                    TaskInstance::new(TaskTypeId(0))
+                        .input_stream(StreamDesc::dram(0, 32))
+                        .output_discard()
+                        .affinity(i as u64),
+                );
+            }
+        }
+    }
+}
+
+/// Runs the same program twice (skip on / skip off) and asserts every
+/// observable part of the report matches bit-for-bit, while the skip
+/// run actually took the fast path.
+fn assert_skip_equivalent<P, F>(make: F, cfg: DeltaConfig, dram_words: usize)
+where
+    P: Program,
+    F: Fn() -> P,
+{
+    let skip = Accelerator::new(DeltaConfig {
+        idle_skip: true,
+        ..cfg.clone()
+    })
+    .run(&mut make())
+    .unwrap();
+    let dense = Accelerator::new(DeltaConfig {
+        idle_skip: false,
+        ..cfg
+    })
+    .run(&mut make())
+    .unwrap();
+
+    assert!(
+        skip.skipped_cycles > 0,
+        "fast path never fired; the test is vacuous"
+    );
+    assert_eq!(dense.skipped_cycles, 0);
+    assert_eq!(skip.cycles, dense.cycles);
+    assert_eq!(skip.tasks_completed, dense.tasks_completed);
+    assert_eq!(skip.timeline, dense.timeline);
+    assert_eq!(skip.stats, dense.stats, "stats diverged");
+    assert_eq!(skip.dram_range(0, dram_words), dense.dram_range(0, dram_words));
+}
+
+#[test]
+fn serial_chain_reports_identical_with_and_without_skip() {
+    // Long spawn/host latencies leave windows far wider than the
+    // timeline stride, so sample backfill is exercised too.
+    let cfg = DeltaConfig {
+        spawn_latency: 700,
+        host_latency: 700,
+        ..DeltaConfig::delta(4)
+    };
+    assert_skip_equivalent(|| SerialChain { remaining: 6 }, cfg, 64);
+}
+
+#[test]
+fn serial_chain_default_latencies_still_skip() {
+    // Even the preset's 12-cycle latencies give quiescent windows.
+    assert_skip_equivalent(|| SerialChain { remaining: 8 }, DeltaConfig::delta(2), 64);
+}
+
+#[test]
+fn parallel_waves_reports_identical_with_and_without_skip() {
+    let cfg = DeltaConfig {
+        spawn_latency: 400,
+        host_latency: 400,
+        ..DeltaConfig::delta(8)
+    };
+    assert_skip_equivalent(
+        || Waves {
+            waves: 4,
+            width: 6,
+            outstanding: 0,
+        },
+        cfg,
+        32,
+    );
+}
+
+#[test]
+fn work_stealing_config_reports_identical_with_and_without_skip() {
+    let cfg = DeltaConfig {
+        work_stealing: true,
+        spawn_latency: 300,
+        host_latency: 300,
+        ..DeltaConfig::delta(4)
+    };
+    assert_skip_equivalent(
+        || Waves {
+            waves: 3,
+            width: 5,
+            outstanding: 0,
+        },
+        cfg,
+        32,
+    );
+}

@@ -1,0 +1,85 @@
+//! Criterion comparison of the idle-cycle skip fast path against dense
+//! ticking on a sparse workload: a strictly serial task chain whose
+//! spawn/host latency windows leave the machine quiescent most of the
+//! time. Dense ticking pays for every dead cycle; the skip path jumps
+//! straight to the next due event with bit-identical results (see
+//! `crates/accel/tests/idle_skip.rs` for the equivalence proof).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taskstream_model::{
+    CompletedTask, MemoryImage, Program, Spawner, TaskInstance, TaskKernel, TaskType, TaskTypeId,
+};
+use ts_delta::{Accelerator, DeltaConfig};
+use ts_dfg::DfgBuilder;
+use ts_stream::StreamDesc;
+
+struct SerialChain {
+    remaining: usize,
+}
+
+impl SerialChain {
+    fn spawn_link(s: &mut Spawner) {
+        s.spawn(
+            TaskInstance::new(TaskTypeId(0))
+                .input_stream(StreamDesc::dram(0, 64))
+                .output_discard(),
+        );
+    }
+}
+
+impl Program for SerialChain {
+    fn name(&self) -> &str {
+        "serial-chain"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        let mut b = DfgBuilder::new("link");
+        let x = b.input();
+        let s = b.acc(x);
+        b.output_on_last(s);
+        vec![TaskType::new("link", TaskKernel::dfg(b.finish().unwrap()))]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=64i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.remaining -= 1;
+        Self::spawn_link(s);
+    }
+
+    fn on_complete(&mut self, _done: &CompletedTask, s: &mut Spawner) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            Self::spawn_link(s);
+        }
+    }
+}
+
+fn run_chain(idle_skip: bool) -> u64 {
+    let cfg = DeltaConfig {
+        idle_skip,
+        spawn_latency: 600,
+        host_latency: 600,
+        ..DeltaConfig::delta(4)
+    };
+    let mut p = SerialChain { remaining: 40 };
+    Accelerator::new(cfg).run(&mut p).unwrap().cycles
+}
+
+fn idle_skip_vs_dense(c: &mut Criterion) {
+    c.bench_function("serial_chain_idle_skip", |bench| {
+        bench.iter(|| run_chain(true))
+    });
+    c.bench_function("serial_chain_dense_tick", |bench| {
+        bench.iter(|| run_chain(false))
+    });
+}
+
+criterion_group!(
+    name = idle_skip;
+    config = Criterion::default().sample_size(20);
+    targets = idle_skip_vs_dense
+);
+criterion_main!(idle_skip);

@@ -1,10 +1,16 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro                  # run everything at the default (small) scale
-//! repro fig_overall      # one experiment
-//! repro --tiny           # everything, test-sized instances
+//! repro                     # run everything at the default (small) scale
+//! repro fig_overall         # one experiment
+//! repro --tiny              # everything, test-sized instances
+//! repro --jobs 8            # run each experiment's sweep on 8 threads
+//! repro --bench-json out.json   # also write machine-readable timings
 //! ```
+//!
+//! `--jobs 1` reproduces the fully serial behavior; any `--jobs N`
+//! prints byte-identical tables (per-job seeds are derived from the
+//! job key, never from sweep iteration order).
 
 use std::time::Instant;
 use ts_bench::experiments::{self, ALL};
@@ -12,27 +18,66 @@ use ts_workloads::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--tiny") {
-        Scale::Tiny
-    } else {
-        Scale::Small
-    };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let mut scale = Scale::Small;
+    let mut jobs: Option<usize> = None;
+    let mut bench_json: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => scale = Scale::Tiny,
+            "--jobs" => {
+                let v = it.next().expect("--jobs needs a value");
+                jobs = Some(v.parse().expect("--jobs value must be an integer"));
+            }
+            "--bench-json" => {
+                bench_json = Some(it.next().expect("--bench-json needs a path"));
+            }
+            s if s.starts_with("--") => eprintln!("ignoring unknown flag {s}"),
+            _ => wanted.push(a),
+        }
+    }
+    if let Some(n) = jobs {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("building the global thread pool");
+    }
     let ids: Vec<&str> = if wanted.is_empty() {
         ALL.to_vec()
     } else {
-        wanted
+        wanted.iter().map(|s| s.as_str()).collect()
     };
 
+    let t_all = Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for id in ids {
         let t0 = Instant::now();
         let out = experiments::run(id, scale);
+        timings.push((id.to_string(), t0.elapsed().as_secs_f64()));
         println!("=== {id} ===");
         println!("{out}");
         println!("  ({:.1?})\n", t0.elapsed());
+    }
+    let total = t_all.elapsed().as_secs_f64();
+
+    if let Some(path) = bench_json {
+        let mut json = String::from("{\n");
+        json.push_str(&format!(
+            "  \"scale\": \"{}\",\n",
+            if scale == Scale::Tiny { "tiny" } else { "small" }
+        ));
+        json.push_str(&format!("  \"jobs\": {},\n", rayon::current_num_threads()));
+        json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+        json.push_str("  \"experiments\": [\n");
+        for (i, (id, secs)) in timings.iter().enumerate() {
+            let comma = if i + 1 < timings.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"seconds\": {secs:.3}}}{comma}\n"
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        std::fs::write(&path, json).expect("writing the bench json");
+        eprintln!("wrote {path}");
     }
 }

@@ -1,6 +1,13 @@
 //! The experiments: one function per table/figure.
+//!
+//! Every experiment follows the same two-phase shape: *materialize*
+//! the full (workload × config × policy) grid into a job list, then
+//! *execute* it with [`run_grid`] on the global rayon pool and
+//! assemble the table from the order-preserved results. Per-job RNG
+//! seeds derive from [`SEED`] plus a stable job key ([`derive_seed`]),
+//! so `repro --jobs N` output is byte-identical to `--jobs 1`.
 
-use crate::{fmt_x, run_validated, Table};
+use crate::{fmt_x, run_grid, Job, Table};
 use taskstream_model::Policy;
 use ts_delta::{area, DeltaConfig, Features};
 use ts_sim::stats::geomean;
@@ -14,6 +21,33 @@ pub const SEED: u64 = 42;
 
 /// Paper-scale tile count.
 pub const TILES: usize = 8;
+
+/// Stable per-job seed: folds a job key (the workload name) into the
+/// experiment seed with FNV-1a, so a run's RNG streams depend on
+/// *what* it is, not on where sweep iteration order placed it. This is
+/// what makes a parallel sweep byte-identical to a serial one: no job
+/// inherits RNG state from the jobs that happened to run before it.
+///
+/// The key is the workload name alone (not the design point), so every
+/// design-point sweep over one workload shares a seed — and therefore
+/// shares CGRA mapping-cache entries, which are keyed on
+/// `(fabric, DFG, seed)`.
+pub fn derive_seed(base: u64, key: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A design point with the job's derived seed applied.
+fn seeded(cfg: DeltaConfig, wl: &dyn Workload) -> DeltaConfig {
+    DeltaConfig {
+        seed: derive_seed(SEED, wl.name()),
+        ..cfg
+    }
+}
 
 /// Result of the headline experiment.
 #[derive(Debug)]
@@ -29,6 +63,17 @@ pub struct Overall {
 /// `fig_overall` — the headline: Delta vs. the equivalent
 /// static-parallel design, per workload.
 pub fn fig_overall(scale: Scale) -> Overall {
+    let wls = suite(scale, SEED);
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::baseline(
+            wl.as_ref(),
+            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
+        ));
+    }
+    let results = run_grid(&jobs);
+
     let mut table = Table::new(&[
         "workload",
         "delta cyc",
@@ -39,9 +84,8 @@ pub fn fig_overall(scale: Scale) -> Overall {
     ]);
     let mut speedups = Vec::new();
     let mut irregular = Vec::new();
-    for wl in suite(scale, SEED) {
-        let d = run_validated(wl.as_ref(), DeltaConfig::delta(TILES), false);
-        let s = run_validated(wl.as_ref(), DeltaConfig::static_parallel(TILES), true);
+    for (wl, pair) in wls.iter().zip(results.chunks(2)) {
+        let (d, s) = (&pair[0], &pair[1]);
         let sp = s.cycles as f64 / d.cycles as f64;
         speedups.push(sp);
         if matches!(
@@ -113,6 +157,22 @@ pub fn fig_ablation(scale: Scale) -> Table {
         ),
         ("+multicast", Features::all(), Policy::WorkAware),
     ];
+    let wls = suite(scale, SEED);
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        jobs.push(Job::baseline(
+            wl.as_ref(),
+            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
+        ));
+        for (_, features, policy) in steps {
+            let cfg = DeltaConfig::static_parallel(TILES)
+                .with_policy(policy)
+                .with_features(features);
+            jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
+        }
+    }
+    let results = run_grid(&jobs);
+
     let mut table = Table::new(&[
         "workload",
         "static",
@@ -121,14 +181,10 @@ pub fn fig_ablation(scale: Scale) -> Table {
         "+pipeline",
         "+multicast",
     ]);
-    for wl in suite(scale, SEED) {
-        let base = run_validated(wl.as_ref(), DeltaConfig::static_parallel(TILES), true);
+    for (wl, group) in wls.iter().zip(results.chunks(1 + steps.len())) {
+        let base = &group[0];
         let mut cells = vec![wl.name().to_string(), "1.00x".to_string()];
-        for (_, features, policy) in steps {
-            let cfg = DeltaConfig::static_parallel(TILES)
-                .with_policy(policy)
-                .with_features(features);
-            let r = run_validated(wl.as_ref(), cfg, false);
+        for r in &group[1..] {
             cells.push(fmt_x(base.cycles as f64 / r.cycles as f64));
         }
         table.row(cells);
@@ -138,7 +194,6 @@ pub fn fig_ablation(scale: Scale) -> Table {
 
 /// `fig_tiles` — tile-count scaling, Delta vs static-parallel.
 pub fn fig_tiles(scale: Scale, tile_counts: &[usize]) -> Table {
-    let mut table = Table::new(&["workload", "tiles", "delta cyc", "static cyc", "speedup"]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![
             Box::new(Spmv::tiny(SEED)),
@@ -153,10 +208,24 @@ pub fn fig_tiles(scale: Scale, tile_counts: &[usize]) -> Table {
             Box::new(Gemm::small(SEED)),
         ],
     };
+    let mut jobs = Vec::new();
     for wl in &wls {
         for &t in tile_counts {
-            let d = run_validated(wl.as_ref(), DeltaConfig::delta(t), false);
-            let s = run_validated(wl.as_ref(), DeltaConfig::static_parallel(t), true);
+            jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(t), wl.as_ref())));
+            jobs.push(Job::baseline(
+                wl.as_ref(),
+                seeded(DeltaConfig::static_parallel(t), wl.as_ref()),
+            ));
+        }
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["workload", "tiles", "delta cyc", "static cyc", "speedup"]);
+    let mut res = results.iter();
+    for wl in &wls {
+        for &t in tile_counts {
+            let d = res.next().unwrap();
+            let s = res.next().unwrap();
             table.row(vec![
                 wl.name().into(),
                 t.to_string(),
@@ -176,11 +245,20 @@ pub fn fig_grain(scale: Scale) -> Table {
         Scale::Tiny => (256, 64),
         Scale::Small => (2048, 2048),
     };
+    let wls: Vec<Spmv> = grains
+        .iter()
+        .map(|&g| Spmv::new(n, max_row, g, SEED))
+        .collect();
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        jobs.push(Job::new(wl, seeded(DeltaConfig::delta(TILES), wl)));
+        jobs.push(Job::baseline(wl, seeded(DeltaConfig::static_parallel(TILES), wl)));
+    }
+    let results = run_grid(&jobs);
+
     let mut table = Table::new(&["rows/task", "tasks", "delta cyc", "static cyc", "speedup"]);
-    for &g in grains {
-        let wl = Spmv::new(n, max_row, g, SEED);
-        let d = run_validated(&wl, DeltaConfig::delta(TILES), false);
-        let s = run_validated(&wl, DeltaConfig::static_parallel(TILES), true);
+    for ((&g, wl), pair) in grains.iter().zip(&wls).zip(results.chunks(2)) {
+        let (d, s) = (&pair[0], &pair[1]);
         table.row(vec![
             g.to_string(),
             wl.info().tasks.to_string(),
@@ -194,22 +272,30 @@ pub fn fig_grain(scale: Scale) -> Table {
 
 /// `fig_imbalance` — per-tile busy cycles under both designs.
 pub fn fig_imbalance(scale: Scale) -> Table {
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+    };
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::baseline(
+            wl.as_ref(),
+            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
+        ));
+    }
+    let results = run_grid(&jobs);
+
     let mut table = Table::new(&[
         "workload",
         "design",
         "per-tile busy (max/mean)",
         "imbalance",
     ]);
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
-    };
+    let mut res = results.iter();
     for wl in &wls {
-        for (design, cfg, base) in [
-            ("delta", DeltaConfig::delta(TILES), false),
-            ("static", DeltaConfig::static_parallel(TILES), true),
-        ] {
-            let r = run_validated(wl.as_ref(), cfg, base);
+        for design in ["delta", "static"] {
+            let r = res.next().unwrap();
             let busy = r.tile_busy();
             let max = busy.iter().cloned().fold(0.0f64, f64::max);
             let mean = busy.iter().sum::<f64>() / busy.len() as f64;
@@ -226,14 +312,6 @@ pub fn fig_imbalance(scale: Scale) -> Table {
 
 /// `fig_noc` — DRAM words and NoC flit-hops with and without multicast.
 pub fn fig_noc(scale: Scale) -> Table {
-    let mut table = Table::new(&[
-        "workload",
-        "dram rd (mc)",
-        "dram rd (uni)",
-        "saved",
-        "hops (mc)",
-        "hops (uni)",
-    ]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![
             Box::new(DTree::tiny(SEED)),
@@ -246,17 +324,31 @@ pub fn fig_noc(scale: Scale) -> Table {
             Box::new(HashJoin::small(SEED)),
         ],
     };
+    let unicast = Features {
+        work_aware: true,
+        pipelining: true,
+        multicast: false,
+    };
+    let mut jobs = Vec::new();
     for wl in &wls {
-        let with = run_validated(wl.as_ref(), DeltaConfig::delta(TILES), false);
-        let without = run_validated(
+        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::new(
             wl.as_ref(),
-            DeltaConfig::delta(TILES).with_features(Features {
-                work_aware: true,
-                pipelining: true,
-                multicast: false,
-            }),
-            false,
-        );
+            seeded(DeltaConfig::delta(TILES).with_features(unicast), wl.as_ref()),
+        ));
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&[
+        "workload",
+        "dram rd (mc)",
+        "dram rd (uni)",
+        "saved",
+        "hops (mc)",
+        "hops (uni)",
+    ]);
+    for (wl, pair) in wls.iter().zip(results.chunks(2)) {
+        let (with, without) = (&pair[0], &pair[1]);
         let rd_mc = with.stats.get_or_zero("dram.read_words");
         let rd_uni = without.stats.get_or_zero("dram.read_words");
         table.row(vec![
@@ -276,6 +368,28 @@ pub fn fig_noc(scale: Scale) -> Table {
 /// work-aware; `least-queued` isolates the value of the *work* hint
 /// (it balances task counts but not task sizes).
 pub fn fig_policy(scale: Scale) -> Table {
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+    };
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        jobs.push(Job::new(
+            wl.as_ref(),
+            seeded(
+                DeltaConfig::delta(TILES).with_policy(Policy::WorkAware),
+                wl.as_ref(),
+            ),
+        ));
+        for pol in Policy::ALL {
+            jobs.push(Job::new(
+                wl.as_ref(),
+                seeded(DeltaConfig::delta(TILES).with_policy(pol), wl.as_ref()),
+            ));
+        }
+    }
+    let results = run_grid(&jobs);
+
     let mut table = Table::new(&[
         "workload",
         "work-aware",
@@ -284,23 +398,10 @@ pub fn fig_policy(scale: Scale) -> Table {
         "random",
         "static-hash",
     ]);
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
-    };
-    for wl in &wls {
+    for (wl, group) in wls.iter().zip(results.chunks(1 + Policy::ALL.len())) {
+        let base = &group[0];
         let mut cells = vec![wl.name().to_string()];
-        let base = run_validated(
-            wl.as_ref(),
-            DeltaConfig::delta(TILES).with_policy(Policy::WorkAware),
-            false,
-        );
-        for pol in Policy::ALL {
-            let r = run_validated(
-                wl.as_ref(),
-                DeltaConfig::delta(TILES).with_policy(pol),
-                false,
-            );
+        for r in &group[1..] {
             cells.push(fmt_x(r.cycles as f64 / base.cycles as f64));
         }
         table.row(cells);
@@ -314,29 +415,31 @@ pub fn fig_policy(scale: Scale) -> Table {
 /// pipe chains).
 pub fn fig_window(scale: Scale) -> Table {
     let windows: &[usize] = &[1, 4, 16, 32, 64];
-    let mut table = Table::new(&["workload", "window", "cycles", "vs 32"]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![Box::new(DTree::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
         Scale::Small => vec![Box::new(DTree::small(SEED)), Box::new(Bfs::small(SEED))],
     };
+    let mut jobs = Vec::new();
     for wl in &wls {
-        let base = run_validated(
-            wl.as_ref(),
-            DeltaConfig {
-                dispatch_window: 32,
-                ..DeltaConfig::delta(TILES)
-            },
-            false,
-        );
-        for &w in windows {
-            let r = run_validated(
+        for &w in std::iter::once(&32usize).chain(windows) {
+            jobs.push(Job::new(
                 wl.as_ref(),
-                DeltaConfig {
-                    dispatch_window: w,
-                    ..DeltaConfig::delta(TILES)
-                },
-                false,
-            );
+                seeded(
+                    DeltaConfig {
+                        dispatch_window: w,
+                        ..DeltaConfig::delta(TILES)
+                    },
+                    wl.as_ref(),
+                ),
+            ));
+        }
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["workload", "window", "cycles", "vs 32"]);
+    for (wl, group) in wls.iter().zip(results.chunks(1 + windows.len())) {
+        let base = &group[0];
+        for (&w, r) in windows.iter().zip(&group[1..]) {
             table.row(vec![
                 wl.name().into(),
                 w.to_string(),
@@ -353,29 +456,31 @@ pub fn fig_window(scale: Scale) -> Table {
 /// from the running task).
 pub fn fig_prefetch(scale: Scale) -> Table {
     let depths: &[usize] = &[1, 2, 4];
-    let mut table = Table::new(&["workload", "depth", "cycles", "vs 2"]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Gemm::tiny(SEED))],
         Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Gemm::small(SEED))],
     };
+    let mut jobs = Vec::new();
     for wl in &wls {
-        let base = run_validated(
-            wl.as_ref(),
-            DeltaConfig {
-                prefetch_depth: 2,
-                ..DeltaConfig::delta(TILES)
-            },
-            false,
-        );
-        for &d in depths {
-            let r = run_validated(
+        for &d in std::iter::once(&2usize).chain(depths) {
+            jobs.push(Job::new(
                 wl.as_ref(),
-                DeltaConfig {
-                    prefetch_depth: d,
-                    ..DeltaConfig::delta(TILES)
-                },
-                false,
-            );
+                seeded(
+                    DeltaConfig {
+                        prefetch_depth: d,
+                        ..DeltaConfig::delta(TILES)
+                    },
+                    wl.as_ref(),
+                ),
+            ));
+        }
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["workload", "depth", "cycles", "vs 2"]);
+    for (wl, group) in wls.iter().zip(results.chunks(1 + depths.len())) {
+        let base = &group[0];
+        for (&d, r) in depths.iter().zip(&group[1..]) {
             table.row(vec![
                 wl.name().into(),
                 d.to_string(),
@@ -391,28 +496,28 @@ pub fn fig_prefetch(scale: Scale) -> Table {
 /// read waits for sharers to join before it starts streaming).
 pub fn fig_batch(scale: Scale) -> Table {
     let windows: &[u64] = &[0, 8, 24, 64, 256];
-    let mut table = Table::new(&["window cyc", "cycles", "dram reads", "vs 24"]);
     let wl: Box<dyn Workload> = match scale {
         Scale::Tiny => Box::new(DTree::tiny(SEED)),
         Scale::Small => Box::new(DTree::small(SEED)),
     };
-    let base = run_validated(
-        wl.as_ref(),
-        DeltaConfig {
-            mcast_batch_window: 24,
-            ..DeltaConfig::delta(TILES)
-        },
-        false,
-    );
-    for &w in windows {
-        let r = run_validated(
+    let mut jobs = Vec::new();
+    for &w in std::iter::once(&24u64).chain(windows) {
+        jobs.push(Job::new(
             wl.as_ref(),
-            DeltaConfig {
-                mcast_batch_window: w,
-                ..DeltaConfig::delta(TILES)
-            },
-            false,
-        );
+            seeded(
+                DeltaConfig {
+                    mcast_batch_window: w,
+                    ..DeltaConfig::delta(TILES)
+                },
+                wl.as_ref(),
+            ),
+        ));
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["window cyc", "cycles", "dram reads", "vs 24"]);
+    let base = &results[0];
+    for (&w, r) in windows.iter().zip(&results[1..]) {
         table.row(vec![
             w.to_string(),
             r.cycles.to_string(),
@@ -428,24 +533,32 @@ pub fn fig_batch(scale: Scale) -> Table {
 /// this; statically spawned ones shrug it off.
 pub fn fig_spawn(scale: Scale) -> Table {
     let latencies: &[u64] = &[0, 12, 48, 192, 768];
-    let mut table = Table::new(&["workload", "latency", "cycles", "slowdown"]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![Box::new(Bfs::tiny(SEED)), Box::new(Spmv::tiny(SEED))],
         Scale::Small => vec![Box::new(Bfs::small(SEED)), Box::new(Spmv::small(SEED))],
     };
+    let mut jobs = Vec::new();
     for wl in &wls {
-        let mut base_cycles = None;
         for &lat in latencies {
-            let r = run_validated(
+            jobs.push(Job::new(
                 wl.as_ref(),
-                DeltaConfig {
-                    spawn_latency: lat,
-                    host_latency: lat,
-                    ..DeltaConfig::delta(TILES)
-                },
-                false,
-            );
-            let base = *base_cycles.get_or_insert(r.cycles);
+                seeded(
+                    DeltaConfig {
+                        spawn_latency: lat,
+                        host_latency: lat,
+                        ..DeltaConfig::delta(TILES)
+                    },
+                    wl.as_ref(),
+                ),
+            ));
+        }
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["workload", "latency", "cycles", "slowdown"]);
+    for (wl, group) in wls.iter().zip(results.chunks(latencies.len())) {
+        let base = group[0].cycles;
+        for (&lat, r) in latencies.iter().zip(group) {
             table.row(vec![
                 wl.name().into(),
                 lat.to_string(),
@@ -460,29 +573,31 @@ pub fn fig_spawn(scale: Scale) -> Table {
 /// `fig_queue` — tile task-queue depth sensitivity (Delta).
 pub fn fig_queue(scale: Scale) -> Table {
     let depths: &[usize] = &[1, 2, 4, 8];
-    let mut table = Table::new(&["workload", "depth", "cycles", "vs depth=4"]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(HashJoin::tiny(SEED))],
         Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(HashJoin::small(SEED))],
     };
+    let mut jobs = Vec::new();
     for wl in &wls {
-        let base = run_validated(
-            wl.as_ref(),
-            DeltaConfig {
-                tile_queue: 4,
-                ..DeltaConfig::delta(TILES)
-            },
-            false,
-        );
-        for &depth in depths {
-            let r = run_validated(
+        for &depth in std::iter::once(&4usize).chain(depths) {
+            jobs.push(Job::new(
                 wl.as_ref(),
-                DeltaConfig {
-                    tile_queue: depth,
-                    ..DeltaConfig::delta(TILES)
-                },
-                false,
-            );
+                seeded(
+                    DeltaConfig {
+                        tile_queue: depth,
+                        ..DeltaConfig::delta(TILES)
+                    },
+                    wl.as_ref(),
+                ),
+            ));
+        }
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["workload", "depth", "cycles", "vs depth=4"]);
+    for (wl, group) in wls.iter().zip(results.chunks(1 + depths.len())) {
+        let base = &group[0];
+        for (&depth, r) in depths.iter().zip(&group[1..]) {
             table.row(vec![
                 wl.name().into(),
                 depth.to_string(),
@@ -498,7 +613,6 @@ pub fn fig_queue(scale: Scale) -> Table {
 /// multiple task types sharing tiles).
 pub fn fig_reconfig(scale: Scale) -> Table {
     let costs: &[u64] = &[0, 2, 8, 32, 128];
-    let mut table = Table::new(&["workload", "cfg cyc/PE", "delta cyc", "slowdown"]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![
             Box::new(HashJoin::tiny(SEED)),
@@ -509,13 +623,20 @@ pub fn fig_reconfig(scale: Scale) -> Table {
             Box::new(MergeSort::small(SEED)),
         ],
     };
+    let mut jobs = Vec::new();
     for wl in &wls {
-        let mut base_cycles = None;
         for &c in costs {
-            let mut cfg = DeltaConfig::delta(TILES);
+            let mut cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
             cfg.fabric.config_per_pe = c;
-            let r = run_validated(wl.as_ref(), cfg, false);
-            let base = *base_cycles.get_or_insert(r.cycles);
+            jobs.push(Job::new(wl.as_ref(), cfg));
+        }
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["workload", "cfg cyc/PE", "delta cyc", "slowdown"]);
+    for (wl, group) in wls.iter().zip(results.chunks(costs.len())) {
+        let base = group[0].cycles;
+        for (&c, r) in costs.iter().zip(group) {
             table.row(vec![
                 wl.name().into(),
                 c.to_string(),
@@ -531,6 +652,28 @@ pub fn fig_reconfig(scale: Scale) -> Table {
 /// (or add to) work-aware dispatch? Columns are cycles under: static
 /// placement, static + stealing, work-aware, work-aware + stealing.
 pub fn fig_steal(scale: Scale) -> Table {
+    let combos = [
+        (Policy::StaticHash, false),
+        (Policy::StaticHash, true),
+        (Policy::WorkAware, false),
+        (Policy::WorkAware, true),
+    ];
+    let wls: Vec<Box<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+    };
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        for (policy, steal) in combos {
+            let cfg = DeltaConfig {
+                work_stealing: steal,
+                ..DeltaConfig::delta(TILES).with_policy(policy)
+            };
+            jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
+        }
+    }
+    let results = run_grid(&jobs);
+
     let mut table = Table::new(&[
         "workload",
         "static",
@@ -538,23 +681,9 @@ pub fn fig_steal(scale: Scale) -> Table {
         "work-aware",
         "work-aware+steal",
     ]);
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
-    };
-    for wl in &wls {
+    for (wl, group) in wls.iter().zip(results.chunks(combos.len())) {
         let mut cells = vec![wl.name().to_string()];
-        for (policy, steal) in [
-            (Policy::StaticHash, false),
-            (Policy::StaticHash, true),
-            (Policy::WorkAware, false),
-            (Policy::WorkAware, true),
-        ] {
-            let cfg = DeltaConfig {
-                work_stealing: steal,
-                ..DeltaConfig::delta(TILES).with_policy(policy)
-            };
-            let r = run_validated(wl.as_ref(), cfg, false);
+        for r in group {
             cells.push(r.cycles.to_string());
         }
         table.row(cells);
@@ -632,7 +761,6 @@ pub fn tbl_config() -> Table {
 /// scale until the memory system becomes the wall.
 pub fn fig_lanes(scale: Scale) -> Table {
     let lanes: &[u32] = &[1, 2, 4, 8];
-    let mut table = Table::new(&["workload", "lanes", "cycles", "speedup vs 1"]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![
             Box::new(Gemm::tiny(SEED)),
@@ -645,13 +773,20 @@ pub fn fig_lanes(scale: Scale) -> Table {
             Box::new(Spmv::small(SEED)),
         ],
     };
+    let mut jobs = Vec::new();
     for wl in &wls {
-        let mut base_cycles = None;
         for &l in lanes {
-            let mut cfg = DeltaConfig::delta(TILES);
+            let mut cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
             cfg.fabric.lanes = l;
-            let r = run_validated(wl.as_ref(), cfg, false);
-            let base = *base_cycles.get_or_insert(r.cycles);
+            jobs.push(Job::new(wl.as_ref(), cfg));
+        }
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["workload", "lanes", "cycles", "speedup vs 1"]);
+    for (wl, group) in wls.iter().zip(results.chunks(lanes.len())) {
+        let base = group[0].cycles;
+        for (&l, r) in lanes.iter().zip(group) {
             table.row(vec![
                 wl.name().into(),
                 l.to_string(),
@@ -667,17 +802,25 @@ pub fn fig_lanes(scale: Scale) -> Table {
 /// utilization figure): Delta keeps tiles busy; static placement shows
 /// the straggler tail / sweep troughs.
 pub fn fig_timeline(scale: Scale) -> Table {
-    let mut table = Table::new(&["workload", "design", "occupancy over time"]);
     let wls: Vec<Box<dyn Workload>> = match scale {
         Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
         Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
     };
+    let mut jobs = Vec::new();
     for wl in &wls {
-        for (design, cfg, base) in [
-            ("delta", DeltaConfig::delta(TILES), false),
-            ("static", DeltaConfig::static_parallel(TILES), true),
-        ] {
-            let r = run_validated(wl.as_ref(), cfg, base);
+        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::baseline(
+            wl.as_ref(),
+            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
+        ));
+    }
+    let results = run_grid(&jobs);
+
+    let mut table = Table::new(&["workload", "design", "occupancy over time"]);
+    let mut res = results.iter();
+    for wl in &wls {
+        for design in ["delta", "static"] {
+            let r = res.next().unwrap();
             table.row(vec![
                 wl.name().into(),
                 design.into(),
@@ -691,14 +834,24 @@ pub fn fig_timeline(scale: Scale) -> Table {
 /// `tbl_energy` — per-workload energy, Delta vs static-parallel
 /// (analytical event-energy model; see `ts_delta::energy`).
 pub fn tbl_energy(scale: Scale) -> Table {
+    let wls = suite(scale, SEED);
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::baseline(
+            wl.as_ref(),
+            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
+        ));
+    }
+    let results = run_grid(&jobs);
+
     let mut table = Table::new(&["workload", "delta uJ", "static uJ", "savings"]);
-    for wl in suite(scale, SEED) {
-        let dcfg = DeltaConfig::delta(TILES);
-        let scfg = DeltaConfig::static_parallel(TILES);
-        let d = run_validated(wl.as_ref(), dcfg.clone(), false);
-        let s = run_validated(wl.as_ref(), scfg.clone(), true);
-        let de = ts_delta::energy::breakdown(&dcfg, &d).total_uj();
-        let se = ts_delta::energy::breakdown(&scfg, &s).total_uj();
+    for (wl, pair) in wls.iter().zip(results.chunks(2)) {
+        let (d, s) = (&pair[0], &pair[1]);
+        let dcfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
+        let scfg = seeded(DeltaConfig::static_parallel(TILES), wl.as_ref());
+        let de = ts_delta::energy::breakdown(&dcfg, d).total_uj();
+        let se = ts_delta::energy::breakdown(&scfg, s).total_uj();
         table.row(vec![
             wl.name().into(),
             format!("{de:.1}"),
@@ -819,5 +972,12 @@ mod tests {
     fn run_rejects_unknown_id() {
         let err = std::panic::catch_unwind(|| run("nope", Scale::Tiny));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_key_sensitive() {
+        assert_eq!(derive_seed(SEED, "spmv"), derive_seed(SEED, "spmv"));
+        assert_ne!(derive_seed(SEED, "spmv"), derive_seed(SEED, "bfs"));
+        assert_ne!(derive_seed(SEED, "spmv"), derive_seed(SEED + 1, "spmv"));
     }
 }

@@ -38,6 +38,7 @@ mod table;
 
 pub use table::Table;
 
+use rayon::prelude::*;
 use taskstream_model::Program;
 use ts_delta::{Accelerator, DeltaConfig, RunReport};
 use ts_workloads::Workload;
@@ -60,6 +61,55 @@ pub fn run_validated(wl: &dyn Workload, cfg: DeltaConfig, baseline_program: bool
     wl.validate(&report)
         .unwrap_or_else(|e| panic!("{} produced wrong results: {e}", wl.name()));
     report
+}
+
+/// One cell of an experiment's sweep grid: a workload at one design
+/// point, with the program formulation to use.
+///
+/// Experiments materialize their whole (workload × config × policy)
+/// grid into `Vec<Job>` up front, then hand it to [`run_grid`]; the
+/// job carries everything a run needs so execution order is free.
+pub struct Job<'a> {
+    /// The workload to simulate.
+    pub wl: &'a dyn Workload,
+    /// The design point, including the job's derived RNG seed.
+    pub cfg: DeltaConfig,
+    /// Use the static-parallel program formulation.
+    pub baseline: bool,
+}
+
+impl<'a> Job<'a> {
+    /// A run of the workload's natural (task-parallel) program.
+    pub fn new(wl: &'a dyn Workload, cfg: DeltaConfig) -> Self {
+        Job {
+            wl,
+            cfg,
+            baseline: false,
+        }
+    }
+
+    /// A run of the static-parallel program formulation.
+    pub fn baseline(wl: &'a dyn Workload, cfg: DeltaConfig) -> Self {
+        Job {
+            wl,
+            cfg,
+            baseline: true,
+        }
+    }
+}
+
+/// Executes a materialized sweep grid on the global rayon pool and
+/// returns the reports **in job order**.
+///
+/// Parallel output is byte-identical to `--jobs 1`: each job's RNG
+/// streams derive from its own config (see
+/// [`experiments::derive_seed`]), never from iteration order, and the
+/// order-preserving collect keeps report `i` paired with job `i`
+/// regardless of which worker ran it.
+pub fn run_grid(jobs: &[Job<'_>]) -> Vec<RunReport> {
+    jobs.par_iter()
+        .map(|j| run_validated(j.wl, j.cfg.clone(), j.baseline))
+        .collect()
 }
 
 /// Formats a ratio as `x.xx×`.

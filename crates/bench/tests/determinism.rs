@@ -1,0 +1,35 @@
+//! Regression test for the parallel sweep engine's core guarantee:
+//! `--jobs N` output is byte-identical to `--jobs 1` for the same seed.
+//!
+//! The vendored rayon stand-in allows reconfiguring the global pool
+//! mid-process (upstream errors on the second `build_global`), which is
+//! exactly what lets one test run the same experiments in both modes
+//! and compare the rendered text.
+
+use rayon::ThreadPoolBuilder;
+use ts_bench::experiments;
+use ts_workloads::Scale;
+
+/// Experiments covering the sweep shapes: paired delta/static runs,
+/// grouped ablations with a shared base, per-design-point config
+/// edits, and the seed-sensitive Random policy (fig_policy).
+const IDS: &[&str] = &["fig_overall", "fig_tiles", "fig_policy", "fig_steal"];
+
+fn render_all(scale: Scale) -> Vec<String> {
+    IDS.iter().map(|id| experiments::run(id, scale)).collect()
+}
+
+#[test]
+fn parallel_sweep_output_is_byte_identical_to_serial() {
+    ThreadPoolBuilder::new().num_threads(1).build_global().unwrap();
+    let serial = render_all(Scale::Tiny);
+
+    ThreadPoolBuilder::new().num_threads(8).build_global().unwrap();
+    let parallel = render_all(Scale::Tiny);
+
+    ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+
+    for (id, (s, p)) in IDS.iter().zip(serial.iter().zip(&parallel)) {
+        assert_eq!(s, p, "{id} diverged between --jobs 1 and --jobs 8");
+    }
+}

@@ -1,0 +1,158 @@
+//! Process-wide memo of place-and-route results.
+//!
+//! [`mapper::map`](crate::mapper) is deterministic in
+//! `(FabricConfig, Dfg, seed)`, but a design-point sweep constructs a
+//! fresh accelerator — and therefore re-maps every task type's DFG —
+//! for each grid point. Most grid points vary tile counts, queue depths
+//! or policies while the fabric and kernels stay fixed, so the mapping
+//! work is identical across hundreds of runs. This module keys mappings
+//! by the *exact* structural content of the triple (no lossy hashing —
+//! a collision would silently alter timing) and shares the table across
+//! threads, so a parallel sweep pays each distinct place-and-route once.
+
+use crate::fabric::FabricConfig;
+use crate::mapper::{self, MapError, Mapping};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use ts_dfg::{Dfg, OutputMode, Op};
+
+/// Exact structural identity of one mapping problem.
+///
+/// Node ids in a [`Dfg`] are dense construction-order indices, so
+/// `(op, operand indices)` per node plus the output spec list is a
+/// complete, collision-free encoding of graph structure. The graph name
+/// is deliberately excluded: two identically shaped kernels share a
+/// mapping even if labelled differently.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MapKey {
+    fabric: FabricConfig,
+    seed: u64,
+    nodes: Vec<(Op, Vec<usize>)>,
+    outputs: Vec<(usize, OutputMode)>,
+}
+
+impl MapKey {
+    fn new(cfg: &FabricConfig, dfg: &Dfg, seed: u64) -> Self {
+        MapKey {
+            fabric: cfg.clone(),
+            seed,
+            nodes: dfg
+                .node_ids()
+                .map(|id| {
+                    (
+                        dfg.op(id),
+                        dfg.operands(id).iter().map(|o| o.index()).collect(),
+                    )
+                })
+                .collect(),
+            outputs: dfg
+                .outputs()
+                .iter()
+                .map(|spec| (spec.node.index(), spec.mode))
+                .collect(),
+        }
+    }
+}
+
+fn table() -> &'static Mutex<HashMap<MapKey, Mapping>> {
+    static TABLE: OnceLock<Mutex<HashMap<MapKey, Mapping>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Maps through the shared memo: returns the cached [`Mapping`] when
+/// this exact `(config, graph structure, seed)` triple has been mapped
+/// before (by any thread), otherwise maps and populates the table.
+///
+/// Failed mappings are not cached — [`MapError`] is cheap to recompute
+/// and callers treat it as fatal anyway.
+pub fn map_cached(cfg: &FabricConfig, dfg: &Dfg, seed: u64) -> Result<Mapping, MapError> {
+    let key = MapKey::new(cfg, dfg, seed);
+    if let Some(hit) = table().lock().expect("mapping cache poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit.clone());
+    }
+    // Map outside the lock: place-and-route is the expensive part, and
+    // holding the table across it would serialize a parallel sweep's
+    // cold misses. Two threads may race to map the same key; both get
+    // identical results (the mapper is deterministic), so last-write
+    //-wins insertion is harmless.
+    let mapping = mapper::map(cfg, dfg, seed)?;
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    table()
+        .lock()
+        .expect("mapping cache poisoned")
+        .insert(key, mapping.clone());
+    Ok(mapping)
+}
+
+/// `(hits, misses)` since process start (or the last [`reset_stats`]).
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Zeroes the hit/miss counters (the table itself is kept — entries
+/// stay valid forever since mapping is a pure function of the key).
+pub fn reset_stats() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fabric;
+    use ts_dfg::DfgBuilder;
+
+    fn kernel(name: &str, muls: usize) -> Dfg {
+        let mut b = DfgBuilder::new(name);
+        let x = b.input();
+        let y = b.input();
+        let mut cur = b.add(x, y);
+        for _ in 0..muls {
+            cur = b.mul(cur, x);
+        }
+        b.output(cur);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn hit_returns_same_mapping_as_cold_map() {
+        let fabric = Fabric::new(FabricConfig::default());
+        let dfg = kernel("k", 3);
+        let cold = fabric.map(&dfg, 17).unwrap();
+        let first = map_cached(fabric.config(), &dfg, 17).unwrap();
+        let second = map_cached(fabric.config(), &dfg, 17).unwrap();
+        for got in [&first, &second] {
+            assert_eq!(got.timing(), cold.timing());
+            assert_eq!(got.placement(), cold.placement());
+            assert_eq!(got.total_hops(), cold.total_hops());
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_seed_config_and_structure() {
+        let dfg = kernel("k", 2);
+        let cfg = FabricConfig::default();
+        // Counters are global and other tests bump them concurrently,
+        // so assert on deltas, not absolutes.
+        let (h0, m0) = stats();
+
+        map_cached(&cfg, &dfg, 1).unwrap();
+        map_cached(&cfg, &dfg, 2).unwrap(); // different seed: miss
+        let wide = FabricConfig {
+            cols: cfg.cols + 1,
+            ..cfg.clone()
+        };
+        map_cached(&wide, &dfg, 1).unwrap(); // different fabric: miss
+        map_cached(&cfg, &kernel("k", 4), 1).unwrap(); // different graph: miss
+        map_cached(&cfg, &kernel("renamed", 2), 1).unwrap(); // same structure: hit
+
+        let (h, m) = stats();
+        assert!(h - h0 >= 1, "structural twin should hit");
+        assert!(m - m0 >= 4, "distinct keys should miss");
+    }
+}

@@ -4,7 +4,10 @@ use crate::mapper::{self, MapError, Mapping};
 use ts_dfg::Dfg;
 
 /// Static description of one tile's CGRA.
-#[derive(Debug, Clone)]
+///
+/// `Eq + Hash` so a fabric can key the shared mapping cache (all fields
+/// are integers; there is nothing approximate here).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FabricConfig {
     /// Grid rows. Input ports enter at column 0, one per row, so `rows`
     /// bounds the number of stream inputs a kernel may have.
@@ -122,6 +125,18 @@ impl Fabric {
     /// outputs for the edge rows, or more compute nodes than PE slots).
     pub fn map(&self, dfg: &Dfg, seed: u64) -> Result<Mapping, MapError> {
         mapper::map(&self.config, dfg, seed)
+    }
+
+    /// Like [`Fabric::map`], but consults the process-wide mapping cache
+    /// first. Identical inputs — across repeated accelerator
+    /// constructions and across sweep threads — pay place-and-route
+    /// once; see [`crate::cache`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] exactly as [`Fabric::map`] would.
+    pub fn map_cached(&self, dfg: &Dfg, seed: u64) -> Result<Mapping, MapError> {
+        crate::cache::map_cached(&self.config, dfg, seed)
     }
 }
 

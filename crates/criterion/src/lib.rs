@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of criterion's API its benches use: [`Criterion`],
+//! [`Criterion::sample_size`], [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`criterion_group!`] (both plain and
+//! `name = ...; config = ...; targets = ...` forms) and
+//! [`criterion_main!`].
+//!
+//! Measurement is deliberately simple: per sample the closure runs in a
+//! timed batch, and the harness reports min / median / mean over the
+//! samples. There is no outlier analysis, no warm-up tuning beyond a
+//! fixed pass, and no HTML report — the numbers print to stdout, which
+//! is what the repo's tooling consumes.
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark body repeatedly and accumulates timing.
+pub struct Bencher {
+    /// Per-sample measured durations, one entry per `iter` sample batch.
+    samples: Vec<Duration>,
+    /// Iterations per sample batch (calibrated).
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Times `f` over calibrated batches. The return value is passed to
+    /// a volatile read so the optimizer cannot discard the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for ~5ms per sample batch so fast bodies are
+        // not dominated by clock reads.
+        let t0 = Instant::now();
+        let mut calib_iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            calib_iters += 1;
+            if t0.elapsed() >= Duration::from_millis(5) || calib_iters >= 1_000 {
+                break;
+            }
+        }
+        let per_iter = t0.elapsed() / calib_iters.max(1) as u32;
+        self.iters_per_sample = if per_iter >= Duration::from_millis(5) {
+            1
+        } else {
+            (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1)) as u64 + 1
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// Bench registry/config entry point (the `c: &mut Criterion` argument).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed sample batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            println!("{name:<28} (no samples)");
+            return self;
+        }
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<28} time: [min {} median {} mean {}]  ({} samples x {} iters)",
+            fmt_dur(min),
+            fmt_dur(median),
+            fmt_dur(mean),
+            sorted.len(),
+            b.iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Groups benchmark functions under one runner fn.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body_and_reports() {
+        let mut ran = 0u64;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+}

@@ -195,6 +195,19 @@ impl Dram {
         self.waiting.is_empty() && self.active.is_empty() && self.inflight.is_empty()
     }
 
+    /// Fast-forwards `n` cycles with no work in flight. An idle tick's
+    /// only effect is the bandwidth refill (the admit and payout loops
+    /// run over empty queues), so this is exactly equivalent to `n`
+    /// [`tick`](Dram::tick) calls.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the DRAM really is idle.
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.is_idle(), "skip with DRAM work in flight");
+        self.bw.refill_n(n);
+    }
+
     /// Statistics scope.
     pub fn stats(&self) -> &Stats {
         &self.stats

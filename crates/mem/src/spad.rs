@@ -58,6 +58,13 @@ impl Spad {
         self.bw.refill();
     }
 
+    /// Fast-forwards `n` cycles in which no access is made — equivalent
+    /// to `n` [`begin_cycle`](Spad::begin_cycle) calls with no
+    /// intervening reads or writes.
+    pub fn skip_cycles(&mut self, n: u64) {
+        self.bw.refill_n(n);
+    }
+
     /// Reads one word if bandwidth remains this cycle.
     ///
     /// # Panics

@@ -192,6 +192,22 @@ impl<P: Clone> Mesh<P> {
             .all(|ports| ports.iter().all(|q| q.is_empty()))
     }
 
+    /// True when any ejection buffer holds an undrained payload.
+    pub fn eject_pending(&self) -> bool {
+        self.eject.iter().any(|q| !q.is_empty())
+    }
+
+    /// Fast-forwards `n` cycles with no flit in flight. An idle tick's
+    /// only state change is the round-robin arbitration rotation (the
+    /// port sweep finds every queue empty and bumps no statistic), so
+    /// skipping must advance the rotation by the same amount to keep
+    /// post-skip arbitration identical to the ticked path.
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(self.is_idle(), "skip with flits in flight");
+        let m = self.nodes().max(1) as u64;
+        self.rotate = (self.rotate + (n % m) as usize) % m as usize;
+    }
+
     /// Statistics: `injected`, `delivered`, `flit_hops`, `stall_cycles`.
     pub fn stats(&self) -> &Stats {
         &self.stats
@@ -246,9 +262,13 @@ impl<P: Clone> Mesh<P> {
                     groups[dir_index(self.xy_next(node, dst))].push(dst);
                 }
 
+                // plan which direction groups can claim their output
+                // link this cycle; execution below then knows the full
+                // fan-out, so the payload is cloned per extra branch
+                // only and *moved* into the last send when the flit
+                // leaves this router entirely
                 let mut remaining: Vec<NodeId> = Vec::new();
-                let mut sent_any = false;
-                let payload = head.payload.clone();
+                let mut sends: Vec<Dir> = Vec::new();
                 for dir in OUT_DIRS {
                     let di = dir_index(dir);
                     if groups[di].is_empty() {
@@ -264,12 +284,6 @@ impl<P: Clone> Mesh<P> {
                                 remaining.extend_from_slice(&groups[di]);
                                 continue;
                             }
-                            if self.eject[node].push(payload.clone()).is_err() {
-                                unreachable!("ejection space was checked");
-                            }
-                            self.stats.bump("delivered");
-                            link_used[node][di] = true;
-                            sent_any = true;
                         }
                         _ => {
                             let next = self.neighbour(node, dir);
@@ -284,31 +298,56 @@ impl<P: Clone> Mesh<P> {
                                 remaining.extend_from_slice(&groups[di]);
                                 continue;
                             }
-                            moved.push((
-                                next,
-                                in_port,
-                                Flit {
-                                    dsts: groups[di].clone(),
-                                    payload: payload.clone(),
-                                },
-                            ));
-                            self.stats.bump("flit_hops");
-                            link_used[node][di] = true;
-                            sent_any = true;
                         }
                     }
+                    link_used[node][di] = true;
+                    sends.push(dir);
                 }
 
-                if remaining.is_empty() {
-                    self.queues[node][port].pop();
+                let mut payload: Option<P> = if remaining.is_empty() {
+                    // fully consumed: take the flit and move its payload
+                    Some(self.queues[node][port].pop().expect("head exists").payload)
                 } else {
-                    if !sent_any {
+                    if sends.is_empty() {
                         self.stats.bump("stall_cycles");
                     }
                     self.queues[node][port]
                         .front_mut()
                         .expect("head exists")
                         .dsts = remaining;
+                    None
+                };
+
+                for (k, &dir) in sends.iter().enumerate() {
+                    let p = match &payload {
+                        // last branch of a consumed flit gets the move
+                        Some(_) if k + 1 == sends.len() => payload.take().expect("moved once"),
+                        Some(p) => p.clone(),
+                        None => self.queues[node][port]
+                            .front()
+                            .expect("head exists")
+                            .payload
+                            .clone(),
+                    };
+                    match dir {
+                        Dir::Eject => {
+                            if self.eject[node].push(p).is_err() {
+                                unreachable!("ejection space was checked");
+                            }
+                            self.stats.bump("delivered");
+                        }
+                        _ => {
+                            moved.push((
+                                self.neighbour(node, dir),
+                                opposite(dir),
+                                Flit {
+                                    dsts: std::mem::take(&mut groups[dir_index(dir)]),
+                                    payload: p,
+                                },
+                            ));
+                            self.stats.bump("flit_hops");
+                        }
+                    }
                 }
             }
         }

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the *subset* of `rand`'s API it actually uses
+//! (see `ts_sim::rng::SimRng`, the only consumer):
+//!
+//! - [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`]
+//! - [`Rng::gen`] for `u64` / `f64`
+//! - [`Rng::gen_range`] over half-open `usize` / `u64` / `i64` ranges
+//!
+//! The generator is SplitMix64 rather than `rand`'s ChaCha12: not
+//! cryptographic, but statistically solid and deterministic per seed,
+//! which is all a simulator seed stream needs. Sequences therefore
+//! differ from upstream `rand`; nothing in this workspace pins exact
+//! upstream sequences, only self-consistency.
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from the generator's raw stream.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased bounded sampling via rejection on the top of the 64-bit
+/// stream (Lemire-style would be overkill here; rejection keeps the
+/// arithmetic obviously correct).
+fn bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Largest multiple of `span` not exceeding 2^64, as a rejection zone.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + bounded(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + bounded(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u32> for Range<u32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + bounded(rng, (self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(bounded(rng, span) as i64)
+    }
+}
+
+/// The raw 64-bit source every higher-level method builds on.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The user-facing sampling interface (the slice of `rand::Rng` this
+/// workspace uses).
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction-from-seed interface.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix the seed so small seeds (0, 1, 2…) land far apart
+            // in state space.
+            let mut s = StdRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            s.state = s.state.wrapping_add(s.next_u64());
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_spread() {
+        let mut r = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..10_000).map(|_| r.gen::<f64>()).collect();
+        assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u = r.gen_range(100u64..101);
+            assert_eq!(u, 100);
+        }
+    }
+}

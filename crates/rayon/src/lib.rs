@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of rayon's API the sweep engine uses:
+//!
+//! - `vec.into_par_iter().map(f).collect::<Vec<_>>()` (order-preserving)
+//! - `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! - [`ThreadPoolBuilder::num_threads`] + `build_global`
+//! - [`current_num_threads`]
+//!
+//! Execution model: a scoped thread per hardware slot pulls job indices
+//! off a shared atomic counter and writes results into per-index slots,
+//! so `collect` returns results in input order regardless of which
+//! thread ran which job — exactly the property the deterministic sweep
+//! engine relies on. There is no work-stealing deque; each job here is
+//! a whole simulator run (milliseconds to seconds), so a fetch-add
+//! counter and one mutex lock per job are noise.
+//!
+//! Divergence from upstream: `build_global` may be called repeatedly
+//! and simply overwrites the global thread count (upstream errors on
+//! the second call). The determinism regression tests exploit this to
+//! compare `--jobs 1` and `--jobs 8` in one process.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global thread-count override; 0 means "ask the OS".
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (never produced by
+/// this stand-in, kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build global thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the implicit global pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 restores the "ask the OS" default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Order-preserving parallel map: the engine under every adapter chain.
+fn run_par<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let item = jobs[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job taken twice");
+                let out = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("job produced no result")
+        })
+        .collect()
+}
+
+/// Parallel iterator over owned items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_par(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// `into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> IntoParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    /// Serializes tests that mutate the global thread count (the test
+    /// harness runs tests concurrently).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let refs: Vec<usize> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(refs, (1..1001).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn respects_global_thread_count() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 1);
+        let out: Vec<u32> = vec![3u32, 1, 4].into_par_iter().map(|x| x * 10).collect();
+        assert_eq!(out, vec![30, 10, 40]);
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_path_runs_every_job_once() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        let counter = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..257)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+            .collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+}

@@ -70,7 +70,11 @@ pub struct WorkloadInfo {
 }
 
 /// A benchmark workload: generator + reference + program + validation.
-pub trait Workload {
+///
+/// `Send + Sync` so a sweep grid can share one instance across the
+/// worker threads of a parallel experiment run (each run still builds
+/// its own [`Program`] via [`Workload::make_program`]).
+pub trait Workload: Send + Sync {
     /// Workload name.
     fn name(&self) -> &'static str;
 
