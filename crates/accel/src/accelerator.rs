@@ -6,9 +6,10 @@ use crate::exec::{DramJobSpec, Feed, FeedKind, Sink, SinkKind, TaskExec, Tile, T
 use crate::memctrl::{MemCtrl, ReadReq};
 use crate::msg::Msg;
 use crate::pipes::{PipeMode, PipeTable};
-use crate::report::RunReport;
+use crate::report::{RunReport, SimProfile};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 use taskstream_model::{
     CompletedTask, InputBinding, OutputBinding, Program, Spawner, TaskId, TaskInstance, TaskKernel,
     TaskType, TilePicker, Value,
@@ -17,6 +18,7 @@ use ts_cgra::{Fabric, KernelTiming, MapError};
 use ts_dfg::interp;
 use ts_noc::Mesh;
 use ts_sim::stats::{Report, Stats};
+use ts_sim::Activity;
 use ts_stream::{Addr, DataSrc, StreamDesc};
 
 /// Cycles without forward progress after which a run is declared
@@ -64,8 +66,12 @@ impl From<MapError> for RunError {
     }
 }
 
+/// Per-task-type data, shared (not cloned) into every dispatch: the
+/// kernel and name live behind `Arc`s so placing a task costs two
+/// refcount bumps instead of a deep copy of the kernel.
 struct TypeInfo {
-    tt: TaskType,
+    name: Arc<str>,
+    kernel: Arc<TaskKernel>,
     timing: KernelTiming,
 }
 
@@ -135,6 +141,19 @@ struct RunState {
     last_progress: u64,
     timeline: Vec<(u64, u32)>,
     skipped_cycles: u64,
+    /// Per-tile lazy-schedule marker: the count of cycles this tile has
+    /// been advanced through (ticked or replayed). A live tile is kept
+    /// at `now + 1` by its dense tick; an idle tile under `active_set`
+    /// falls behind and is caught up in closed form when a dispatch or
+    /// steal wakes it.
+    tile_synced: Vec<u64>,
+    /// Lazy-schedule marker for the memory controller.
+    mem_synced: u64,
+    /// Reusable tile-placement mask (see [`fill_mask`](Self::fill_mask)).
+    mask_scratch: Vec<bool>,
+    /// Lazy-schedule marker for the mesh.
+    mesh_synced: u64,
+    profile: SimProfile,
 }
 
 impl RunState {
@@ -154,7 +173,12 @@ impl RunState {
                     config_cycles: cfg.fabric.config_cycles(),
                 },
             };
-            types.push(TypeInfo { tt, timing });
+            let TaskType { name, kernel } = tt;
+            types.push(TypeInfo {
+                name: name.into(),
+                kernel: Arc::new(kernel),
+                timing,
+            });
         }
 
         let image = program.memory_image();
@@ -183,6 +207,7 @@ impl RunState {
         let picker = TilePicker::new(cfg.effective_policy(), cfg.tiles, cfg.seed);
         let pipes = PipeTable::new(spill_base, SPILL_RESERVE);
 
+        let tile_synced = vec![0; cfg.tiles];
         let mut state = RunState {
             cfg: cfg.clone(),
             types,
@@ -205,6 +230,11 @@ impl RunState {
             last_progress: 0,
             timeline: Vec::new(),
             skipped_cycles: 0,
+            tile_synced,
+            mem_synced: 0,
+            mask_scratch: Vec::new(),
+            mesh_synced: 0,
+            profile: SimProfile::default(),
         };
 
         let mut spawner = Spawner::new(state.next_pipe);
@@ -253,11 +283,11 @@ impl RunState {
                 inst.ty
             )));
         };
-        let kernel = &info.tt.kernel;
+        let kernel = &info.kernel;
         if inst.inputs.len() != kernel.input_count() {
             return Err(RunError::Program(format!(
                 "task type '{}' expects {} inputs, got {}",
-                info.tt.name,
+                info.name,
                 kernel.input_count(),
                 inst.inputs.len()
             )));
@@ -265,7 +295,7 @@ impl RunState {
         if inst.outputs.len() != kernel.output_count() {
             return Err(RunError::Program(format!(
                 "task type '{}' expects {} outputs, got {}",
-                info.tt.name,
+                info.name,
                 kernel.output_count(),
                 inst.outputs.len()
             )));
@@ -290,6 +320,7 @@ impl RunState {
     // ---------------------------------------------------------------- main
 
     fn main_loop<P: Program + ?Sized>(&mut self, program: &mut P) -> Result<RunReport, RunError> {
+        let active = self.cfg.active_set;
         loop {
             if self.now >= self.cfg.max_cycles || self.now - self.last_progress > STALL_LIMIT {
                 return Err(RunError::Timeout {
@@ -298,15 +329,16 @@ impl RunState {
                 });
             }
 
-            // Idle-cycle skipping: when the machine is fully quiescent
-            // and the only future work is parked behind the spawn/host
-            // latencies, fast-forward to the next due event instead of
-            // ticking every component through dead cycles.
+            // Idle-cycle skipping: when no component needs a dense tick
+            // and every pending event is due at a known future cycle,
+            // fast-forward to the earliest one instead of looping
+            // through dead cycles.
             if self.cfg.idle_skip {
                 if let Some(target) = self.skip_target() {
                     self.skip_idle_until(target);
                 }
             }
+            self.profile.loop_cycles += 1;
 
             // host sees completions
             while let Some((due, _)) = self.host_q.front() {
@@ -328,36 +360,46 @@ impl RunState {
                 self.pending.push_back(p);
             }
 
-            self.dispatch_cycle()?;
-
-            // deliver NoC ejections
-            for t in 0..self.tiles.len() {
-                let node = self.tiles[t].node;
-                while let Some(msg) = self.mesh.eject(node) {
-                    self.tiles[t].on_msg(msg);
-                }
+            // with nothing pending, a dispatch cycle is a pure no-op
+            // (no RNG draws, no stats) — skip the scan in either mode
+            if !self.pending.is_empty() {
+                self.dispatch_cycle()?;
             }
-            for m in 0..self.cfg.mem_ctrls {
-                let node = self.cfg.mc_node(m);
-                while let Some(msg) = self.mesh.eject(node) {
-                    match msg {
-                        Msg::DramWrite {
-                            addr,
-                            value,
-                            mode,
-                            stream,
-                            reply_to,
-                            last,
-                            gather,
-                        } => self
-                            .memctrl
-                            .on_write_flit(addr, value, mode, stream, reply_to, last, gather),
-                        other => unreachable!("unexpected message at controller: {other:?}"),
+
+            // deliver NoC ejections; `on_msg` only touches queued-task
+            // state, so delivering to a lazily skipped (idle) tile needs
+            // no catch-up
+            if self.mesh.eject_pending() {
+                for t in 0..self.tiles.len() {
+                    let node = self.tiles[t].node;
+                    while let Some(msg) = self.mesh.eject(node) {
+                        self.tiles[t].on_msg(msg);
+                    }
+                }
+                for m in 0..self.cfg.mem_ctrls {
+                    let node = self.cfg.mc_node(m);
+                    while let Some(msg) = self.mesh.eject(node) {
+                        match msg {
+                            Msg::DramWrite {
+                                addr,
+                                value,
+                                mode,
+                                stream,
+                                reply_to,
+                                last,
+                                gather,
+                            } => self
+                                .memctrl
+                                .on_write_flit(addr, value, mode, stream, reply_to, last, gather),
+                            other => unreachable!("unexpected message at controller: {other:?}"),
+                        }
                     }
                 }
             }
 
-            // tiles execute
+            // tiles execute: under active-set scheduling only live tiles
+            // tick; an idle tile's marker freezes and its skipped
+            // stretch is replayed when a dispatch or steal wakes it
             let mut completed = Vec::new();
             {
                 let (tiles, mesh, memctrl, pipes) = (
@@ -373,8 +415,19 @@ impl RunState {
                     pipes,
                     next_job: &mut self.next_job,
                 };
-                for tile in tiles.iter_mut() {
+                for (t, tile) in tiles.iter_mut().enumerate() {
+                    if active {
+                        if tile.is_idle() {
+                            continue;
+                        }
+                        debug_assert_eq!(
+                            self.tile_synced[t], self.now,
+                            "tile {t} ticking without catch-up"
+                        );
+                        self.tile_synced[t] = self.now + 1;
+                    }
                     completed.extend(tile.tick(&mut io, &self.cfg));
+                    self.profile.tile_ticks += 1;
                 }
             }
             for done in completed {
@@ -385,8 +438,46 @@ impl RunState {
                 self.steal_cycle();
             }
 
-            self.memctrl.tick(self.now, &mut self.mesh);
-            self.mesh.tick();
+            // memory controller: defer while its only pending state is
+            // time-gated (in-flight DRAM words, not-yet-due requests)
+            // or absent; a deferred stretch replays as bandwidth refill
+            if active {
+                if self.memctrl.activity().is_active(self.now) {
+                    let behind = self.now - self.mem_synced;
+                    if behind > 0 {
+                        self.memctrl.replay_idle_cycles(behind);
+                        self.profile.mem_skipped += behind;
+                        self.profile.mem_wakes += 1;
+                    }
+                    self.memctrl.tick(self.now, &mut self.mesh);
+                    self.mem_synced = self.now + 1;
+                    self.profile.mem_ticks += 1;
+                }
+            } else {
+                self.memctrl.tick(self.now, &mut self.mesh);
+                self.profile.mem_ticks += 1;
+            }
+
+            // mesh: defer while no flit is in transit (pending ejections
+            // need the consumers above, not the router sweep); a
+            // deferred stretch replays as arbitration-rotation advance
+            if active {
+                if !self.mesh.is_idle() {
+                    let behind = self.now - self.mesh_synced;
+                    if behind > 0 {
+                        self.mesh.replay_idle_cycles(behind);
+                        self.profile.noc_skipped += behind;
+                        self.profile.noc_wakes += 1;
+                    }
+                    self.mesh.tick();
+                    self.mesh_synced = self.now + 1;
+                    self.profile.noc_ticks += 1;
+                }
+            } else {
+                self.mesh.tick();
+                self.profile.noc_ticks += 1;
+            }
+
             if self.now.is_multiple_of(RunReport::TIMELINE_STRIDE) {
                 let busy = self.tiles.iter().filter(|t| !t.is_idle()).count() as u32;
                 self.timeline.push((self.now, busy));
@@ -412,31 +503,66 @@ impl RunState {
             }
         }
 
+        // settle every lazily skipped component so final stats match
+        // the densely ticked machine cycle for cycle
+        self.catch_up();
         Ok(self.final_report())
     }
 
-    /// The next cycle worth advancing to when the machine is quiescent:
-    /// the earliest due spawn/host event, capped so the timeout check
-    /// still fires on exactly the cycle it would under dense ticking.
-    /// `None` when anything is in flight or nothing is due after `now`.
-    fn skip_target(&self) -> Option<u64> {
-        if !self.pending.is_empty()
-            || !self.tiles.iter().all(|t| t.is_idle())
-            || !self.memctrl.is_idle()
-            || !self.mesh.is_idle()
-            || self.mesh.eject_pending()
-        {
-            return None;
+    /// The component activities folded into one machine-level need, plus
+    /// the due-queue fronts. `Now` suppresses jumping; `At(t)` names the
+    /// next event. Reads only state that is identical whether components
+    /// are ticked densely or lazily (queue contents and time-gated
+    /// fronts, never budget levels), so the jump decision — and with it
+    /// `skipped_cycles` — is bit-identical across `active_set` modes.
+    ///
+    /// `Now` is absorbing, so the scan returns the moment any component
+    /// reports it — this runs every densely ticked cycle, and on a busy
+    /// machine the first tile usually answers.
+    fn machine_activity(&self) -> Activity {
+        let mut act = Activity::Idle;
+        for t in &self.tiles {
+            match t.activity() {
+                Activity::Now => return Activity::Now,
+                a => act = act.merge(a),
+            }
+        }
+        match self.memctrl.activity() {
+            Activity::Now => return Activity::Now,
+            a => act = act.merge(a),
+        }
+        match self.mesh.activity() {
+            Activity::Now => return Activity::Now,
+            a => act = act.merge(a),
         }
         // Both queues are due-ordered: events enqueue at `now + const
         // latency` with `now` monotone, so the front is the minimum.
         debug_assert!(self.host_q.iter().is_sorted_by_key(|(due, _)| *due));
         debug_assert!(self.admit_q.iter().is_sorted_by_key(|(due, _)| *due));
-        let next_due = match (self.host_q.front(), self.admit_q.front()) {
-            (Some((h, _)), Some((a, _))) => *h.min(a),
-            (Some((h, _)), None) => *h,
-            (None, Some((a, _))) => *a,
-            (None, None) => return None,
+        if let Some((due, _)) = self.host_q.front() {
+            act = act.merge(Activity::At(*due));
+        }
+        if let Some((due, _)) = self.admit_q.front() {
+            act = act.merge(Activity::At(*due));
+        }
+        act
+    }
+
+    /// The next cycle worth advancing to: the minimum over every
+    /// component's next event (due spawn/host entries, admitted memory
+    /// requests waiting out control latency, in-flight DRAM words),
+    /// capped so the timeout check still fires on exactly the cycle it
+    /// would under dense ticking. `None` when any component needs dense
+    /// ticking (busy tile, in-transit flit, undrained ejection, unserved
+    /// DRAM job) or nothing is due after `now`.
+    fn skip_target(&self) -> Option<u64> {
+        if !self.pending.is_empty() {
+            return None;
+        }
+        let next_due = match self.machine_activity() {
+            Activity::Now => return None,
+            Activity::Idle => return None,
+            Activity::At(t) => t,
         };
         let target = next_due
             .min(self.cfg.max_cycles)
@@ -444,19 +570,28 @@ impl RunState {
         (target > self.now).then_some(target)
     }
 
-    /// Fast-forwards from `now` to `target`, replaying the closed-form
-    /// effect of each skipped idle cycle: per-tile budget refills and
-    /// `idle_cycles` accounting, the DRAM bandwidth refill, the NoC
-    /// arbitration rotation, and all-idle timeline samples. Each
-    /// component's skip helper debug-asserts equivalence with its
-    /// ticked path, so a skipped region is bit-identical to a dense one.
+    /// Fast-forwards from `now` to `target`. Under `active_set` the
+    /// skipped window simply never executes — each component's marker
+    /// stays put and its replay happens at the next wake. Under dense
+    /// ticking every component is replayed eagerly here: per-tile budget
+    /// refills and `idle_cycles` accounting, the DRAM bandwidth refill,
+    /// the NoC arbitration rotation. Either way the all-idle timeline
+    /// samples are backfilled, so a skipped region is bit-identical to a
+    /// dense one.
     fn skip_idle_until(&mut self, target: u64) {
         let k = target - self.now;
-        for tile in &mut self.tiles {
-            tile.skip_idle_cycles(k);
+        if !self.cfg.active_set {
+            // markers are not maintained under dense ticking, so the
+            // whole machine replays eagerly here instead
+            for tile in &mut self.tiles {
+                tile.skip_idle_cycles(k);
+            }
+            self.memctrl.replay_idle_cycles(k);
+            self.mesh.skip_idle_cycles(k);
+            self.profile.tile_skipped += k * self.tiles.len() as u64;
+            self.profile.mem_skipped += k;
+            self.profile.noc_skipped += k;
         }
-        self.memctrl.skip_idle_cycles(k);
-        self.mesh.skip_idle_cycles(k);
         // Timeline samples at stride multiples in [now, target) all see
         // zero busy tiles.
         let stride = RunReport::TIMELINE_STRIDE;
@@ -466,23 +601,82 @@ impl RunState {
             t += stride;
         }
         self.skipped_cycles += k;
+        self.profile.jump_cycles += k;
         self.now = target;
+    }
+
+    /// Catches a lazily skipped tile up to cycle `upto` (exclusive) so
+    /// it can accept work: the skipped stretch replays in closed form.
+    /// A no-op for live tiles, whose markers are already current, and
+    /// under dense ticking, where markers are not maintained at all.
+    fn wake_tile(&mut self, t: usize, upto: u64) {
+        if !self.cfg.active_set {
+            return;
+        }
+        let behind = upto - self.tile_synced[t];
+        if behind > 0 {
+            self.tiles[t].skip_idle_cycles(behind);
+            self.tile_synced[t] = upto;
+            self.profile.tile_skipped += behind;
+            self.profile.tile_wakes += 1;
+        }
+    }
+
+    /// Replays every component's outstanding skipped stretch (without
+    /// waking it for new work) so component-local statistics — idle
+    /// cycles, budget levels, arbitration rotation — match the densely
+    /// ticked machine exactly. Called once, after the run completes.
+    /// Under dense ticking nothing is ever deferred (and markers are
+    /// not maintained), so there is nothing to settle.
+    fn catch_up(&mut self) {
+        if !self.cfg.active_set {
+            return;
+        }
+        for t in 0..self.tiles.len() {
+            let behind = self.now - self.tile_synced[t];
+            if behind > 0 {
+                self.tiles[t].skip_idle_cycles(behind);
+                self.tile_synced[t] = self.now;
+                self.profile.tile_skipped += behind;
+            }
+        }
+        let behind = self.now - self.mem_synced;
+        if behind > 0 {
+            self.memctrl.replay_idle_cycles(behind);
+            self.mem_synced = self.now;
+            self.profile.mem_skipped += behind;
+        }
+        let behind = self.now - self.mesh_synced;
+        if behind > 0 {
+            self.mesh.replay_idle_cycles(behind);
+            self.mesh_synced = self.now;
+            self.profile.noc_skipped += behind;
+        }
     }
 
     fn finish_task(&mut self, done: TaskExec) {
         self.tasks_completed += 1;
         self.last_progress = self.now;
-        let tile = self.task_tile[&done.id];
-        self.picker.on_complete(tile, placement_hint(&done.inst));
-        for p in done.inst.output_pipes() {
+        // the finished exec is owned here, so the completion record
+        // takes its params and outputs by move rather than by clone
+        let TaskExec {
+            id,
+            ty,
+            inst,
+            out_values,
+            ..
+        } = done;
+        let tile = self.task_tile[&id];
+        self.picker.on_complete(tile, placement_hint(&inst));
+        for p in inst.output_pipes() {
             self.pipes.get_mut(p).producer_completed = true;
         }
         let completed = CompletedTask {
-            id: done.id,
-            ty: done.ty,
-            params: done.inst.params.clone(),
-            affinity: done.inst.affinity,
-            outputs: done.out_values,
+            id,
+            ty,
+            params: inst.params,
+            affinity: inst.affinity,
+            outputs: out_values,
         };
         self.host_q
             .push_back((self.now + self.cfg.host_latency, completed));
@@ -515,6 +709,18 @@ impl RunState {
         report.absorb("noc", &self.mesh.stats().report());
         report.absorb("dram", &self.memctrl.dram_stats().report());
         report.absorb("dispatch", &self.stats.report());
+        debug_assert_eq!(
+            self.profile.loop_cycles + self.profile.jump_cycles,
+            self.now,
+            "every cycle is either looped or jumped"
+        );
+        debug_assert_eq!(
+            self.profile.tile_ticks + self.profile.tile_skipped,
+            self.now * self.tiles.len() as u64,
+            "per-tile ticks + skips must cover the whole run"
+        );
+        debug_assert_eq!(self.profile.mem_ticks + self.profile.mem_skipped, self.now);
+        debug_assert_eq!(self.profile.noc_ticks + self.profile.noc_skipped, self.now);
         RunReport::new(
             self.now,
             report,
@@ -522,34 +728,48 @@ impl RunState {
             self.tasks_completed,
             std::mem::take(&mut self.timeline),
             self.skipped_cycles,
+            self.profile,
         )
     }
 
     // ------------------------------------------------------------ dispatch
 
     fn dispatch_cycle(&mut self) -> Result<(), RunError> {
+        // nothing can dispatch when no tile has queue space and none is
+        // idle (sources need space, co-scheduled consumers need an idle
+        // tile) — skip the window scans entirely; with full queues this
+        // is most cycles of a saturated run
+        if self.pending.is_empty()
+            || !self
+                .tiles
+                .iter()
+                .any(|t| t.queue_space(&self.cfg) > 0 || t.is_idle())
+        {
+            return Ok(());
+        }
         let mut budget = self.cfg.dispatch_per_cycle;
 
+        // source tasks (no live pipe deps) fill tiles first so
+        // co-scheduled consumers never starve their own producers;
+        // within each class, scan the whole window so one unplaceable
+        // task (e.g. a full owner queue under static hashing) does not
+        // block younger placeable ones. Readiness is checked lazily at
+        // visit time: a failed placement mutates nothing (the picker is
+        // pure on `None`), so this matches an up-front scan exactly.
         'outer: while budget > 0 {
             let window = self.cfg.dispatch_window.min(self.pending.len());
-            // source tasks (no live pipe deps) fill tiles first so
-            // co-scheduled consumers never starve their own producers;
-            // within each class, scan the whole window so one
-            // unplaceable task (e.g. a full owner queue under static
-            // hashing) does not block younger placeable ones
-            let ready = |s: &Self, i: usize| {
-                is_ready(&s.pending[i].inst, &s.pipes, s.cfg.features.pipelining)
-            };
-            let sources: Vec<usize> = (0..window)
-                .filter(|&i| ready(self, i) && !self.has_live_pipe_dep(&self.pending[i].inst))
-                .collect();
-            let consumers: Vec<usize> = (0..window)
-                .filter(|&i| ready(self, i) && self.has_live_pipe_dep(&self.pending[i].inst))
-                .collect();
-            for pos in sources.into_iter().chain(consumers) {
-                if self.dispatch_one_at(pos)? {
-                    budget -= 1;
-                    continue 'outer;
+            for consumers_pass in [false, true] {
+                for pos in 0..window {
+                    let inst = &self.pending[pos].inst;
+                    if self.has_live_pipe_dep(inst) != consumers_pass
+                        || !is_ready(inst, &self.pipes, self.cfg.features.pipelining)
+                    {
+                        continue;
+                    }
+                    if self.dispatch_one_at(pos)? {
+                        budget -= 1;
+                        continue 'outer;
+                    }
                 }
             }
             break;
@@ -596,21 +816,26 @@ impl RunState {
         self.picker.on_dispatch(thief, hint);
         self.task_tile.insert(exec.id, thief);
         self.stats.bump("steals");
+        // steals land after the tile-tick step, so the thief's current
+        // cycle already counted as idle: catch it up through `now`
+        // inclusive before it takes the task
+        self.wake_tile(thief, self.now + 1);
         self.tiles[thief].enqueue(exec);
     }
 
-    fn queue_mask(&self) -> Vec<bool> {
-        self.tiles
-            .iter()
-            .map(|t| t.queue_space(&self.cfg) > 0)
-            .collect()
-    }
-
-    /// Tiles with nothing queued (required for consumers whose
-    /// producers are still live — they must run *concurrently* with
-    /// them to pipeline, not queue behind other work).
-    fn idle_mask(&self) -> Vec<bool> {
-        self.tiles.iter().map(|t| t.is_idle()).collect()
+    /// Fills the reusable placement mask: tiles with queue space, or —
+    /// for consumers whose producers are still live — tiles with
+    /// nothing queued (they must run *concurrently* with their
+    /// producers to pipeline, not queue behind other work).
+    fn fill_mask(&mut self, idle_only: bool) {
+        self.mask_scratch.clear();
+        self.mask_scratch.extend(self.tiles.iter().map(|t| {
+            if idle_only {
+                t.is_idle()
+            } else {
+                t.queue_space(&self.cfg) > 0
+            }
+        }));
     }
 
     /// True when the task consumes a pipe whose producer has dispatched
@@ -625,12 +850,9 @@ impl RunState {
     /// Dispatches the pending task at `pos`; returns false when no tile
     /// can take it.
     fn dispatch_one_at(&mut self, pos: usize) -> Result<bool, RunError> {
-        let mask = if self.has_live_pipe_dep(&self.pending[pos].inst) {
-            self.idle_mask()
-        } else {
-            self.queue_mask()
-        };
-        let Some(tile) = self.picker.pick(&self.pending[pos].inst, &mask) else {
+        let idle_only = self.has_live_pipe_dep(&self.pending[pos].inst);
+        self.fill_mask(idle_only);
+        let Some(tile) = self.picker.pick(&self.pending[pos].inst, &self.mask_scratch) else {
             return Ok(false);
         };
         let p = self.pending.remove(pos).expect("index in range");
@@ -714,8 +936,10 @@ impl RunState {
         let _ = shared_job; // multicast resolved below via the join table
         let info = &self.types[inst.ty.0];
         let timing = info.timing;
-        let kernel = info.tt.kernel.clone();
-        let type_name = info.tt.name.clone();
+        // refcount bumps, not deep copies: the kernel (possibly a whole
+        // dataflow graph) and name are shared across all dispatches
+        let kernel = Arc::clone(&info.kernel);
+        let type_name = Arc::clone(&info.name);
 
         // ---- functional input resolution
         let mut input_data: Vec<Vec<Value>> = Vec::with_capacity(inst.inputs.len());
@@ -735,7 +959,7 @@ impl RunState {
         }
 
         // ---- functional execution
-        let (out_values, emit_firings, native_cycles) = match &kernel {
+        let (out_values, emit_firings, native_cycles) = match &*kernel {
             TaskKernel::Dfg(d) => {
                 let traced = interp::execute_traced(d, &inst.params, &input_data)
                     .map_err(|e| RunError::Program(format!("{type_name}: {e}")))?;
@@ -915,6 +1139,9 @@ impl RunState {
         for (pp, port) in pipe_routes {
             self.tiles[tile].pipe_routes.insert(pp, (id, port));
         }
+        // a lazily skipped tile replays its idle stretch before the
+        // queue stops being empty (the closed-form replay requires it)
+        self.wake_tile(tile, self.now);
         self.tiles[tile].enqueue(exec);
         self.task_tile.insert(id, tile);
         self.picker.on_dispatch(tile, work);

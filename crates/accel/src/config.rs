@@ -93,14 +93,27 @@ pub struct DeltaConfig {
     /// not started (outside the prefetch window, no pipes, no
     /// scratchpad side effects) are eligible.
     pub work_stealing: bool,
-    /// Simulator fast path (not a modelled mechanism): when the whole
-    /// machine is quiescent and the only future work sits in the spawn/
-    /// host latency queues, jump the cycle counter to the next due event
-    /// instead of ticking every component through dead cycles. Results
-    /// are bit-identical either way (each component's idle tick is
-    /// replayed in closed form); the toggle exists so equivalence can be
+    /// Simulator fast path (not a modelled mechanism): when no component
+    /// reports dense activity and every pending event — spawn/host
+    /// latency queues, admitted-but-not-due memory requests, in-flight
+    /// DRAM words — is due at a known future cycle, jump the cycle
+    /// counter to the earliest of those events instead of ticking every
+    /// component through dead cycles (a min-over-components next-event
+    /// jump; busy tiles or in-transit flits suppress it). Results are
+    /// bit-identical either way (each component's idle tick is replayed
+    /// in closed form); the toggle exists so equivalence can be
     /// regression-tested.
     pub idle_skip: bool,
+    /// Simulator fast path (not a modelled mechanism): tick only the
+    /// components that report activity — tiles with queued tasks, the
+    /// memory controller while requests or in-flight DRAM words exist,
+    /// the mesh while flits are in transit or ejections are pending —
+    /// and replay each skipped component's idle cycles in closed form
+    /// when an event (dispatch, steal, injection, due request) wakes
+    /// it. Results are bit-identical either way; the toggle exists so
+    /// equivalence can be regression-tested, and it composes with
+    /// `idle_skip` in any combination.
+    pub active_set: bool,
     /// Seed for mapper restarts and randomized policies.
     pub seed: u64,
     /// Hard cycle limit (a wedged model errors instead of spinning).
@@ -144,6 +157,7 @@ impl DeltaConfig {
             features: Features::all(),
             work_stealing: false,
             idle_skip: true,
+            active_set: true,
             seed: 0xDE17A,
             max_cycles: 200_000_000,
         }

@@ -356,6 +356,19 @@ impl Tile {
         self.queue.is_empty()
     }
 
+    /// The tile's activity contract: a queued task needs dense ticking
+    /// (feed/fire/drain timing depends on budgets and backpressure,
+    /// none of it closed-form); an empty queue has no pending event at
+    /// all — [`on_msg`](Tile::on_msg) only touches queued-task state,
+    /// so only a dispatch or a steal can wake the tile.
+    pub(crate) fn activity(&self) -> ts_sim::Activity {
+        if self.queue.is_empty() {
+            ts_sim::Activity::Idle
+        } else {
+            ts_sim::Activity::Now
+        }
+    }
+
     /// Fast-forwards `n` idle cycles. Mirrors the empty-queue path of
     /// [`tick`](Tile::tick) exactly: scratchpad and engine budget
     /// refills (saturating, so they collapse to one closed-form add),

@@ -78,4 +78,4 @@ mod report;
 
 pub use accelerator::{Accelerator, RunError};
 pub use config::{DeltaConfig, Features};
-pub use report::RunReport;
+pub use report::{RunReport, SimProfile};

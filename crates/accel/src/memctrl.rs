@@ -4,6 +4,7 @@ use crate::msg::{Msg, StreamKey};
 use std::collections::{HashMap, HashSet, VecDeque};
 use ts_mem::{Dram, DramConfig, JobKind, WriteMode};
 use ts_noc::Mesh;
+use ts_sim::Activity;
 use ts_stream::{Addr, Value};
 
 /// A DRAM read request as the dispatcher/stream engines see it.
@@ -60,6 +61,10 @@ pub(crate) struct MemCtrl {
     next_wtag: u64,
     /// Responses waiting for injection: per controller node.
     backlog: HashMap<usize, VecDeque<(Vec<usize>, Msg)>>,
+    /// Total staged responses across all controller nodes (O(1)
+    /// idleness checks; burst coalescing mutates entries in place and
+    /// leaves the count unchanged).
+    backlog_len: usize,
     rr: usize,
 }
 
@@ -83,6 +88,7 @@ impl MemCtrl {
             wtags: HashMap::new(),
             next_wtag: 0,
             backlog: HashMap::new(),
+            backlog_len: 0,
             rr: 0,
         }
     }
@@ -232,6 +238,7 @@ impl MemCtrl {
                         .entry(node)
                         .or_default()
                         .push_back((vec![reply], Msg::WriteAck { stream }));
+                    self.backlog_len += 1;
                 }
             } else {
                 if out.last {
@@ -251,14 +258,17 @@ impl MemCtrl {
                         *words += 1;
                         *last |= out.last;
                     }
-                    _ => q.push_back((
-                        dsts.clone(),
-                        Msg::DramData {
-                            job: out.tag,
-                            words: 1,
-                            last: out.last,
-                        },
-                    )),
+                    _ => {
+                        q.push_back((
+                            dsts.clone(),
+                            Msg::DramData {
+                                job: out.tag,
+                                words: 1,
+                                last: out.last,
+                            },
+                        ));
+                        self.backlog_len += 1;
+                    }
                 }
             }
         }
@@ -271,6 +281,7 @@ impl MemCtrl {
                         break;
                     }
                     q.pop_front();
+                    self.backlog_len -= 1;
                 }
             }
         }
@@ -295,10 +306,39 @@ impl MemCtrl {
 
     /// True when no request, job, or staged response remains.
     pub(crate) fn is_idle(&self) -> bool {
+        debug_assert_eq!(
+            self.backlog_len == 0,
+            self.backlog.values().all(|q| q.is_empty()),
+            "backlog counter diverged from backlog contents"
+        );
         self.admit.is_empty()
             && self.gated.is_empty()
             && self.dram.is_idle()
-            && self.backlog.values().all(|q| q.is_empty())
+            && self.backlog_len == 0
+    }
+
+    /// The controller's activity contract. Gated requests, unserved
+    /// DRAM jobs, and staged responses all need dense ticking (their
+    /// timing depends on bandwidth and mesh backpressure); with only
+    /// time-gated state left — admitted-but-not-due requests and
+    /// in-flight DRAM words — the next observable event is the earliest
+    /// of the two queue fronts, and every tick before it is idle.
+    pub(crate) fn activity(&self) -> Activity {
+        if !self.gated.is_empty() || self.dram.has_service_work() || self.backlog_len > 0 {
+            return Activity::Now;
+        }
+        let mut at = Activity::Idle;
+        // Admission is head-of-line FIFO (`tick` only pops the front
+        // once due), so even though batching windows make `ready_at`
+        // non-monotone, nothing behind the front can admit earlier —
+        // the front's due time is the next event.
+        if let Some((ready, _)) = self.admit.front() {
+            at = at.merge(Activity::At(*ready));
+        }
+        if let Some(ready) = self.dram.next_output_ready() {
+            at = at.merge(Activity::At(ready));
+        }
+        at
     }
 
     /// DRAM statistics scope.
@@ -306,13 +346,19 @@ impl MemCtrl {
         self.dram.stats()
     }
 
-    /// Fast-forwards `n` cycles with nothing in flight. An idle
-    /// controller tick only refills the DRAM bandwidth bucket (every
-    /// queue sweep runs over empty collections), so this is exactly
-    /// equivalent to `n` [`tick`](MemCtrl::tick) calls.
-    pub(crate) fn skip_idle_cycles(&mut self, n: u64) {
-        debug_assert!(self.is_idle(), "skip with controller work in flight");
-        self.dram.skip_idle_cycles(n);
+    /// Replays `n` elapsed idle cycles. The caller guarantees the
+    /// controller reported no activity over those cycles (each tick
+    /// would only have refilled the DRAM bandwidth bucket: the admit
+    /// front was not yet due and no in-flight word came due), but work
+    /// may have *just* arrived — a write flit this cycle, a read
+    /// request now due — so only the states that change exclusively
+    /// inside [`tick`](MemCtrl::tick) can be asserted quiet.
+    pub(crate) fn replay_idle_cycles(&mut self, n: u64) {
+        debug_assert!(
+            self.gated.is_empty() && self.backlog_len == 0,
+            "replay with controller work in flight"
+        );
+        self.dram.replay_idle_cycles(n);
     }
 }
 

@@ -5,6 +5,69 @@ use ts_mem::Storage;
 use ts_sim::stats::Report;
 use ts_stream::Addr;
 
+/// Cycle-attribution profile of one run: how many cycles each component
+/// was actually ticked versus replayed in closed form, and how often it
+/// was woken from a skipped stretch. Simulator bookkeeping, not a
+/// modelled quantity — like [`RunReport::skipped_cycles`] it is kept
+/// out of [`RunReport::stats`] so reports stay bit-identical whichever
+/// scheduler fast paths are enabled. The invariant `ticks + skipped ==
+/// cycles` holds per component (tile counters sum over all tiles, so
+/// theirs is `cycles × tiles`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Densely ticked tile-cycles, summed over all tiles.
+    pub tile_ticks: u64,
+    /// Tile-cycles replayed in closed form, summed over all tiles.
+    pub tile_skipped: u64,
+    /// Times a tile was woken out of a skipped stretch.
+    pub tile_wakes: u64,
+    /// Densely ticked memory-controller cycles.
+    pub mem_ticks: u64,
+    /// Memory-controller cycles replayed in closed form.
+    pub mem_skipped: u64,
+    /// Times the memory controller was woken out of a skipped stretch.
+    pub mem_wakes: u64,
+    /// Densely ticked mesh cycles.
+    pub noc_ticks: u64,
+    /// Mesh cycles replayed in closed form.
+    pub noc_skipped: u64,
+    /// Times the mesh was woken out of a skipped stretch.
+    pub noc_wakes: u64,
+    /// Cycles covered by whole-loop next-event jumps (`idle_skip`).
+    pub jump_cycles: u64,
+    /// Main-loop iterations actually executed (densely ticked cycles).
+    pub loop_cycles: u64,
+}
+
+impl SimProfile {
+    /// Fraction of tile-cycles that were skipped rather than ticked
+    /// (0.0 when the run had no cycles).
+    pub fn tile_skip_ratio(&self) -> f64 {
+        let total = self.tile_ticks + self.tile_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.tile_skipped as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another run's counters into this one (used by the
+    /// benchmark harness to aggregate a whole sweep).
+    pub fn add(&mut self, other: &SimProfile) {
+        self.tile_ticks += other.tile_ticks;
+        self.tile_skipped += other.tile_skipped;
+        self.tile_wakes += other.tile_wakes;
+        self.mem_ticks += other.mem_ticks;
+        self.mem_skipped += other.mem_skipped;
+        self.mem_wakes += other.mem_wakes;
+        self.noc_ticks += other.noc_ticks;
+        self.noc_skipped += other.noc_skipped;
+        self.noc_wakes += other.noc_wakes;
+        self.jump_cycles += other.jump_cycles;
+        self.loop_cycles += other.loop_cycles;
+    }
+}
+
 /// Everything a finished run hands back: cycle count, merged statistics,
 /// and a snapshot of final DRAM contents for validation.
 #[derive(Debug, Clone)]
@@ -26,6 +89,9 @@ pub struct RunReport {
     /// out of [`RunReport::stats`] so reports are bit-identical whether
     /// skipping is enabled or not.
     pub skipped_cycles: u64,
+    /// Per-component cycle attribution (ticked vs skipped vs woken).
+    /// Simulator bookkeeping, excluded from equivalence comparisons.
+    pub profile: SimProfile,
 }
 
 impl RunReport {
@@ -39,6 +105,7 @@ impl RunReport {
         tasks_completed: u64,
         timeline: Vec<(u64, u32)>,
         skipped_cycles: u64,
+        profile: SimProfile,
     ) -> Self {
         RunReport {
             cycles,
@@ -47,6 +114,7 @@ impl RunReport {
             tasks_completed,
             timeline,
             skipped_cycles,
+            profile,
         }
     }
 

@@ -1,0 +1,336 @@
+//! Equivalence tests for active-set scheduling: a run that ticks only
+//! live components must produce a bit-identical [`RunReport`] to the
+//! densely ticked run, in every combination with the `idle_skip`
+//! next-event jump, while actually deferring component ticks.
+
+use proptest::prelude::*;
+use taskstream_model::{
+    CompletedTask, MemoryImage, Program, Spawner, TaskInstance, TaskKernel, TaskType, TaskTypeId,
+};
+use ts_delta::{Accelerator, DeltaConfig, RunReport};
+use ts_dfg::DfgBuilder;
+use ts_mem::WriteMode;
+use ts_stream::StreamDesc;
+
+fn reduce_type(name: &str) -> TaskType {
+    let mut b = DfgBuilder::new(name);
+    let x = b.input();
+    let s = b.acc(x);
+    b.output_on_last(s);
+    TaskType::new(name, TaskKernel::dfg(b.finish().unwrap()))
+}
+
+/// A strictly serial chain: each completion spawns the next task, so
+/// at any instant at most one tile is live — the sharpest contrast
+/// between dense ticking and the active set.
+struct SerialChain {
+    remaining: usize,
+}
+
+impl Program for SerialChain {
+    fn name(&self) -> &str {
+        "serial-chain"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![reduce_type("link")]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=64i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.remaining -= 1;
+        s.spawn(
+            TaskInstance::new(TaskTypeId(0))
+                .input_stream(StreamDesc::dram(0, 64))
+                .output_discard(),
+        );
+    }
+
+    fn on_complete(&mut self, done: &CompletedTask, s: &mut Spawner) {
+        assert_eq!(done.outputs[0], vec![64 * 65 / 2]);
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(0, 64))
+                    .output_discard(),
+            );
+        }
+    }
+}
+
+/// Waves of parameterized width over a shared input stream (so the
+/// dispatcher forms multicast groups), optionally writing each task's
+/// reduction to a distinct DRAM word (exercising the write/ack path
+/// through controller and mesh under partial tile occupancy).
+#[derive(Clone)]
+struct Waves {
+    widths: Vec<usize>,
+    stream_len: usize,
+    write_out: bool,
+    wave: usize,
+    outstanding: usize,
+    spawned: u64,
+}
+
+impl Waves {
+    fn new(widths: Vec<usize>, stream_len: usize, write_out: bool) -> Self {
+        Waves {
+            widths,
+            stream_len,
+            write_out,
+            wave: 0,
+            outstanding: 0,
+            spawned: 0,
+        }
+    }
+
+    /// Base of the per-task one-word output region (past the input
+    /// image, far from anything the kernels read).
+    const OUT_BASE: u64 = 4096;
+
+    fn spawn_wave(&mut self, s: &mut Spawner) {
+        let width = self.widths[self.wave];
+        self.wave += 1;
+        self.outstanding = width;
+        for i in 0..width {
+            let mut inst = TaskInstance::new(TaskTypeId(0))
+                .input_stream(StreamDesc::dram(0, self.stream_len as u64))
+                .affinity(i as u64);
+            inst = if self.write_out {
+                let addr = Self::OUT_BASE + self.spawned;
+                inst.output_memory(StreamDesc::dram(addr, 1), WriteMode::Overwrite)
+            } else {
+                inst.output_discard()
+            };
+            self.spawned += 1;
+            s.spawn(inst);
+        }
+    }
+}
+
+impl Program for Waves {
+    fn name(&self) -> &str {
+        "waves"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![reduce_type("wave")]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=64i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.spawn_wave(s);
+    }
+
+    fn on_complete(&mut self, _done: &CompletedTask, s: &mut Spawner) {
+        self.outstanding -= 1;
+        if self.outstanding == 0 && self.wave < self.widths.len() {
+            self.spawn_wave(s);
+        }
+    }
+}
+
+/// Every observable part of two reports must match bit-for-bit. The
+/// profile is simulator bookkeeping and is *expected* to differ.
+fn assert_observables_match(a: &RunReport, b: &RunReport, dram_words: usize, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles diverged");
+    assert_eq!(
+        a.tasks_completed, b.tasks_completed,
+        "{what}: task count diverged"
+    );
+    assert_eq!(a.timeline, b.timeline, "{what}: timeline diverged");
+    assert_eq!(a.stats, b.stats, "{what}: stats diverged");
+    assert_eq!(
+        a.dram_range(0, dram_words),
+        b.dram_range(0, dram_words),
+        "{what}: DRAM image diverged"
+    );
+}
+
+/// `ticks + skipped == cycles` per component; loop iterations plus
+/// jumped cycles must cover the whole run.
+fn assert_profile_consistent(r: &RunReport, tiles: u64, what: &str) {
+    let p = &r.profile;
+    assert_eq!(
+        p.loop_cycles + p.jump_cycles,
+        r.cycles,
+        "{what}: loop + jump != cycles"
+    );
+    assert_eq!(
+        p.tile_ticks + p.tile_skipped,
+        r.cycles * tiles,
+        "{what}: tile cycle attribution leaked"
+    );
+    assert_eq!(
+        p.mem_ticks + p.mem_skipped,
+        r.cycles,
+        "{what}: memctrl cycle attribution leaked"
+    );
+    assert_eq!(
+        p.noc_ticks + p.noc_skipped,
+        r.cycles,
+        "{what}: mesh cycle attribution leaked"
+    );
+}
+
+/// Runs the same program in all four `active_set` × `idle_skip`
+/// combinations and asserts the observable reports are identical,
+/// while the active-set runs actually deferred tile ticks.
+fn assert_active_set_equivalent<P, F>(make: F, cfg: DeltaConfig, dram_words: usize)
+where
+    P: Program,
+    F: Fn() -> P,
+{
+    let run = |active_set: bool, idle_skip: bool| {
+        Accelerator::new(DeltaConfig {
+            active_set,
+            idle_skip,
+            ..cfg.clone()
+        })
+        .run(&mut make())
+        .unwrap()
+    };
+    let dense = run(false, false);
+    let active = run(true, false);
+    let jump = run(false, true);
+    let both = run(true, true);
+
+    let tiles = cfg.tiles as u64;
+    for (r, what) in [
+        (&dense, "dense"),
+        (&active, "active"),
+        (&jump, "jump"),
+        (&both, "both"),
+    ] {
+        assert_profile_consistent(r, tiles, what);
+    }
+
+    // Without active_set every component ticks every non-jumped cycle.
+    assert_eq!(dense.profile.tile_skipped, 0);
+    assert_eq!(dense.profile.loop_cycles, dense.cycles);
+    // With it, some tile-cycles must have been deferred or the test is
+    // vacuous.
+    assert!(
+        active.profile.tile_skipped > 0,
+        "active-set never deferred a tile; the test is vacuous"
+    );
+    assert!(both.profile.tile_skipped > 0 || both.profile.jump_cycles > 0);
+
+    assert_observables_match(&active, &dense, dram_words, "active vs dense");
+    assert_observables_match(&jump, &dense, dram_words, "jump vs dense");
+    assert_observables_match(&both, &dense, dram_words, "both vs dense");
+
+    // The next-event jump reads only sync-invariant state, so its
+    // decisions — and the skipped-cycle count — must not depend on
+    // whether components tick densely or lazily.
+    assert_eq!(dense.skipped_cycles, 0);
+    assert_eq!(active.skipped_cycles, 0);
+    assert_eq!(
+        both.skipped_cycles, jump.skipped_cycles,
+        "jump decisions depend on active-set mode"
+    );
+}
+
+#[test]
+fn serial_chain_reports_identical_across_scheduler_modes() {
+    let cfg = DeltaConfig {
+        spawn_latency: 700,
+        host_latency: 700,
+        ..DeltaConfig::delta(4)
+    };
+    assert_active_set_equivalent(|| SerialChain { remaining: 6 }, cfg, 64);
+}
+
+#[test]
+fn serial_chain_default_latencies_still_defer_tiles() {
+    assert_active_set_equivalent(|| SerialChain { remaining: 8 }, DeltaConfig::delta(2), 64);
+}
+
+#[test]
+fn partial_occupancy_defers_only_idle_tiles() {
+    // Waves narrower than the machine: some tiles busy, some idle —
+    // the whole-machine jump can't fire but the active set can.
+    let cfg = DeltaConfig {
+        spawn_latency: 200,
+        host_latency: 200,
+        ..DeltaConfig::delta(8)
+    };
+    assert_active_set_equivalent(|| Waves::new(vec![3, 2, 3], 32, true), cfg, 64);
+}
+
+#[test]
+fn work_stealing_wakes_thieves_correctly() {
+    let cfg = DeltaConfig {
+        work_stealing: true,
+        spawn_latency: 300,
+        host_latency: 300,
+        ..DeltaConfig::delta(4)
+    };
+    assert_active_set_equivalent(|| Waves::new(vec![5, 5, 5], 32, false), cfg, 32);
+}
+
+#[test]
+fn static_parallel_baseline_is_equivalent_too() {
+    let cfg = DeltaConfig {
+        spawn_latency: 150,
+        host_latency: 150,
+        ..DeltaConfig::static_parallel(4)
+    };
+    assert_active_set_equivalent(|| Waves::new(vec![2, 4, 1], 24, true), cfg, 64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random wave programs on random machine shapes: all four
+    /// scheduler-mode combinations must report identically.
+    #[test]
+    fn random_programs_report_identically_across_scheduler_modes(
+        widths in prop::collection::vec(1usize..5, 1..4),
+        stream_len in 4usize..64,
+        tiles in 1usize..6,
+        latency in 1u64..260,
+        work_stealing in prop::bool::ANY,
+        write_out in prop::bool::ANY,
+    ) {
+        let cfg = DeltaConfig {
+            spawn_latency: latency,
+            host_latency: latency,
+            work_stealing,
+            ..DeltaConfig::delta(tiles)
+        };
+        let run = |active_set: bool, idle_skip: bool| {
+            Accelerator::new(DeltaConfig {
+                active_set,
+                idle_skip,
+                ..cfg.clone()
+            })
+            .run(&mut Waves::new(widths.clone(), stream_len, write_out))
+            .unwrap()
+        };
+        let dense = run(false, false);
+        let combos = [(true, false), (false, true), (true, true)];
+        for (active_set, idle_skip) in combos {
+            let r = run(active_set, idle_skip);
+            prop_assert_eq!(r.cycles, dense.cycles,
+                "cycles diverged (active_set={}, idle_skip={})", active_set, idle_skip);
+            prop_assert_eq!(r.tasks_completed, dense.tasks_completed);
+            prop_assert_eq!(&r.timeline, &dense.timeline);
+            prop_assert_eq!(&r.stats, &dense.stats,
+                "stats diverged (active_set={}, idle_skip={})", active_set, idle_skip);
+            prop_assert_eq!(r.dram_range(0, 64), dense.dram_range(0, 64));
+            let p = &r.profile;
+            prop_assert_eq!(p.loop_cycles + p.jump_cycles, r.cycles);
+            prop_assert_eq!(p.tile_ticks + p.tile_skipped, r.cycles * tiles as u64);
+            prop_assert_eq!(p.mem_ticks + p.mem_skipped, r.cycles);
+            prop_assert_eq!(p.noc_ticks + p.noc_skipped, r.cycles);
+        }
+    }
+}

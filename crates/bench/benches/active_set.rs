@@ -1,0 +1,98 @@
+//! Criterion comparison of active-set scheduling against dense ticking
+//! on a partially occupied machine: waves narrower than the tile count
+//! keep a few tiles busy at all times, which suppresses the
+//! whole-machine `idle_skip` jump — only per-component deferral can
+//! avoid ticking the idle majority. Results are bit-identical either
+//! way (see `crates/accel/tests/active_set.rs` for the equivalence
+//! proof).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taskstream_model::{
+    CompletedTask, MemoryImage, Program, Spawner, TaskInstance, TaskKernel, TaskType, TaskTypeId,
+};
+use ts_delta::{Accelerator, DeltaConfig};
+use ts_dfg::DfgBuilder;
+use ts_stream::StreamDesc;
+
+/// Waves of `WIDTH` parallel tasks on a 16-tile machine; each wave
+/// spawns the next on completion.
+struct NarrowWaves {
+    waves: usize,
+    outstanding: usize,
+}
+
+const WIDTH: usize = 3;
+
+impl NarrowWaves {
+    fn spawn_wave(&mut self, s: &mut Spawner) {
+        self.waves -= 1;
+        self.outstanding = WIDTH;
+        for i in 0..WIDTH {
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(0, 64))
+                    .output_discard()
+                    .affinity(i as u64),
+            );
+        }
+    }
+}
+
+impl Program for NarrowWaves {
+    fn name(&self) -> &str {
+        "narrow-waves"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        let mut b = DfgBuilder::new("wave");
+        let x = b.input();
+        let s = b.acc(x);
+        b.output_on_last(s);
+        vec![TaskType::new("wave", TaskKernel::dfg(b.finish().unwrap()))]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=64i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.spawn_wave(s);
+    }
+
+    fn on_complete(&mut self, _done: &CompletedTask, s: &mut Spawner) {
+        self.outstanding -= 1;
+        if self.outstanding == 0 && self.waves > 0 {
+            self.spawn_wave(s);
+        }
+    }
+}
+
+fn run_waves(active_set: bool) -> u64 {
+    let cfg = DeltaConfig {
+        active_set,
+        spawn_latency: 60,
+        host_latency: 60,
+        ..DeltaConfig::delta(16)
+    };
+    let mut p = NarrowWaves {
+        waves: 30,
+        outstanding: 0,
+    };
+    Accelerator::new(cfg).run(&mut p).unwrap().cycles
+}
+
+fn active_set_vs_dense(c: &mut Criterion) {
+    c.bench_function("narrow_waves_active_set", |bench| {
+        bench.iter(|| run_waves(true))
+    });
+    c.bench_function("narrow_waves_dense_tick", |bench| {
+        bench.iter(|| run_waves(false))
+    });
+}
+
+criterion_group!(
+    name = active_set;
+    config = Criterion::default().sample_size(20);
+    targets = active_set_vs_dense
+);
+criterion_main!(active_set);

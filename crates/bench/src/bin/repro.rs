@@ -5,15 +5,26 @@
 //! repro fig_overall         # one experiment
 //! repro --tiny              # everything, test-sized instances
 //! repro --jobs 8            # run each experiment's sweep on 8 threads
+//! repro --profile           # also print per-experiment cycle attribution
 //! repro --bench-json out.json   # also write machine-readable timings
+//! repro --no-active-set     # disable active-set scheduling (A/B reference)
+//! repro --no-idle-skip      # disable the next-event jump (A/B reference)
 //! ```
 //!
 //! `--jobs 1` reproduces the fully serial behavior; any `--jobs N`
 //! prints byte-identical tables (per-job seeds are derived from the
 //! job key, never from sweep iteration order).
+//!
+//! `--profile` reports, per experiment, how the simulator spent its
+//! cycles: the fraction of each component's cycles that were densely
+//! ticked versus replayed in closed form by active-set scheduling, and
+//! the fraction of machine cycles covered by next-event jumps. The
+//! same counters land in the `--bench-json` output.
 
 use std::time::Instant;
 use ts_bench::experiments::{self, ALL};
+use ts_bench::profile;
+use ts_delta::SimProfile;
 use ts_workloads::Scale;
 
 fn main() {
@@ -21,15 +32,21 @@ fn main() {
     let mut scale = Scale::Small;
     let mut jobs: Option<usize> = None;
     let mut bench_json: Option<String> = None;
+    let mut show_profile = false;
+    let mut no_active_set = false;
+    let mut no_idle_skip = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--tiny" => scale = Scale::Tiny,
+            "--no-active-set" => no_active_set = true,
+            "--no-idle-skip" => no_idle_skip = true,
             "--jobs" => {
                 let v = it.next().expect("--jobs needs a value");
                 jobs = Some(v.parse().expect("--jobs value must be an integer"));
             }
+            "--profile" => show_profile = true,
             "--bench-json" => {
                 bench_json = Some(it.next().expect("--bench-json needs a path"));
             }
@@ -37,6 +54,7 @@ fn main() {
             _ => wanted.push(a),
         }
     }
+    ts_bench::disable_fast_paths(no_active_set, no_idle_skip);
     if let Some(n) = jobs {
         rayon::ThreadPoolBuilder::new()
             .num_threads(n)
@@ -50,18 +68,31 @@ fn main() {
     };
 
     let t_all = Instant::now();
-    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut timings: Vec<(String, f64, SimProfile)> = Vec::new();
     for id in ids {
+        let (before, _) = profile::snapshot();
         let t0 = Instant::now();
         let out = experiments::run(id, scale);
-        timings.push((id.to_string(), t0.elapsed().as_secs_f64()));
+        let secs = t0.elapsed().as_secs_f64();
+        let (after, _) = profile::snapshot();
+        let prof = profile::delta(&before, &after);
+        timings.push((id.to_string(), secs, prof));
         println!("=== {id} ===");
         println!("{out}");
+        if show_profile {
+            println!("  profile: {}", profile::summarize(&prof));
+        }
         println!("  ({:.1?})\n", t0.elapsed());
     }
     let total = t_all.elapsed().as_secs_f64();
+    if show_profile {
+        let (tally, runs) = profile::snapshot();
+        println!("=== profile (whole run, {runs} simulations) ===");
+        println!("  {}\n", profile::summarize(&tally));
+    }
 
     if let Some(path) = bench_json {
+        let (tally, runs) = profile::snapshot();
         let mut json = String::from("{\n");
         json.push_str(&format!(
             "  \"scale\": \"{}\",\n",
@@ -69,15 +100,40 @@ fn main() {
         ));
         json.push_str(&format!("  \"jobs\": {},\n", rayon::current_num_threads()));
         json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+        json.push_str(&format!("  \"simulations\": {runs},\n"));
+        json.push_str(&format!("  \"profile\": {},\n", profile_json(&tally)));
         json.push_str("  \"experiments\": [\n");
-        for (i, (id, secs)) in timings.iter().enumerate() {
+        for (i, (id, secs, prof)) in timings.iter().enumerate() {
             let comma = if i + 1 < timings.len() { "," } else { "" };
             json.push_str(&format!(
-                "    {{\"id\": \"{id}\", \"seconds\": {secs:.3}}}{comma}\n"
+                "    {{\"id\": \"{id}\", \"seconds\": {secs:.3}, \"profile\": {}}}{comma}\n",
+                profile_json(prof)
             ));
         }
         json.push_str("  ]\n}\n");
         std::fs::write(&path, json).expect("writing the bench json");
         eprintln!("wrote {path}");
     }
+}
+
+/// Renders one profile as a JSON object (the repo has no serde; the
+/// fields are flat integers so hand-rolling is exact).
+fn profile_json(p: &SimProfile) -> String {
+    format!(
+        "{{\"tile_ticks\": {}, \"tile_skipped\": {}, \"tile_wakes\": {}, \
+         \"mem_ticks\": {}, \"mem_skipped\": {}, \"mem_wakes\": {}, \
+         \"noc_ticks\": {}, \"noc_skipped\": {}, \"noc_wakes\": {}, \
+         \"jump_cycles\": {}, \"loop_cycles\": {}}}",
+        p.tile_ticks,
+        p.tile_skipped,
+        p.tile_wakes,
+        p.mem_ticks,
+        p.mem_skipped,
+        p.mem_wakes,
+        p.noc_ticks,
+        p.noc_skipped,
+        p.noc_wakes,
+        p.jump_cycles,
+        p.loop_cycles,
+    )
 }

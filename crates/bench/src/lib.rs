@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod profile;
 mod table;
 
 pub use table::Table;
@@ -43,13 +44,37 @@ use taskstream_model::Program;
 use ts_delta::{Accelerator, DeltaConfig, RunReport};
 use ts_workloads::Workload;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Harness-wide scheduler fast-path overrides (set from `repro
+/// --no-active-set` / `--no-idle-skip`). Every run that goes through
+/// [`run_validated`] applies them to its config, so a whole sweep can
+/// be A/B-compared against dense ticking without touching the modelled
+/// presets. Reports are bit-identical either way — the flags exist to
+/// *measure* that and the wall-clock difference.
+static FORCE_NO_ACTIVE_SET: AtomicBool = AtomicBool::new(false);
+static FORCE_NO_IDLE_SKIP: AtomicBool = AtomicBool::new(false);
+
+/// Disables simulator fast paths for every subsequent run in this
+/// process (`active_set` and/or `idle_skip`).
+pub fn disable_fast_paths(active_set: bool, idle_skip: bool) {
+    FORCE_NO_ACTIVE_SET.store(active_set, Ordering::Relaxed);
+    FORCE_NO_IDLE_SKIP.store(idle_skip, Ordering::Relaxed);
+}
+
 /// Runs one workload on one configuration and validates the result.
 ///
 /// # Panics
 ///
 /// Panics if the run errors or the result fails validation — a harness
 /// that silently benchmarks wrong answers would be worthless.
-pub fn run_validated(wl: &dyn Workload, cfg: DeltaConfig, baseline_program: bool) -> RunReport {
+pub fn run_validated(wl: &dyn Workload, mut cfg: DeltaConfig, baseline_program: bool) -> RunReport {
+    if FORCE_NO_ACTIVE_SET.load(Ordering::Relaxed) {
+        cfg.active_set = false;
+    }
+    if FORCE_NO_IDLE_SKIP.load(Ordering::Relaxed) {
+        cfg.idle_skip = false;
+    }
     let mut program: Box<dyn Program> = if baseline_program {
         wl.make_baseline_program()
     } else {
@@ -60,6 +85,7 @@ pub fn run_validated(wl: &dyn Workload, cfg: DeltaConfig, baseline_program: bool
         .unwrap_or_else(|e| panic!("{} failed: {e}", wl.name()));
     wl.validate(&report)
         .unwrap_or_else(|e| panic!("{} produced wrong results: {e}", wl.name()));
+    profile::record(&report.profile);
     report
 }
 

@@ -11,7 +11,8 @@
 //! timed batch, and the harness reports min / median / mean over the
 //! samples. There is no outlier analysis, no warm-up tuning beyond a
 //! fixed pass, and no HTML report — the numbers print to stdout, which
-//! is what the repo's tooling consumes.
+//! is what the repo's tooling consumes. Setting `TS_BENCH_SAMPLES`
+//! overrides every bench's sample count (CI smoke runs use `1`).
 
 use std::time::{Duration, Instant};
 
@@ -70,17 +71,28 @@ pub struct Criterion {
     sample_size: usize,
 }
 
+/// Sample-count override from the `TS_BENCH_SAMPLES` environment
+/// variable, used by CI to smoke-run benches in one quick sample
+/// instead of a full measurement. Wins over [`Criterion::sample_size`].
+fn env_sample_override() -> Option<usize> {
+    let n: usize = std::env::var("TS_BENCH_SAMPLES").ok()?.parse().ok()?;
+    (n > 0).then_some(n)
+}
+
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: env_sample_override().unwrap_or(20),
+        }
     }
 }
 
 impl Criterion {
-    /// Number of timed sample batches per benchmark.
+    /// Number of timed sample batches per benchmark
+    /// (the `TS_BENCH_SAMPLES` environment variable, when set, wins).
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample_size must be positive");
-        self.sample_size = n;
+        self.sample_size = env_sample_override().unwrap_or(n);
         self
     }
 

@@ -195,6 +195,20 @@ impl Dram {
         self.waiting.is_empty() && self.active.is_empty() && self.inflight.is_empty()
     }
 
+    /// True while any job still has words to issue (waiting or active).
+    /// Such a job consumes bandwidth every tick, so its timing is not
+    /// closed-form and the DRAM must be ticked densely.
+    pub fn has_service_work(&self) -> bool {
+        !self.waiting.is_empty() || !self.active.is_empty()
+    }
+
+    /// The cycle at which the oldest in-flight word's latency expires,
+    /// if any. With no service work pending this is the DRAM's next
+    /// observable event: every tick before it is an idle tick.
+    pub fn next_output_ready(&self) -> Option<u64> {
+        self.inflight.front().map(|(ready, _)| *ready)
+    }
+
     /// Fast-forwards `n` cycles with no work in flight. An idle tick's
     /// only effect is the bandwidth refill (the admit and payout loops
     /// run over empty queues), so this is exactly equivalent to `n`
@@ -205,6 +219,16 @@ impl Dram {
     /// Debug-asserts the DRAM really is idle.
     pub fn skip_idle_cycles(&mut self, n: u64) {
         debug_assert!(self.is_idle(), "skip with DRAM work in flight");
+        self.replay_idle_cycles(n);
+    }
+
+    /// Replays `n` elapsed idle cycles for a lazily scheduled DRAM.
+    /// The caller guarantees that over those `n` cycles there was no
+    /// service work and no in-flight word came due — each tick would
+    /// only have refilled the bandwidth bucket — but unlike
+    /// [`skip_idle_cycles`](Dram::skip_idle_cycles) the DRAM may *now*
+    /// hold freshly submitted jobs or not-yet-due in-flight words.
+    pub fn replay_idle_cycles(&mut self, n: u64) {
         self.bw.refill_n(n);
     }
 

@@ -2,8 +2,9 @@
 
 use crate::NodeId;
 use std::fmt;
+use std::sync::Arc;
 use ts_sim::stats::Stats;
-use ts_sim::Fifo;
+use ts_sim::{Activity, Fifo};
 
 /// Error returned by [`Mesh::inject`] when the source router's injection
 /// queue is full; carries the payload back for retry.
@@ -18,10 +19,53 @@ impl<P> fmt::Display for InjectError<P> {
 
 impl<P: fmt::Debug> std::error::Error for InjectError<P> {}
 
+/// A flit's payload, shared across multicast branches instead of being
+/// deep-cloned per send: unicast flits carry the sole copy and move it
+/// intact hop to hop; the first divergence promotes it to a shared
+/// allocation, and the final reference is unwrapped back into a move at
+/// delivery.
+#[derive(Debug, Clone)]
+enum Load<P> {
+    /// Sole copy (the unicast common case — never allocates).
+    One(P),
+    /// Fanned out across branches of a multicast tree.
+    Shared(Arc<P>),
+    /// Transient placeholder used only inside [`Load::share`]; never
+    /// observable outside that call.
+    Hole,
+}
+
+impl<P: Clone> Load<P> {
+    /// A handle for one more branch, promoting the sole copy to a
+    /// shared allocation on first divergence.
+    fn share(&mut self) -> Load<P> {
+        if let Load::One(_) = self {
+            let Load::One(p) = std::mem::replace(self, Load::Hole) else {
+                unreachable!("just matched One");
+            };
+            *self = Load::Shared(Arc::new(p));
+        }
+        match self {
+            Load::Shared(a) => Load::Shared(Arc::clone(a)),
+            Load::One(_) | Load::Hole => unreachable!("promoted to Shared above"),
+        }
+    }
+
+    /// The payload value; the last reference to a shared payload gets a
+    /// move, earlier ones a clone.
+    fn into_inner(self) -> P {
+        match self {
+            Load::One(p) => p,
+            Load::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+            Load::Hole => unreachable!("holes never escape Load::share"),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Flit<P> {
     dsts: Vec<NodeId>,
-    payload: P,
+    payload: Load<P>,
 }
 
 /// Output direction of a router. Also used (via [`opposite`]) to name
@@ -84,7 +128,14 @@ pub struct Mesh<P> {
     /// `queues[node][port]`.
     queues: Vec<Vec<Fifo<Flit<P>>>>,
     eject: Vec<Fifo<P>>,
+    /// Flits currently sitting in router queues (O(1) idleness checks).
+    queued: usize,
+    /// Payloads currently sitting in ejection buffers.
+    ejected: usize,
     rotate: usize,
+    /// Per-node output-link occupancy scratch, reused across ticks so
+    /// the hot loop does not allocate.
+    link_used: Vec<[bool; 5]>,
     stats: Stats,
 }
 
@@ -105,7 +156,10 @@ impl<P: Clone> Mesh<P> {
                 .map(|_| (0..PORTS).map(|_| Fifo::new(queue_cap)).collect())
                 .collect(),
             eject: (0..n).map(|_| Fifo::new(queue_cap)).collect(),
+            queued: 0,
+            ejected: 0,
             rotate: 0,
+            link_used: vec![[false; 5]; n],
             stats: Stats::new(),
         }
     }
@@ -159,13 +213,17 @@ impl<P: Clone> Mesh<P> {
         for &dst in &d {
             assert!(dst < self.nodes(), "destination {dst} out of range");
         }
-        let flit = Flit { dsts: d, payload };
+        let flit = Flit {
+            dsts: d,
+            payload: Load::One(payload),
+        };
         match self.queues[src][INJECT_PORT].push(flit) {
             Ok(()) => {
+                self.queued += 1;
                 self.stats.bump("injected");
                 Ok(())
             }
-            Err(e) => Err(InjectError(e.0.payload)),
+            Err(e) => Err(InjectError(e.0.payload.into_inner())),
         }
     }
 
@@ -176,7 +234,11 @@ impl<P: Clone> Mesh<P> {
 
     /// Removes the oldest delivered payload at `node`, if any.
     pub fn eject(&mut self, node: NodeId) -> Option<P> {
-        self.eject[node].pop()
+        let p = self.eject[node].pop();
+        if p.is_some() {
+            self.ejected -= 1;
+        }
+        p
     }
 
     /// Number of payloads waiting in the ejection buffer at `node`.
@@ -185,16 +247,38 @@ impl<P: Clone> Mesh<P> {
     }
 
     /// True when no flit is queued anywhere (ejection buffers may still
-    /// hold undrained payloads).
+    /// hold undrained payloads). O(1) via the queued-flit counter.
     pub fn is_idle(&self) -> bool {
-        self.queues
-            .iter()
-            .all(|ports| ports.iter().all(|q| q.is_empty()))
+        debug_assert_eq!(
+            self.queued == 0,
+            self.queues
+                .iter()
+                .all(|ports| ports.iter().all(|q| q.is_empty())),
+            "queued-flit counter diverged from queue contents"
+        );
+        self.queued == 0
     }
 
-    /// True when any ejection buffer holds an undrained payload.
+    /// True when any ejection buffer holds an undrained payload. O(1)
+    /// via the ejected-payload counter.
     pub fn eject_pending(&self) -> bool {
-        self.eject.iter().any(|q| !q.is_empty())
+        debug_assert_eq!(
+            self.ejected == 0,
+            self.eject.iter().all(|q| q.is_empty()),
+            "ejected-payload counter diverged from buffer contents"
+        );
+        self.ejected > 0
+    }
+
+    /// The mesh's activity contract: it must tick while flits are in
+    /// transit, its consumers must drain while ejections are pending,
+    /// and otherwise it sleeps until the next injection wakes it.
+    pub fn activity(&self) -> Activity {
+        if self.queued > 0 || self.ejected > 0 {
+            Activity::Now
+        } else {
+            Activity::Idle
+        }
     }
 
     /// Fast-forwards `n` cycles with no flit in flight. An idle tick's
@@ -204,6 +288,14 @@ impl<P: Clone> Mesh<P> {
     /// post-skip arbitration identical to the ticked path.
     pub fn skip_idle_cycles(&mut self, n: u64) {
         debug_assert!(self.is_idle(), "skip with flits in flight");
+        self.replay_idle_cycles(n);
+    }
+
+    /// Replays `n` idle ticks for a lazily scheduled mesh catching up
+    /// on wake. Unlike [`skip_idle_cycles`](Mesh::skip_idle_cycles) the
+    /// mesh may already hold freshly injected flits — the caller
+    /// guarantees the *elapsed* `n` cycles carried none.
+    pub fn replay_idle_cycles(&mut self, n: u64) {
         let m = self.nodes().max(1) as u64;
         self.rotate = (self.rotate + (n % m) as usize) % m as usize;
     }
@@ -242,8 +334,16 @@ impl<P: Clone> Mesh<P> {
     /// Advances the mesh one cycle.
     pub fn tick(&mut self) {
         let n = self.nodes();
+        if self.queued == 0 {
+            // nothing in transit: the sweep below would find every
+            // queue empty, so only the arbitration rotation advances
+            self.rotate = (self.rotate + 1) % n.max(1);
+            return;
+        }
         // per-node output-link occupancy for this cycle: [E, W, N, S, Eject]
-        let mut link_used = vec![[false; 5]; n];
+        for used in &mut self.link_used {
+            *used = [false; 5];
+        }
         // flits that moved this cycle are appended after the sweep so a
         // flit cannot traverse two hops in one cycle
         let mut moved: Vec<(NodeId, usize, Flit<P>)> = Vec::new();
@@ -264,9 +364,8 @@ impl<P: Clone> Mesh<P> {
 
                 // plan which direction groups can claim their output
                 // link this cycle; execution below then knows the full
-                // fan-out, so the payload is cloned per extra branch
-                // only and *moved* into the last send when the flit
-                // leaves this router entirely
+                // fan-out, so branches share the payload allocation and
+                // the last send of a fully consumed flit gets the move
                 let mut remaining: Vec<NodeId> = Vec::new();
                 let mut sends: Vec<Dir> = Vec::new();
                 for dir in OUT_DIRS {
@@ -274,7 +373,7 @@ impl<P: Clone> Mesh<P> {
                     if groups[di].is_empty() {
                         continue;
                     }
-                    if link_used[node][di] {
+                    if self.link_used[node][di] {
                         remaining.extend_from_slice(&groups[di]);
                         continue;
                     }
@@ -300,12 +399,13 @@ impl<P: Clone> Mesh<P> {
                             }
                         }
                     }
-                    link_used[node][di] = true;
+                    self.link_used[node][di] = true;
                     sends.push(dir);
                 }
 
-                let mut payload: Option<P> = if remaining.is_empty() {
-                    // fully consumed: take the flit and move its payload
+                let mut owned: Option<Load<P>> = if remaining.is_empty() {
+                    // fully consumed: take the flit and own its payload
+                    self.queued -= 1;
                     Some(self.queues[node][port].pop().expect("head exists").payload)
                 } else {
                     if sends.is_empty() {
@@ -319,21 +419,22 @@ impl<P: Clone> Mesh<P> {
                 };
 
                 for (k, &dir) in sends.iter().enumerate() {
-                    let p = match &payload {
+                    let load = match &mut owned {
                         // last branch of a consumed flit gets the move
-                        Some(_) if k + 1 == sends.len() => payload.take().expect("moved once"),
-                        Some(p) => p.clone(),
+                        Some(_) if k + 1 == sends.len() => owned.take().expect("moved once"),
+                        Some(l) => l.share(),
                         None => self.queues[node][port]
-                            .front()
+                            .front_mut()
                             .expect("head exists")
                             .payload
-                            .clone(),
+                            .share(),
                     };
                     match dir {
                         Dir::Eject => {
-                            if self.eject[node].push(p).is_err() {
+                            if self.eject[node].push(load.into_inner()).is_err() {
                                 unreachable!("ejection space was checked");
                             }
+                            self.ejected += 1;
                             self.stats.bump("delivered");
                         }
                         _ => {
@@ -342,7 +443,7 @@ impl<P: Clone> Mesh<P> {
                                 opposite(dir),
                                 Flit {
                                     dsts: std::mem::take(&mut groups[dir_index(dir)]),
-                                    payload: p,
+                                    payload: load,
                                 },
                             ));
                             self.stats.bump("flit_hops");
@@ -356,6 +457,7 @@ impl<P: Clone> Mesh<P> {
             if self.queues[node][port].push(flit).is_err() {
                 unreachable!("queue space was reserved");
             }
+            self.queued += 1;
         }
         self.rotate = (self.rotate + 1) % n.max(1);
     }
@@ -513,6 +615,37 @@ mod tests {
             cycles += 1;
             assert!(cycles < 500, "deadlock: {delivered}/20 after {cycles}");
         }
+    }
+
+    #[test]
+    fn activity_tracks_transit_and_ejections() {
+        let mut m: Mesh<u64> = Mesh::new(2, 1, 4);
+        assert_eq!(m.activity(), Activity::Idle);
+        m.inject(0, &[1], 9).unwrap();
+        assert_eq!(m.activity(), Activity::Now);
+        drain_all(&mut m, 50);
+        // delivered but undrained: consumers still have work
+        assert!(m.is_idle() && m.eject_pending());
+        assert_eq!(m.activity(), Activity::Now);
+        assert_eq!(m.eject(1), Some(9));
+        assert_eq!(m.activity(), Activity::Idle);
+    }
+
+    #[test]
+    fn counters_track_queue_contents_under_load() {
+        let mut m: Mesh<u64> = Mesh::new(3, 3, 2);
+        for i in 0..6 {
+            let _ = m.inject(i % 9, &[(i * 5 + 3) % 9], i as u64);
+        }
+        for _ in 0..40 {
+            m.tick();
+            // is_idle/eject_pending debug-assert counter consistency
+            let _ = (m.is_idle(), m.eject_pending());
+            for node in 0..9 {
+                let _ = m.eject(node);
+            }
+        }
+        assert!(m.is_idle() && !m.eject_pending());
     }
 
     #[test]

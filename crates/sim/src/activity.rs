@@ -1,0 +1,71 @@
+//! The activity contract event-driven schedulers tick components by.
+//!
+//! A component reports what it needs from the scheduler as an
+//! [`Activity`]: nothing ([`Activity::Idle`]), a dense tick every cycle
+//! ([`Activity::Now`]), or a wake-up at a known future cycle
+//! ([`Activity::At`]) because its only pending state change is
+//! time-gated (a latency queue whose front comes due then). Schedulers
+//! fold the per-component answers with [`Activity::merge`] to find the
+//! machine's next event.
+
+/// What a component needs from the scheduler, as of the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// No pending work; the component need not tick until an external
+    /// event (an injection, a dispatch) wakes it.
+    Idle,
+    /// Pending work whose timing is not closed-form; the component must
+    /// tick densely every cycle.
+    Now,
+    /// Only time-gated work: the earliest cycle at which the component's
+    /// state can change. Until then its ticks are idle ticks.
+    At(u64),
+}
+
+impl Activity {
+    /// True when the component needs a tick at cycle `now`.
+    pub fn is_active(self, now: u64) -> bool {
+        match self {
+            Activity::Idle => false,
+            Activity::Now => true,
+            Activity::At(t) => t <= now,
+        }
+    }
+
+    /// Combines two components' needs: the more urgent wins
+    /// (`Now` > earlier `At` > later `At` > `Idle`).
+    #[must_use]
+    pub fn merge(self, other: Activity) -> Activity {
+        match (self, other) {
+            (Activity::Now, _) | (_, Activity::Now) => Activity::Now,
+            (Activity::At(a), Activity::At(b)) => Activity::At(a.min(b)),
+            (Activity::At(t), Activity::Idle) | (Activity::Idle, Activity::At(t)) => {
+                Activity::At(t)
+            }
+            (Activity::Idle, Activity::Idle) => Activity::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_picks_the_most_urgent() {
+        assert_eq!(Activity::Idle.merge(Activity::Idle), Activity::Idle);
+        assert_eq!(Activity::Idle.merge(Activity::At(9)), Activity::At(9));
+        assert_eq!(Activity::At(4).merge(Activity::At(7)), Activity::At(4));
+        assert_eq!(Activity::At(4).merge(Activity::Now), Activity::Now);
+        assert_eq!(Activity::Now.merge(Activity::Idle), Activity::Now);
+    }
+
+    #[test]
+    fn is_active_respects_wake_time() {
+        assert!(!Activity::Idle.is_active(100));
+        assert!(Activity::Now.is_active(0));
+        assert!(!Activity::At(10).is_active(9));
+        assert!(Activity::At(10).is_active(10));
+        assert!(Activity::At(10).is_active(11));
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`TokenBucket`] — fractional-rate throughput accounting used to model
 //!   bandwidth-limited resources (DRAM channels, fabric initiation
 //!   intervals).
+//! * [`Activity`] — the activity contract components report to
+//!   event-driven schedulers (tick me now / wake me at cycle t / idle).
 //! * [`stats`] — hierarchical counter/histogram collection that every
 //!   component reports into, and that the benchmark harness reads back out.
 //! * [`rng`] — deterministic seeded random-number helpers so every
@@ -36,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod activity;
 mod cycle;
 mod fifo;
 pub mod rng;
 pub mod stats;
 mod token;
 
+pub use activity::Activity;
 pub use cycle::Cycle;
 pub use fifo::{Fifo, PushError};
 pub use token::TokenBucket;

@@ -107,9 +107,9 @@ impl fmt::Display for Report {
 
 /// A live statistics scope owned by one component during simulation.
 ///
-/// `Stats` is cheap to bump during the hot loop (a `BTreeMap` entry per
-/// counter name, interned on first use) and is converted into a [`Report`]
-/// at the end of the run.
+/// `Stats` is cheap to bump during the hot loop (a move-to-front entry
+/// per counter name, interned on first use) and is converted into a
+/// [`Report`] at the end of the run.
 ///
 /// # Examples
 ///
@@ -126,7 +126,10 @@ impl fmt::Display for Report {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
-    counters: BTreeMap<String, u64>,
+    /// Move-to-front list: components bump a handful of distinct keys,
+    /// with one or two (cycle counters) bumped every cycle, so a short
+    /// adaptive linear scan beats a map lookup in the hot loop.
+    counters: Vec<(String, u64)>,
     histograms: BTreeMap<String, Histogram>,
 }
 
@@ -143,17 +146,23 @@ impl Stats {
 
     /// Increments a counter by `n`.
     pub fn bump_by(&mut self, key: &str, n: u64) {
-        match self.counters.get_mut(key) {
-            Some(c) => *c += n,
-            None => {
-                self.counters.insert(key.to_owned(), n);
+        match self.counters.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                self.counters[i].1 += n;
+                if i > 0 {
+                    self.counters.swap(i, i - 1);
+                }
             }
+            None => self.counters.push((key.to_owned(), n)),
         }
     }
 
     /// Reads a counter (zero if never bumped).
     pub fn counter(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
     }
 
     /// Records one sample into a histogram.
