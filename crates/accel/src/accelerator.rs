@@ -852,7 +852,10 @@ impl RunState {
     fn dispatch_one_at(&mut self, pos: usize) -> Result<bool, RunError> {
         let idle_only = self.has_live_pipe_dep(&self.pending[pos].inst);
         self.fill_mask(idle_only);
-        let Some(tile) = self.picker.pick(&self.pending[pos].inst, &self.mask_scratch) else {
+        let Some(tile) = self
+            .picker
+            .pick(&self.pending[pos].inst, &self.mask_scratch)
+        else {
             return Ok(false);
         };
         let p = self.pending.remove(pos).expect("index in range");

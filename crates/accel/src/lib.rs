@@ -73,6 +73,7 @@ pub mod energy;
 mod exec;
 mod memctrl;
 mod msg;
+pub mod oracle;
 mod pipes;
 mod report;
 

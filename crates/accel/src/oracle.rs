@@ -1,0 +1,564 @@
+//! An untimed functional oracle for differential testing.
+//!
+//! The cycle-level simulator is *functionally exact*: every task's
+//! results are computed at dispatch time and land in the modelled
+//! memories. This module runs the same [`Program`] with no machine
+//! model at all — no tiles, no NoC, no DRAM timing — just tasks
+//! executed in dependence order over plain address maps. Comparing the
+//! two final states ([`check_equivalence`]) catches any change that
+//! lets timing bookkeeping leak into functional results.
+//!
+//! # What the oracle can and cannot check
+//!
+//! The oracle executes admitted tasks in FIFO (spawn) order, running
+//! the first queued task whose pipe inputs are all available. The
+//! timed simulator dispatches in a different (timing-dependent) order,
+//! so final-state equivalence is only guaranteed for **race-free
+//! programs**: programs whose result does not depend on the relative
+//! order of concurrently live tasks. Commutative read-modify-write
+//! outputs ([`WriteMode::Add`]/[`WriteMode::Min`]) and disjoint
+//! overwrite sets both qualify; two tasks racing plain overwrites to
+//! the same address do not. Every workload in the benchmark suite is
+//! race-free by construction (they validate against reference
+//! implementations), and the differential tests only generate
+//! race-free programs.
+//!
+//! The oracle keeps a *single* scratchpad map, whereas the timed
+//! machine replicates scratchpads per tile; equivalence is therefore
+//! asserted on DRAM (and task counts) only. Pipe spill buffers the
+//! timed machine allocates above the program's high-water mark are
+//! invisible here — [`check_equivalence`] compares exactly the
+//! addresses the oracle touched: the initial image plus every
+//! program-written word.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use taskstream_model::{
+    CompletedTask, InputBinding, OutputBinding, PipeId, Program, Spawner, TaskId, TaskInstance,
+    TaskKernel, TaskType, Value,
+};
+use ts_dfg::interp;
+use ts_mem::WriteMode;
+use ts_stream::{Addr, DataSrc, StreamDesc};
+
+use crate::report::RunReport;
+
+/// Final state of an untimed run: what the program computed, with no
+/// timing attached.
+#[derive(Debug, Clone)]
+pub struct OracleOutcome {
+    /// Tasks executed over the run.
+    pub tasks_completed: u64,
+    /// Final DRAM contents, sparsely: the initial image plus every
+    /// word the program wrote. Untouched words are implicitly zero.
+    pub dram: BTreeMap<Addr, Value>,
+}
+
+impl OracleOutcome {
+    /// Reads one word of the final DRAM image (zero if untouched).
+    pub fn dram(&self, addr: Addr) -> Value {
+        *self.dram.get(&addr).unwrap_or(&0)
+    }
+}
+
+/// Upper bound on executed tasks before the oracle declares the
+/// program divergent (a spawn loop that never terminates).
+const TASK_LIMIT: u64 = 50_000_000;
+
+/// Runs `program` to completion with no timing model.
+///
+/// Tasks execute in spawn order, gated only by pipe availability: the
+/// first queued task whose pipe inputs all carry data runs next, to
+/// completion, before the next is considered. `on_complete` fires
+/// immediately after each task; `on_quiescent` when the queue drains.
+///
+/// # Errors
+///
+/// Returns a message on program contract violations (arity mismatches,
+/// undeclared pipes, scatter shape errors), kernel execution errors,
+/// pipe deadlock (queued tasks whose producers never ran), or a
+/// non-terminating spawn loop.
+pub fn execute_untimed<P: Program + ?Sized>(program: &mut P) -> Result<OracleOutcome, String> {
+    let mut st = OracleState::new(program);
+    let mut next_pipe = 0;
+    let mut spawner = Spawner::new(next_pipe);
+    program.initial(&mut spawner);
+    next_pipe = spawner.next_pipe_id();
+    st.absorb(spawner)?;
+
+    loop {
+        let pos = st.queue.iter().position(|(_, inst)| st.ready(inst));
+        match pos {
+            Some(pos) => {
+                let (id, inst) = st.queue.remove(pos).expect("position is in range");
+                let done = st.execute(id, inst)?;
+                st.tasks_completed += 1;
+                if st.tasks_completed > TASK_LIMIT {
+                    return Err(format!(
+                        "oracle exceeded {TASK_LIMIT} tasks; spawn loop never terminates"
+                    ));
+                }
+                let mut spawner = Spawner::new(next_pipe);
+                program.on_complete(&done, &mut spawner);
+                next_pipe = spawner.next_pipe_id();
+                st.absorb(spawner)?;
+            }
+            None if st.queue.is_empty() => {
+                let mut spawner = Spawner::new(next_pipe);
+                let more = program.on_quiescent(&mut spawner);
+                next_pipe = spawner.next_pipe_id();
+                let spawned = spawner.spawned_len() > 0;
+                st.absorb(spawner)?;
+                if !more && !spawned {
+                    break;
+                }
+            }
+            None => {
+                return Err(format!(
+                    "oracle deadlock: {} queued task(s) wait on pipes whose producers never ran",
+                    st.queue.len()
+                ));
+            }
+        }
+    }
+    Ok(OracleOutcome {
+        tasks_completed: st.tasks_completed,
+        dram: st.dram,
+    })
+}
+
+/// Compares a timed run's final state against the oracle's.
+///
+/// Checks the completed-task count and every DRAM word the oracle
+/// touched (image plus program writes). Timed-only state — pipe spill
+/// buffers, scratchpads — is deliberately out of scope (see the module
+/// docs).
+///
+/// # Errors
+///
+/// Returns a message naming the first divergences (at most eight) on
+/// mismatch.
+pub fn check_equivalence(timed: &RunReport, oracle: &OracleOutcome) -> Result<(), String> {
+    if timed.tasks_completed != oracle.tasks_completed {
+        return Err(format!(
+            "tasks completed diverge: timed {} vs oracle {}",
+            timed.tasks_completed, oracle.tasks_completed
+        ));
+    }
+    let mut diverged = Vec::new();
+    for (&addr, &want) in &oracle.dram {
+        let got = timed.dram(addr);
+        if got != want {
+            diverged.push(format!("dram[{addr}]: timed {got} vs oracle {want}"));
+            if diverged.len() >= 8 {
+                diverged.push("...".to_owned());
+                break;
+            }
+        }
+    }
+    if diverged.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "final DRAM diverges on {}+ word(s):\n  {}",
+            diverged.len().min(8),
+            diverged.join("\n  ")
+        ))
+    }
+}
+
+struct OracleState {
+    types: Vec<TaskType>,
+    dram: BTreeMap<Addr, Value>,
+    /// One shared scratchpad map (the timed machine replicates the
+    /// image per tile; programs in the test suite treat spad as
+    /// read-mostly, so a single map sees the same values).
+    spad: BTreeMap<Addr, Value>,
+    /// Declared pipes and their recorded payloads.
+    pipes: HashMap<PipeId, Option<Vec<Value>>>,
+    queue: VecDeque<(TaskId, TaskInstance)>,
+    next_task: u64,
+    tasks_completed: u64,
+}
+
+impl OracleState {
+    fn new<P: Program + ?Sized>(program: &mut P) -> Self {
+        let mut dram = BTreeMap::new();
+        let mut spad = BTreeMap::new();
+        let image = program.memory_image();
+        for (base, words) in &image.dram {
+            for (i, v) in words.iter().enumerate() {
+                dram.insert(base + i as u64, *v);
+            }
+        }
+        for (base, words) in &image.spad {
+            for (i, v) in words.iter().enumerate() {
+                spad.insert(base + i as u64, *v);
+            }
+        }
+        OracleState {
+            types: program.task_types(),
+            dram,
+            spad,
+            pipes: HashMap::new(),
+            queue: VecDeque::new(),
+            next_task: 0,
+            tasks_completed: 0,
+        }
+    }
+
+    fn absorb(&mut self, spawner: Spawner) -> Result<(), String> {
+        let (tasks, pipes) = spawner.take();
+        for decl in pipes {
+            if self.pipes.insert(decl.id, None).is_some() {
+                return Err(format!("pipe {:?} declared twice", decl.id));
+            }
+        }
+        for inst in tasks {
+            self.validate(&inst)?;
+            for p in inst.input_pipes().chain(inst.output_pipes()) {
+                if !self.pipes.contains_key(&p) {
+                    return Err(format!("task uses undeclared pipe {p:?}"));
+                }
+            }
+            let id = TaskId(self.next_task);
+            self.next_task += 1;
+            self.queue.push_back((id, inst));
+        }
+        Ok(())
+    }
+
+    /// Mirrors the timed machine's instance validation.
+    fn validate(&self, inst: &TaskInstance) -> Result<(), String> {
+        let Some(ty) = self.types.get(inst.ty.0) else {
+            return Err(format!("unknown task type {:?}", inst.ty));
+        };
+        if inst.inputs.len() != ty.kernel.input_count() {
+            return Err(format!(
+                "task type '{}' expects {} inputs, got {}",
+                ty.name,
+                ty.kernel.input_count(),
+                inst.inputs.len()
+            ));
+        }
+        if inst.outputs.len() != ty.kernel.output_count() {
+            return Err(format!(
+                "task type '{}' expects {} outputs, got {}",
+                ty.name,
+                ty.kernel.output_count(),
+                inst.outputs.len()
+            ));
+        }
+        for (port, out) in inst.outputs.iter().enumerate() {
+            if let OutputBinding::Scatter { addr_port, .. } = out {
+                if *addr_port >= inst.outputs.len() || *addr_port == port {
+                    return Err(format!(
+                        "scatter on port {port} names invalid addr_port {addr_port}"
+                    ));
+                }
+                if !matches!(inst.outputs[*addr_port], OutputBinding::Discard) {
+                    return Err(format!(
+                        "scatter addr_port {addr_port} must be bound Discard"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when every pipe input has recorded producer data.
+    fn ready(&self, inst: &TaskInstance) -> bool {
+        inst.input_pipes()
+            .all(|p| matches!(self.pipes.get(&p), Some(Some(_))))
+    }
+
+    fn execute(&mut self, id: TaskId, inst: TaskInstance) -> Result<CompletedTask, String> {
+        // cheap clones (the kernel is an `Arc` inside) so `self` stays
+        // free for the mutable memory updates below
+        let ty_name = self.types[inst.ty.0].name.clone();
+        let kernel = self.types[inst.ty.0].kernel.clone();
+        let mut input_data: Vec<Vec<Value>> = Vec::with_capacity(inst.inputs.len());
+        for b in &inst.inputs {
+            let data = match b {
+                InputBinding::Stream(d) | InputBinding::Shared { desc: d, .. } => {
+                    self.materialize(d)
+                }
+                InputBinding::Pipe(p) => self
+                    .pipes
+                    .get(p)
+                    .and_then(|d| d.clone())
+                    .ok_or_else(|| format!("pipe {p:?} read before its producer ran"))?,
+            };
+            input_data.push(data);
+        }
+
+        let outputs = match &kernel {
+            TaskKernel::Dfg(d) => {
+                interp::execute(d, &inst.params, &input_data)
+                    .map_err(|e| format!("{ty_name}: {e}"))?
+                    .outputs
+            }
+            TaskKernel::Native(n) => n.run(&inst.params, &input_data).outputs,
+        };
+
+        for (port, binding) in inst.outputs.iter().enumerate() {
+            let values = &outputs[port];
+            match binding {
+                OutputBinding::Memory { desc, mode } => {
+                    let addrs = self.write_addrs(desc, values.len())?;
+                    for (a, v) in addrs.iter().zip(values) {
+                        self.update(desc_space(desc), *a, *v, *mode);
+                    }
+                }
+                OutputBinding::Scatter {
+                    src,
+                    base,
+                    scale,
+                    addr_port,
+                    mode,
+                } => {
+                    let idxs = &outputs[*addr_port];
+                    if idxs.len() != values.len() {
+                        return Err(format!(
+                            "{ty_name}: scatter ports emit {} values vs {} indices",
+                            values.len(),
+                            idxs.len()
+                        ));
+                    }
+                    for (idx, v) in idxs.iter().zip(values) {
+                        let a = (*base as i64 + idx.wrapping_mul(*scale)) as Addr;
+                        self.update(*src, a, *v, *mode);
+                    }
+                }
+                OutputBinding::Pipe(p) => {
+                    self.pipes.insert(*p, Some(values.clone()));
+                }
+                OutputBinding::Discard => {}
+            }
+        }
+
+        Ok(CompletedTask {
+            id,
+            ty: inst.ty,
+            params: inst.params,
+            affinity: inst.affinity,
+            outputs,
+        })
+    }
+
+    fn read(&self, src: DataSrc, addr: Addr) -> Value {
+        let map = match src {
+            DataSrc::Dram => &self.dram,
+            DataSrc::Spad => &self.spad,
+        };
+        *map.get(&addr).unwrap_or(&0)
+    }
+
+    fn update(&mut self, src: DataSrc, addr: Addr, value: Value, mode: WriteMode) {
+        let map = match src {
+            DataSrc::Dram => &mut self.dram,
+            DataSrc::Spad => &mut self.spad,
+        };
+        let slot = map.entry(addr).or_insert(0);
+        *slot = match mode {
+            WriteMode::Overwrite => value,
+            WriteMode::Min => (*slot).min(value),
+            WriteMode::Add => slot.wrapping_add(value),
+        };
+    }
+
+    fn materialize(&self, desc: &StreamDesc) -> Vec<Value> {
+        match desc {
+            StreamDesc::Literal(v) => v.as_ref().clone(),
+            StreamDesc::Iota { start, step, len } => {
+                let mut out = Vec::with_capacity(*len as usize);
+                let mut v = *start;
+                for _ in 0..*len {
+                    out.push(v);
+                    v = v.wrapping_add(*step);
+                }
+                out
+            }
+            StreamDesc::Affine { src, pattern } => {
+                pattern.iter().map(|a| self.read(*src, a)).collect()
+            }
+            StreamDesc::Indirect {
+                src,
+                base,
+                scale,
+                index,
+                index_src,
+            } => index
+                .iter()
+                .map(|a| {
+                    let i = self.read(*index_src, a);
+                    let addr = (*base as i64 + i.wrapping_mul(*scale)) as Addr;
+                    self.read(*src, addr)
+                })
+                .collect(),
+        }
+    }
+
+    fn write_addrs(&self, desc: &StreamDesc, n: usize) -> Result<Vec<Addr>, String> {
+        match desc {
+            StreamDesc::Affine { pattern, .. } => {
+                if (n as u64) > pattern.len() {
+                    return Err(format!(
+                        "output produced {n} words but descriptor covers {}",
+                        pattern.len()
+                    ));
+                }
+                Ok(pattern.iter().take(n).collect())
+            }
+            StreamDesc::Indirect {
+                base,
+                scale,
+                index,
+                index_src,
+                ..
+            } => {
+                if (n as u64) > index.len() {
+                    return Err(format!(
+                        "output produced {n} words but index covers {}",
+                        index.len()
+                    ));
+                }
+                Ok(index
+                    .iter()
+                    .take(n)
+                    .map(|a| {
+                        let i = self.read(*index_src, a);
+                        (*base as i64 + i.wrapping_mul(*scale)) as Addr
+                    })
+                    .collect())
+            }
+            other => Err(format!(
+                "writes need an addressable descriptor, got {other:?}"
+            )),
+        }
+    }
+}
+
+fn desc_space(desc: &StreamDesc) -> DataSrc {
+    match desc {
+        StreamDesc::Affine { src, .. } | StreamDesc::Indirect { src, .. } => *src,
+        _ => DataSrc::Dram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taskstream_model::{MemoryImage, TaskTypeId};
+    use ts_dfg::DfgBuilder;
+
+    /// Doubles 4 DRAM words into a second region.
+    struct Doubler;
+
+    impl Program for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn task_types(&self) -> Vec<TaskType> {
+            let mut b = DfgBuilder::new("x2");
+            let x = b.input();
+            let two = b.constant(2);
+            let y = b.mul(x, two);
+            b.output(y);
+            vec![TaskType::new("x2", TaskKernel::dfg(b.finish().unwrap()))]
+        }
+        fn memory_image(&self) -> MemoryImage {
+            MemoryImage::new().dram_segment(0, vec![1, 2, 3, 4])
+        }
+        fn initial(&mut self, s: &mut Spawner) {
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(0, 4))
+                    .output_memory(StreamDesc::dram(100, 4), WriteMode::Overwrite),
+            );
+        }
+        fn on_complete(&mut self, _: &CompletedTask, _: &mut Spawner) {}
+    }
+
+    #[test]
+    fn oracle_runs_a_simple_program() {
+        let out = execute_untimed(&mut Doubler).unwrap();
+        assert_eq!(out.tasks_completed, 1);
+        assert_eq!(out.dram(100), 2);
+        assert_eq!(out.dram(103), 8);
+        assert_eq!(out.dram(0), 1); // image preserved
+        assert_eq!(out.dram(999), 0); // untouched reads as zero
+    }
+
+    #[test]
+    fn oracle_matches_timed_simulator() {
+        use crate::{Accelerator, DeltaConfig};
+        let timed = Accelerator::new(DeltaConfig::delta(2))
+            .run(&mut Doubler)
+            .unwrap();
+        let oracle = execute_untimed(&mut Doubler).unwrap();
+        check_equivalence(&timed, &oracle).unwrap();
+    }
+
+    #[test]
+    fn equivalence_catches_divergence() {
+        use crate::{Accelerator, DeltaConfig};
+        let timed = Accelerator::new(DeltaConfig::delta(2))
+            .run(&mut Doubler)
+            .unwrap();
+        let mut oracle = execute_untimed(&mut Doubler).unwrap();
+        oracle.dram.insert(100, -1);
+        let err = check_equivalence(&timed, &oracle).unwrap_err();
+        assert!(err.contains("dram[100]"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        struct Bad;
+        impl Program for Bad {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn task_types(&self) -> Vec<TaskType> {
+                Doubler.task_types()
+            }
+            fn memory_image(&self) -> MemoryImage {
+                MemoryImage::new()
+            }
+            fn initial(&mut self, s: &mut Spawner) {
+                s.spawn(TaskInstance::new(TaskTypeId(0))); // zero inputs
+            }
+            fn on_complete(&mut self, _: &CompletedTask, _: &mut Spawner) {}
+        }
+        let err = execute_untimed(&mut Bad).unwrap_err();
+        assert!(err.contains("expects 1 inputs"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn pipe_deadlock_is_reported() {
+        struct Stuck;
+        impl Program for Stuck {
+            fn name(&self) -> &str {
+                "stuck"
+            }
+            fn task_types(&self) -> Vec<TaskType> {
+                Doubler.task_types()
+            }
+            fn memory_image(&self) -> MemoryImage {
+                MemoryImage::new()
+            }
+            fn initial(&mut self, s: &mut Spawner) {
+                let p = s.pipe(4);
+                // consumer with no producer: can never become ready
+                s.spawn(
+                    TaskInstance::new(TaskTypeId(0))
+                        .input_pipe(p)
+                        .output_discard(),
+                );
+            }
+            fn on_complete(&mut self, _: &CompletedTask, _: &mut Spawner) {}
+        }
+        let err = execute_untimed(&mut Stuck).unwrap_err();
+        assert!(err.contains("deadlock"), "unexpected: {err}");
+    }
+}

@@ -196,4 +196,104 @@ impl RunReport {
     pub fn noc_hops(&self) -> f64 {
         self.stats.get_or_zero("noc.flit_hops")
     }
+
+    /// Checks the run's conservation invariants: quantities that must
+    /// balance at quiescence whatever the configuration, policy, or
+    /// scheduler fast paths in force.
+    ///
+    /// * every spawned task was dispatched and completed (host,
+    ///   dispatcher, and tile counts all agree);
+    /// * every injected NoC flit branch was ejected (`noc.delivered ==
+    ///   noc.injected_branches` — each branch of a multicast tree ends
+    ///   in exactly one ejection);
+    /// * total DRAM reads cover at least the distinct words read
+    ///   (`dram.read_words >= dram.read_words_unique`);
+    /// * the cycle-attribution profile covers the run exactly
+    ///   (`ticks + skipped == cycles` per component, `cycles × tiles`
+    ///   for the tile counters).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing every violated invariant.
+    pub fn check_conservation(&self, tiles: usize) -> Result<(), String> {
+        let mut violations = Vec::new();
+        let mut check = |name: &str, lhs: f64, rhs: f64, op: &str| {
+            let ok = match op {
+                "==" => lhs == rhs,
+                ">=" => lhs >= rhs,
+                _ => unreachable!("unknown op {op}"),
+            };
+            if !ok {
+                violations.push(format!("{name}: {lhs} {op} {rhs} violated"));
+            }
+        };
+
+        let completed = self.tasks_completed as f64;
+        check(
+            "tasks spawned = completed",
+            self.stats.get_or_zero("dispatch.tasks_spawned"),
+            completed,
+            "==",
+        );
+        check(
+            "tasks dispatched = completed",
+            self.stats.get_or_zero("dispatch.tasks_dispatched"),
+            completed,
+            "==",
+        );
+        check(
+            "tile completions = completed",
+            self.stats.sum_matching(".tasks_completed"),
+            completed,
+            "==",
+        );
+        check(
+            "flit branches injected = delivered",
+            self.stats.get_or_zero("noc.injected_branches"),
+            self.stats.get_or_zero("noc.delivered"),
+            "==",
+        );
+        check(
+            "dram reads >= unique words read",
+            self.stats.get_or_zero("dram.read_words"),
+            self.stats.get_or_zero("dram.read_words_unique"),
+            ">=",
+        );
+
+        let cycles = self.cycles as f64;
+        let p = &self.profile;
+        check(
+            "loop + jump cycles = cycles",
+            (p.loop_cycles + p.jump_cycles) as f64,
+            cycles,
+            "==",
+        );
+        check(
+            "mem ticks + skips = cycles",
+            (p.mem_ticks + p.mem_skipped) as f64,
+            cycles,
+            "==",
+        );
+        check(
+            "noc ticks + skips = cycles",
+            (p.noc_ticks + p.noc_skipped) as f64,
+            cycles,
+            "==",
+        );
+        check(
+            "tile ticks + skips = cycles x tiles",
+            (p.tile_ticks + p.tile_skipped) as f64,
+            cycles * tiles as f64,
+            "==",
+        );
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "conservation violated:\n  {}",
+                violations.join("\n  ")
+            ))
+        }
+    }
 }

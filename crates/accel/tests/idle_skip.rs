@@ -139,7 +139,10 @@ where
     assert_eq!(skip.tasks_completed, dense.tasks_completed);
     assert_eq!(skip.timeline, dense.timeline);
     assert_eq!(skip.stats, dense.stats, "stats diverged");
-    assert_eq!(skip.dram_range(0, dram_words), dense.dram_range(0, dram_words));
+    assert_eq!(
+        skip.dram_range(0, dram_words),
+        dense.dram_range(0, dram_words)
+    );
 }
 
 #[test]

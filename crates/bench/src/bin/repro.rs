@@ -9,6 +9,8 @@
 //! repro --bench-json out.json   # also write machine-readable timings
 //! repro --no-active-set     # disable active-set scheduling (A/B reference)
 //! repro --no-idle-skip      # disable the next-event jump (A/B reference)
+//! repro --check-goldens     # diff results against goldens/, exit 1 on drift
+//! repro --bless             # regenerate the committed goldens/ files
 //! ```
 //!
 //! `--jobs 1` reproduces the fully serial behavior; any `--jobs N`
@@ -20,12 +22,36 @@
 //! ticked versus replayed in closed form by active-set scheduling, and
 //! the fraction of machine cycles covered by next-event jumps. The
 //! same counters land in the `--bench-json` output.
+//!
+//! `--check-goldens` compares every experiment, cell by cell, against
+//! the committed `goldens/<scale>/<id>.json` snapshot and additionally
+//! asserts the machine-level shapes the paper claims rest on (see
+//! `ts_bench::golden`). Violations are printed, written to
+//! `GOLDEN_diff.txt`, and the process exits nonzero. After an
+//! intentional model change, `--bless` rewrites the snapshots.
 
+use std::path::PathBuf;
 use std::time::Instant;
 use ts_bench::experiments::{self, ALL};
+use ts_bench::golden::GoldenDoc;
 use ts_bench::profile;
 use ts_delta::SimProfile;
 use ts_workloads::Scale;
+
+const USAGE: &str = "\
+usage: repro [experiment ...] [flags]
+
+flags:
+  --tiny                 run test-sized instances (default: small)
+  --jobs <n>             worker threads for each experiment's sweep
+  --profile              print per-experiment cycle attribution
+  --bench-json <path>    write machine-readable timings
+  --no-active-set        disable active-set scheduling (A/B reference)
+  --no-idle-skip         disable the next-event jump (A/B reference)
+  --check-goldens        diff results against goldens/, exit 1 on drift
+  --bless                regenerate the committed goldens/ files
+
+experiments: omit to run all; known ids are listed in ts_bench::experiments::ALL";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +61,8 @@ fn main() {
     let mut show_profile = false;
     let mut no_active_set = false;
     let mut no_idle_skip = false;
+    let mut check_goldens = false;
+    let mut bless = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -50,7 +78,12 @@ fn main() {
             "--bench-json" => {
                 bench_json = Some(it.next().expect("--bench-json needs a path"));
             }
-            s if s.starts_with("--") => eprintln!("ignoring unknown flag {s}"),
+            "--check-goldens" => check_goldens = true,
+            "--bless" => bless = true,
+            s if s.starts_with("--") => {
+                eprintln!("error: unknown flag '{s}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
             _ => wanted.push(a),
         }
     }
@@ -67,12 +100,19 @@ fn main() {
         wanted.iter().map(|s| s.as_str()).collect()
     };
 
+    let golden_dir = goldens_root().join(experiments::scale_name(scale));
+    if bless {
+        std::fs::create_dir_all(&golden_dir).expect("creating the goldens directory");
+    }
+
     let t_all = Instant::now();
     let mut timings: Vec<(String, f64, SimProfile)> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
     for id in ids {
         let (before, _) = profile::snapshot();
         let t0 = Instant::now();
-        let out = experiments::run(id, scale);
+        let doc = experiments::run_doc(id, scale);
+        let out = experiments::render_doc(&doc);
         let secs = t0.elapsed().as_secs_f64();
         let (after, _) = profile::snapshot();
         let prof = profile::delta(&before, &after);
@@ -83,6 +123,31 @@ fn main() {
             println!("  profile: {}", profile::summarize(&prof));
         }
         println!("  ({:.1?})\n", t0.elapsed());
+
+        let golden_path = golden_dir.join(format!("{id}.json"));
+        if bless {
+            std::fs::write(&golden_path, doc.to_json())
+                .unwrap_or_else(|e| panic!("writing {}: {e}", golden_path.display()));
+            eprintln!("blessed {}", golden_path.display());
+        }
+        if check_goldens {
+            match std::fs::read_to_string(&golden_path) {
+                Ok(text) => match GoldenDoc::from_json(&text) {
+                    Ok(golden) => violations.extend(golden.diff(&doc)),
+                    Err(e) => violations.push(format!(
+                        "{id} ({}): unreadable golden {}: {e}",
+                        doc.scale,
+                        golden_path.display()
+                    )),
+                },
+                Err(_) => violations.push(format!(
+                    "{id} ({}): missing golden {} (run `repro --bless` to create it)",
+                    doc.scale,
+                    golden_path.display()
+                )),
+            }
+            violations.extend(doc.shape_violations());
+        }
     }
     let total = t_all.elapsed().as_secs_f64();
     if show_profile {
@@ -96,7 +161,7 @@ fn main() {
         let mut json = String::from("{\n");
         json.push_str(&format!(
             "  \"scale\": \"{}\",\n",
-            if scale == Scale::Tiny { "tiny" } else { "small" }
+            experiments::scale_name(scale)
         ));
         json.push_str(&format!("  \"jobs\": {},\n", rayon::current_num_threads()));
         json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
@@ -114,6 +179,38 @@ fn main() {
         std::fs::write(&path, json).expect("writing the bench json");
         eprintln!("wrote {path}");
     }
+
+    if check_goldens {
+        if violations.is_empty() {
+            eprintln!(
+                "goldens OK: {} experiment(s) match goldens/{} and satisfy the shape claims",
+                timings.len(),
+                experiments::scale_name(scale)
+            );
+        } else {
+            let report = format!(
+                "golden check failed with {} violation(s):\n  {}\n",
+                violations.len(),
+                violations.join("\n  ")
+            );
+            eprint!("{report}");
+            std::fs::write("GOLDEN_diff.txt", &report).expect("writing GOLDEN_diff.txt");
+            eprintln!("(report written to GOLDEN_diff.txt)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Locates the committed `goldens/` directory: the working directory's
+/// if present (CI runs from the repo root), else relative to this
+/// crate's manifest so `cargo run -p ts-bench` works from anywhere in
+/// the tree.
+fn goldens_root() -> PathBuf {
+    let cwd = PathBuf::from("goldens");
+    if cwd.is_dir() {
+        return cwd;
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../goldens"))
 }
 
 /// Renders one profile as a JSON object (the repo has no serde; the

@@ -7,6 +7,7 @@
 //! seeds derive from [`SEED`] plus a stable job key ([`derive_seed`]),
 //! so `repro --jobs N` output is byte-identical to `--jobs 1`.
 
+use crate::golden::GoldenDoc;
 use crate::{fmt_x, run_grid, Job, Table};
 use taskstream_model::Policy;
 use ts_delta::{area, DeltaConfig, Features};
@@ -66,7 +67,10 @@ pub fn fig_overall(scale: Scale) -> Overall {
     let wls = suite(scale, SEED);
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::new(
+            wl.as_ref(),
+            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
+        ));
         jobs.push(Job::baseline(
             wl.as_ref(),
             seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
@@ -211,7 +215,10 @@ pub fn fig_tiles(scale: Scale, tile_counts: &[usize]) -> Table {
     let mut jobs = Vec::new();
     for wl in &wls {
         for &t in tile_counts {
-            jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(t), wl.as_ref())));
+            jobs.push(Job::new(
+                wl.as_ref(),
+                seeded(DeltaConfig::delta(t), wl.as_ref()),
+            ));
             jobs.push(Job::baseline(
                 wl.as_ref(),
                 seeded(DeltaConfig::static_parallel(t), wl.as_ref()),
@@ -252,7 +259,10 @@ pub fn fig_grain(scale: Scale) -> Table {
     let mut jobs = Vec::new();
     for wl in &wls {
         jobs.push(Job::new(wl, seeded(DeltaConfig::delta(TILES), wl)));
-        jobs.push(Job::baseline(wl, seeded(DeltaConfig::static_parallel(TILES), wl)));
+        jobs.push(Job::baseline(
+            wl,
+            seeded(DeltaConfig::static_parallel(TILES), wl),
+        ));
     }
     let results = run_grid(&jobs);
 
@@ -278,7 +288,10 @@ pub fn fig_imbalance(scale: Scale) -> Table {
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::new(
+            wl.as_ref(),
+            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
+        ));
         jobs.push(Job::baseline(
             wl.as_ref(),
             seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
@@ -331,10 +344,16 @@ pub fn fig_noc(scale: Scale) -> Table {
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
         jobs.push(Job::new(
             wl.as_ref(),
-            seeded(DeltaConfig::delta(TILES).with_features(unicast), wl.as_ref()),
+            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
+        ));
+        jobs.push(Job::new(
+            wl.as_ref(),
+            seeded(
+                DeltaConfig::delta(TILES).with_features(unicast),
+                wl.as_ref(),
+            ),
         ));
     }
     let results = run_grid(&jobs);
@@ -808,7 +827,10 @@ pub fn fig_timeline(scale: Scale) -> Table {
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::new(
+            wl.as_ref(),
+            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
+        ));
         jobs.push(Job::baseline(
             wl.as_ref(),
             seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
@@ -837,7 +859,10 @@ pub fn tbl_energy(scale: Scale) -> Table {
     let wls = suite(scale, SEED);
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(wl.as_ref(), seeded(DeltaConfig::delta(TILES), wl.as_ref())));
+        jobs.push(Job::new(
+            wl.as_ref(),
+            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
+        ));
         jobs.push(Job::baseline(
             wl.as_ref(),
             seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
@@ -910,43 +935,78 @@ pub const ALL: &[&str] = &[
     "tbl_area",
 ];
 
+/// The scale's name as recorded in golden documents.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+    }
+}
+
+/// Runs one experiment by id and captures it as a diffable
+/// [`GoldenDoc`]: headers, every cell, and any trailer values.
+///
+/// This is the canonical entry point — [`run`] is a rendering of the
+/// returned document, and the golden regression gate serializes it.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the caller lists [`ALL`]).
+pub fn run_doc(id: &str, scale: Scale) -> GoldenDoc {
+    let mut extras = Vec::new();
+    let table = match id {
+        "tbl_config" => tbl_config(),
+        "tbl_workloads" => tbl_workloads(scale),
+        "fig_overall" => {
+            let o = fig_overall(scale);
+            extras.push(("geomean".to_string(), fmt_x(o.geomean)));
+            extras.push(("irregular_geomean".to_string(), fmt_x(o.irregular_geomean)));
+            o.table
+        }
+        "fig_ablation" => fig_ablation(scale),
+        "fig_tiles" => fig_tiles(scale, &[1, 2, 4, 8, 16]),
+        "fig_grain" => fig_grain(scale),
+        "fig_imbalance" => fig_imbalance(scale),
+        "fig_noc" => fig_noc(scale),
+        "fig_policy" => fig_policy(scale),
+        "fig_queue" => fig_queue(scale),
+        "fig_reconfig" => fig_reconfig(scale),
+        "fig_window" => fig_window(scale),
+        "fig_prefetch" => fig_prefetch(scale),
+        "fig_batch" => fig_batch(scale),
+        "fig_spawn" => fig_spawn(scale),
+        "fig_steal" => fig_steal(scale),
+        "fig_lanes" => fig_lanes(scale),
+        "fig_timeline" => fig_timeline(scale),
+        "tbl_energy" => tbl_energy(scale),
+        "tbl_area" => tbl_area(),
+        other => panic!("unknown experiment '{other}' (known: {ALL:?})"),
+    };
+    GoldenDoc::new(id, scale_name(scale), &table, extras)
+}
+
+/// Renders a captured experiment exactly as [`run`] prints it.
+pub fn render_doc(doc: &GoldenDoc) -> String {
+    let table = doc.table();
+    if doc.id == "fig_overall" {
+        format!(
+            "{}\n  headline: {} overall, {} on the irregular subset\n",
+            table,
+            doc.extra("geomean").unwrap_or("?"),
+            doc.extra("irregular_geomean").unwrap_or("?")
+        )
+    } else {
+        table.to_string()
+    }
+}
+
 /// Runs one experiment by id and returns its rendered output.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id (the caller lists [`ALL`]).
 pub fn run(id: &str, scale: Scale) -> String {
-    match id {
-        "tbl_config" => tbl_config().to_string(),
-        "tbl_workloads" => tbl_workloads(scale).to_string(),
-        "fig_overall" => {
-            let o = fig_overall(scale);
-            format!(
-                "{}\n  headline: {} overall, {} on the irregular subset\n",
-                o.table,
-                fmt_x(o.geomean),
-                fmt_x(o.irregular_geomean)
-            )
-        }
-        "fig_ablation" => fig_ablation(scale).to_string(),
-        "fig_tiles" => fig_tiles(scale, &[1, 2, 4, 8, 16]).to_string(),
-        "fig_grain" => fig_grain(scale).to_string(),
-        "fig_imbalance" => fig_imbalance(scale).to_string(),
-        "fig_noc" => fig_noc(scale).to_string(),
-        "fig_policy" => fig_policy(scale).to_string(),
-        "fig_queue" => fig_queue(scale).to_string(),
-        "fig_reconfig" => fig_reconfig(scale).to_string(),
-        "fig_window" => fig_window(scale).to_string(),
-        "fig_prefetch" => fig_prefetch(scale).to_string(),
-        "fig_batch" => fig_batch(scale).to_string(),
-        "fig_spawn" => fig_spawn(scale).to_string(),
-        "fig_steal" => fig_steal(scale).to_string(),
-        "fig_lanes" => fig_lanes(scale).to_string(),
-        "fig_timeline" => fig_timeline(scale).to_string(),
-        "tbl_energy" => tbl_energy(scale).to_string(),
-        "tbl_area" => tbl_area().to_string(),
-        other => panic!("unknown experiment '{other}' (known: {ALL:?})"),
-    }
+    render_doc(&run_doc(id, scale))
 }
 
 #[cfg(test)]

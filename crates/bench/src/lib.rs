@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod golden;
 pub mod profile;
 mod table;
 
@@ -66,8 +67,10 @@ pub fn disable_fast_paths(active_set: bool, idle_skip: bool) {
 ///
 /// # Panics
 ///
-/// Panics if the run errors or the result fails validation — a harness
-/// that silently benchmarks wrong answers would be worthless.
+/// Panics if the run errors, the result fails validation, or the
+/// report violates a conservation invariant
+/// ([`RunReport::check_conservation`]) — a harness that silently
+/// benchmarks wrong answers would be worthless.
 pub fn run_validated(wl: &dyn Workload, mut cfg: DeltaConfig, baseline_program: bool) -> RunReport {
     if FORCE_NO_ACTIVE_SET.load(Ordering::Relaxed) {
         cfg.active_set = false;
@@ -75,6 +78,7 @@ pub fn run_validated(wl: &dyn Workload, mut cfg: DeltaConfig, baseline_program: 
     if FORCE_NO_IDLE_SKIP.load(Ordering::Relaxed) {
         cfg.idle_skip = false;
     }
+    let tiles = cfg.tiles;
     let mut program: Box<dyn Program> = if baseline_program {
         wl.make_baseline_program()
     } else {
@@ -85,6 +89,9 @@ pub fn run_validated(wl: &dyn Workload, mut cfg: DeltaConfig, baseline_program: 
         .unwrap_or_else(|e| panic!("{} failed: {e}", wl.name()));
     wl.validate(&report)
         .unwrap_or_else(|e| panic!("{} produced wrong results: {e}", wl.name()));
+    report
+        .check_conservation(tiles)
+        .unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
     profile::record(&report.profile);
     report
 }

@@ -44,6 +44,29 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// Rebuilds a table from previously captured parts (e.g. a golden
+    /// document) — the inverse of [`Table::headers`]/[`Table::rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's width differs from the header count.
+    pub fn from_parts(headers: Vec<String>, rows: Vec<Vec<String>>) -> Self {
+        for row in &rows {
+            assert_eq!(row.len(), headers.len(), "row width must match headers");
+        }
+        Table { headers, rows }
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, row-major.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

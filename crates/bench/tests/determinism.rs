@@ -8,6 +8,7 @@
 
 use rayon::ThreadPoolBuilder;
 use ts_bench::experiments;
+use ts_bench::golden::GoldenDoc;
 use ts_workloads::Scale;
 
 /// Experiments covering the sweep shapes: paired delta/static runs,
@@ -21,15 +22,62 @@ fn render_all(scale: Scale) -> Vec<String> {
 
 #[test]
 fn parallel_sweep_output_is_byte_identical_to_serial() {
-    ThreadPoolBuilder::new().num_threads(1).build_global().unwrap();
+    ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .unwrap();
     let serial = render_all(Scale::Tiny);
 
-    ThreadPoolBuilder::new().num_threads(8).build_global().unwrap();
+    ThreadPoolBuilder::new()
+        .num_threads(8)
+        .build_global()
+        .unwrap();
     let parallel = render_all(Scale::Tiny);
 
-    ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
 
     for (id, (s, p)) in IDS.iter().zip(serial.iter().zip(&parallel)) {
         assert_eq!(s, p, "{id} diverged between --jobs 1 and --jobs 8");
     }
+}
+
+/// The golden gate's reason to exist: a deliberately perturbed report
+/// must fail the check, and the failure must name the drifted cell.
+#[test]
+fn golden_check_catches_a_perturbed_report() {
+    let golden = experiments::run_doc("fig_noc", Scale::Tiny);
+
+    // the committed format is lossless, so an honest re-run diffs clean
+    let reparsed = GoldenDoc::from_json(&golden.to_json()).unwrap();
+    assert!(golden.diff(&reparsed).is_empty());
+
+    // a silent model regression flips one cell; the diff names it
+    let mut current = reparsed;
+    current.rows[0][1].push('7');
+    let diff = golden.diff(&current);
+    assert_eq!(diff.len(), 1, "diff: {diff:?}");
+    assert!(diff[0].contains("fig_noc (tiny)"), "got: {}", diff[0]);
+    assert!(diff[0].contains("row 0"), "got: {}", diff[0]);
+}
+
+/// The shape assertions hold independently of the committed cells: a
+/// blessed-but-broken golden (multicast no longer recovering dtree's
+/// shared reads) still fails the gate.
+#[test]
+fn shape_claims_catch_a_collapsed_mechanism() {
+    let mut doc = experiments::run_doc("fig_noc", Scale::Tiny);
+    assert!(doc.shape_violations().is_empty(), "honest run must pass");
+
+    let saved = doc.headers.iter().position(|h| h == "saved").unwrap();
+    for row in &mut doc.rows {
+        if row[0] == "dtree" {
+            row[saved] = "0%".into();
+        }
+    }
+    let violations = doc.shape_violations();
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+    assert!(violations[0].contains("dtree"), "got: {}", violations[0]);
 }

@@ -15,7 +15,7 @@ use crate::mapper::{self, MapError, Mapping};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use ts_dfg::{Dfg, OutputMode, Op};
+use ts_dfg::{Dfg, Op, OutputMode};
 
 /// Exact structural identity of one mapping problem.
 ///

@@ -61,7 +61,8 @@ impl Bencher {
             for _ in 0..self.iters_per_sample {
                 std::hint::black_box(f());
             }
-            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
         }
     }
 }

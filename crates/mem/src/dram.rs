@@ -2,7 +2,7 @@
 
 use crate::storage::Storage;
 use crate::{Addr, Value};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use ts_sim::stats::Stats;
 use ts_sim::TokenBucket;
 
@@ -125,6 +125,11 @@ pub struct Dram {
     /// stays sorted.
     inflight: VecDeque<(u64, DramOut)>,
     next_job: JobId,
+    /// Addresses read at least once, for the `read_words_unique`
+    /// counter: the conservation invariant `read_words >=
+    /// read_words_unique` and the multicast traffic claims both lean on
+    /// distinguishing total from first-touch reads.
+    seen_reads: HashSet<Addr>,
     stats: Stats,
 }
 
@@ -145,6 +150,7 @@ impl Dram {
             active: VecDeque::new(),
             inflight: VecDeque::new(),
             next_job: 0,
+            seen_reads: HashSet::new(),
             stats: Stats::new(),
             config,
         }
@@ -290,6 +296,9 @@ impl Dram {
                         JobKind::Read { addrs, .. } => {
                             let value = self.storage.read(addrs[w]);
                             self.stats.bump("read_words");
+                            if self.seen_reads.insert(addrs[w]) {
+                                self.stats.bump("read_words_unique");
+                            }
                             self.inflight.push_back((
                                 ready,
                                 DramOut {
@@ -592,6 +601,26 @@ mod tests {
             first_of_second <= 2,
             "second job starved until position {first_of_second}"
         );
+    }
+
+    #[test]
+    fn unique_read_counter_counts_first_touch_only() {
+        let mut d = Dram::new(DramConfig {
+            words: 64,
+            latency: 0,
+            ..DramConfig::default()
+        });
+        d.submit(
+            JobKind::Read {
+                addrs: vec![1, 2, 1, 2, 3],
+                gather: false,
+            },
+            0,
+        )
+        .unwrap();
+        run_until_idle(&mut d, 100);
+        assert_eq!(d.stats().counter("read_words"), 5);
+        assert_eq!(d.stats().counter("read_words_unique"), 3);
     }
 
     #[test]

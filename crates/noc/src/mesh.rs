@@ -213,6 +213,7 @@ impl<P: Clone> Mesh<P> {
         for &dst in &d {
             assert!(dst < self.nodes(), "destination {dst} out of range");
         }
+        let branches = d.len() as u64;
         let flit = Flit {
             dsts: d,
             payload: Load::One(payload),
@@ -221,6 +222,11 @@ impl<P: Clone> Mesh<P> {
             Ok(()) => {
                 self.queued += 1;
                 self.stats.bump("injected");
+                // one branch per (deduplicated) destination: the
+                // conservation invariant `delivered == injected_branches`
+                // holds at quiescence because every branch of a
+                // multicast tree ends in exactly one ejection
+                self.stats.bump_by("injected_branches", branches);
                 Ok(())
             }
             Err(e) => Err(InjectError(e.0.payload.into_inner())),
@@ -300,7 +306,10 @@ impl<P: Clone> Mesh<P> {
         self.rotate = (self.rotate + (n % m) as usize) % m as usize;
     }
 
-    /// Statistics: `injected`, `delivered`, `flit_hops`, `stall_cycles`.
+    /// Statistics: `injected` (one per flit), `injected_branches` (one
+    /// per deduplicated destination), `delivered`, `flit_hops`,
+    /// `stall_cycles`. With every ejection buffer drained,
+    /// `delivered == injected_branches`.
     pub fn stats(&self) -> &Stats {
         &self.stats
     }

@@ -119,7 +119,10 @@ impl TestRunner {
     }
 
     pub fn rng_for(&self, case: u32) -> TestRng {
-        TestRng::new(self.base_seed.wrapping_add((case as u64) << 32 | case as u64))
+        TestRng::new(
+            self.base_seed
+                .wrapping_add((case as u64) << 32 | case as u64),
+        )
     }
 }
 
@@ -245,7 +248,10 @@ impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> 
                 return v;
             }
         }
-        panic!("prop_filter_map rejected 10000 consecutive samples: {}", self.whence);
+        panic!(
+            "prop_filter_map rejected 10000 consecutive samples: {}",
+            self.whence
+        );
     }
 }
 

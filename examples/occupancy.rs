@@ -13,7 +13,10 @@ const TILES: usize = 8;
 const WIDTH: usize = 72;
 
 fn show(wl: &dyn Workload) {
-    println!("--- {} ({TILES} tiles, one glyph ≈ 1/{WIDTH} of the run) ---", wl.name());
+    println!(
+        "--- {} ({TILES} tiles, one glyph ≈ 1/{WIDTH} of the run) ---",
+        wl.name()
+    );
     for (design, cfg, baseline) in [
         ("delta ", DeltaConfig::delta(TILES), false),
         ("static", DeltaConfig::static_parallel(TILES), true),

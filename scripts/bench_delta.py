@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Non-blocking per-experiment wall-clock comparison for CI.
+
+Usage: bench_delta.py <reference.json> <current.json>
+
+Both inputs are `repro --bench-json` outputs. Prints the per-experiment
+and total wall-clock delta of the current run against the committed
+reference. Always exits 0: CI runner speed varies too much for a hard
+gate, this exists so a simulator-performance regression is visible in
+the job log, not to block the merge (correctness is gated separately by
+`repro --check-goldens`).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc, {e["id"]: e["seconds"] for e in doc.get("experiments", [])}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} <reference.json> <current.json>")
+        return 0
+    try:
+        ref_doc, ref = load(argv[1])
+        cur_doc, cur = load(argv[2])
+    except (OSError, ValueError, KeyError) as e:
+        print(f"bench_delta: cannot compare ({e}); skipping")
+        return 0
+
+    print(f"wall-clock vs reference ({argv[1]}):")
+    print(f"  {'experiment':<16} {'ref s':>8} {'cur s':>8} {'delta':>8}")
+    for exp_id in ref:
+        if exp_id not in cur:
+            print(f"  {exp_id:<16} {ref[exp_id]:>8.3f} {'-':>8} {'gone':>8}")
+            continue
+        r, c = ref[exp_id], cur[exp_id]
+        delta = f"{100.0 * (c - r) / r:+.0f}%" if r > 0 else "n/a"
+        print(f"  {exp_id:<16} {r:>8.3f} {c:>8.3f} {delta:>8}")
+    for exp_id in cur:
+        if exp_id not in ref:
+            print(f"  {exp_id:<16} {'-':>8} {cur[exp_id]:>8.3f} {'new':>8}")
+
+    rt = ref_doc.get("total_seconds", 0.0)
+    ct = cur_doc.get("total_seconds", 0.0)
+    total_delta = f"{100.0 * (ct - rt) / rt:+.0f}%" if rt > 0 else "n/a"
+    print(f"  {'total':<16} {rt:>8.3f} {ct:>8.3f} {total_delta:>8}")
+    print("(informational only; this step never fails the build)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
