@@ -1,12 +1,13 @@
 //! The accelerator: composition and main simulation loop.
 
 use crate::config::DeltaConfig;
-use crate::dispatch::{is_ready, PendingTask};
+use crate::dispatch::{is_ready, undeclared_pipe_msg, PendingTask};
 use crate::exec::{DramJobSpec, Feed, FeedKind, Sink, SinkKind, TaskExec, Tile, TileIo};
 use crate::memctrl::{MemCtrl, ReadReq};
 use crate::msg::Msg;
 use crate::pipes::{PipeMode, PipeTable};
 use crate::report::{RunReport, SimProfile};
+use crate::trace::{TraceEvent, TraceSink};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -154,6 +155,9 @@ struct RunState {
     /// Lazy-schedule marker for the mesh.
     mesh_synced: u64,
     profile: SimProfile,
+    /// Structured event recorder (no-op unless `cfg.trace`). Like
+    /// `profile`, trace state never feeds back into the simulation.
+    trace: TraceSink,
 }
 
 impl RunState {
@@ -235,6 +239,7 @@ impl RunState {
             mask_scratch: Vec::new(),
             mesh_synced: 0,
             profile: SimProfile::default(),
+            trace: TraceSink::new(cfg.trace),
         };
 
         let mut spawner = Spawner::new(state.next_pipe);
@@ -253,22 +258,34 @@ impl RunState {
             self.validate_instance(&inst)?;
             let id = TaskId(self.next_task);
             self.next_task += 1;
+            // validate every pipe reference before binding any, so a
+            // bad task leaves no partial producer/consumer registrations
+            // behind; checked here at load time because an undeclared
+            // input would otherwise hold the task back forever and only
+            // surface as the generic no-progress watchdog
+            for p in inst.input_pipes() {
+                if !self.pipes.contains(p) {
+                    return Err(RunError::Program(undeclared_pipe_msg(id, "input", p)));
+                }
+            }
             for p in inst.output_pipes() {
                 if !self.pipes.contains(p) {
-                    return Err(RunError::Program(format!(
-                        "task uses undeclared output pipe {p:?}"
-                    )));
+                    return Err(RunError::Program(undeclared_pipe_msg(id, "output", p)));
                 }
+            }
+            for p in inst.output_pipes() {
                 self.pipes.bind_producer(p, id);
             }
             for p in inst.input_pipes() {
-                if !self.pipes.contains(p) {
-                    return Err(RunError::Program(format!(
-                        "task uses undeclared input pipe {p:?}"
-                    )));
-                }
                 self.pipes.bind_consumer(p, id);
             }
+            self.trace.emit(
+                self.now,
+                TraceEvent::TaskSpawn {
+                    task: id.0,
+                    ty: inst.ty.0,
+                },
+            );
             self.stats.bump("tasks_spawned");
             self.admit_q
                 .push_back((self.now + self.cfg.spawn_latency, PendingTask { id, inst }));
@@ -357,6 +374,8 @@ impl RunState {
                     break;
                 }
                 let (_, p) = self.admit_q.pop_front().expect("front exists");
+                self.trace
+                    .emit(self.now, TraceEvent::TaskReady { task: p.id.0 });
                 self.pending.push_back(p);
             }
 
@@ -414,6 +433,7 @@ impl RunState {
                     memctrl,
                     pipes,
                     next_job: &mut self.next_job,
+                    trace: &mut self.trace,
                 };
                 for (t, tile) in tiles.iter_mut().enumerate() {
                     if active {
@@ -481,6 +501,7 @@ impl RunState {
             if self.now.is_multiple_of(RunReport::TIMELINE_STRIDE) {
                 let busy = self.tiles.iter().filter(|t| !t.is_idle()).count() as u32;
                 self.timeline.push((self.now, busy));
+                self.sample_occupancy();
             }
             self.now += 1;
 
@@ -593,11 +614,34 @@ impl RunState {
             self.profile.noc_skipped += k;
         }
         // Timeline samples at stride multiples in [now, target) all see
-        // zero busy tiles.
+        // zero busy tiles. Trace samples at the same points see the
+        // *frozen* component state: a skippable stretch has no gated
+        // requests, no backlog, no DRAM service work and an empty mesh
+        // (any of those forces dense ticking), while the admission queue
+        // holds only not-yet-due entries that dense ticking would leave
+        // untouched — so backfilling from the current state reproduces
+        // the densely ticked sample stream exactly.
         let stride = RunReport::TIMELINE_STRIDE;
         let mut t = self.now.next_multiple_of(stride);
         while t < target {
             self.timeline.push((t, 0));
+            if self.trace.enabled() {
+                let (admit, gated, backlog, dram_jobs, dram_inflight) = self.memctrl.queue_depths();
+                debug_assert_eq!((gated, backlog, dram_jobs), (0, 0, 0));
+                self.trace.emit(
+                    t,
+                    TraceEvent::QueueDepth {
+                        admit,
+                        gated,
+                        backlog,
+                        dram_jobs,
+                        dram_inflight,
+                    },
+                );
+                // NocLink samples are nonzero-only and the mesh is
+                // provably empty here, so none are backfilled.
+                debug_assert!(self.mesh.is_idle());
+            }
             t += stride;
         }
         self.skipped_cycles += k;
@@ -654,6 +698,38 @@ impl RunState {
         }
     }
 
+    /// Stride-sampled trace counters, emitted at the same loop point as
+    /// the occupancy timeline sample so densely ticked and backfilled
+    /// samples interleave identically with semantic events.
+    fn sample_occupancy(&mut self) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let (admit, gated, backlog, dram_jobs, dram_inflight) = self.memctrl.queue_depths();
+        self.trace.emit(
+            self.now,
+            TraceEvent::QueueDepth {
+                admit,
+                gated,
+                backlog,
+                dram_jobs,
+                dram_inflight,
+            },
+        );
+        // Nonzero-only: idle stretches (which the fast paths skip, and
+        // which leave the mesh empty) must contribute no link samples.
+        let (w, h) = self.cfg.mesh_dims();
+        for node in 0..w * h {
+            for port in 0..Mesh::<Msg>::PORTS {
+                let depth = self.mesh.queue_depth(node, port);
+                if depth > 0 {
+                    self.trace
+                        .emit(self.now, TraceEvent::NocLink { node, port, depth });
+                }
+            }
+        }
+    }
+
     fn finish_task(&mut self, done: TaskExec) {
         self.tasks_completed += 1;
         self.last_progress = self.now;
@@ -667,6 +743,8 @@ impl RunState {
             ..
         } = done;
         let tile = self.task_tile[&id];
+        self.trace
+            .emit(self.now, TraceEvent::TaskComplete { task: id.0, tile });
         self.picker.on_complete(tile, placement_hint(&inst));
         for p in inst.output_pipes() {
             self.pipes.get_mut(p).producer_completed = true;
@@ -684,7 +762,7 @@ impl RunState {
 
     fn diagnostics(&self) -> String {
         let queued: usize = self.tiles.iter().map(|t| t.queue.len()).sum();
-        format!(
+        let mut out = format!(
             "pending={} admit={} host={} queued={} mesh_idle={} mem_idle={} completed={}",
             self.pending.len(),
             self.admit_q.len(),
@@ -693,7 +771,33 @@ impl RunState {
             self.mesh.is_idle(),
             self.memctrl.is_idle(),
             self.tasks_completed,
-        ) + &format!(" mem[{}]", self.memctrl.debug_state())
+        ) + &format!(" mem[{}]", self.memctrl.debug_state());
+        // name the wedged tasks and the pipe each is waiting on — a
+        // stuck run is almost always a dependence that can never
+        // resolve, and "pending=3" alone says nothing actionable
+        const MAX_LISTED: usize = 8;
+        for p in self.pending.iter().take(MAX_LISTED) {
+            let ty = self
+                .types
+                .get(p.inst.ty.0)
+                .map(|t| t.name.as_ref())
+                .unwrap_or("?");
+            let waits: Vec<String> = p
+                .inst
+                .input_pipes()
+                .map(|pp| self.pipes.debug_summary(pp))
+                .collect();
+            let waits = if waits.is_empty() {
+                "no pipe inputs (placement-blocked)".to_string()
+            } else {
+                waits.join("; ")
+            };
+            out += &format!("\n  pending {:?} '{}' waits on: {}", p.id, ty, waits);
+        }
+        if self.pending.len() > MAX_LISTED {
+            out += &format!("\n  … and {} more", self.pending.len() - MAX_LISTED);
+        }
+        out
     }
 
     fn final_report(&mut self) -> RunReport {
@@ -721,6 +825,8 @@ impl RunState {
         );
         debug_assert_eq!(self.profile.mem_ticks + self.profile.mem_skipped, self.now);
         debug_assert_eq!(self.profile.noc_ticks + self.profile.noc_skipped, self.now);
+        let trace = std::mem::replace(&mut self.trace, TraceSink::new(false));
+        let trace_dropped = trace.dropped();
         RunReport::new(
             self.now,
             report,
@@ -729,6 +835,8 @@ impl RunState {
             std::mem::take(&mut self.timeline),
             self.skipped_cycles,
             self.profile,
+            trace.into_records(),
+            trace_dropped,
         )
     }
 
@@ -805,6 +913,11 @@ impl RunState {
         if self.tiles[victim].queue.len() < 2 {
             return;
         }
+        // recorded only past the loaded-victim check: during idle
+        // stretches (which idle_skip fast-forwards) every queue is
+        // empty, so the densely ticked machine emits nothing either
+        self.trace
+            .emit(self.now, TraceEvent::StealAttempt { thief, victim });
         let Some(qi) = self.tiles[victim].steal_candidate(self.cfg.prefetch_depth) else {
             return;
         };
@@ -815,6 +928,14 @@ impl RunState {
         self.picker.on_complete(victim, hint);
         self.picker.on_dispatch(thief, hint);
         self.task_tile.insert(exec.id, thief);
+        self.trace.emit(
+            self.now,
+            TraceEvent::Steal {
+                task: exec.id.0,
+                thief,
+                victim,
+            },
+        );
         self.stats.bump("steals");
         // steals land after the tile-tick step, so the thief's current
         // cycle already counted as idle: catch it up through `now`
@@ -875,6 +996,14 @@ impl RunState {
     ) -> Result<u64, RunError> {
         if let Some(&job) = self.open_regions.get(&region) {
             if self.memctrl.try_join(job, tile_node) {
+                self.trace.emit(
+                    self.now,
+                    TraceEvent::McastJoin {
+                        job,
+                        region: region.0,
+                        node: tile_node,
+                    },
+                );
                 self.stats.bump("multicast_joins");
                 return Ok(job);
             }
@@ -904,6 +1033,14 @@ impl RunState {
             self.now + self.cfg.mem_req_latency + self.cfg.mcast_batch_window,
         );
         self.open_regions.insert(region, job);
+        self.trace.emit(
+            self.now,
+            TraceEvent::McastOpen {
+                job,
+                region: region.0,
+                node: tile_node,
+            },
+        );
         self.stats.bump("multicast_groups");
         Ok(job)
     }
@@ -1148,6 +1285,8 @@ impl RunState {
         self.tiles[tile].enqueue(exec);
         self.task_tile.insert(id, tile);
         self.picker.on_dispatch(tile, work);
+        self.trace
+            .emit(self.now, TraceEvent::TaskDispatch { task: id.0, tile });
         self.stats.bump("tasks_dispatched");
         Ok(())
     }

@@ -114,6 +114,12 @@ pub struct DeltaConfig {
     /// equivalence can be regression-tested, and it composes with
     /// `idle_skip` in any combination.
     pub active_set: bool,
+    /// Record a structured event trace of the run (task lifecycle,
+    /// steals, pipe resolution, multicast windows, sampled queue
+    /// depths) into [`RunReport::trace`](crate::RunReport::trace).
+    /// Off by default: a disabled trace costs one branch per emit
+    /// point and the report is bit-identical either way.
+    pub trace: bool,
     /// Seed for mapper restarts and randomized policies.
     pub seed: u64,
     /// Hard cycle limit (a wedged model errors instead of spinning).
@@ -158,6 +164,7 @@ impl DeltaConfig {
             work_stealing: false,
             idle_skip: true,
             active_set: true,
+            trace: false,
             seed: 0xDE17A,
             max_cycles: 200_000_000,
         }

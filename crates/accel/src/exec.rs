@@ -22,6 +22,7 @@ use crate::config::DeltaConfig;
 use crate::memctrl::{MemCtrl, ReadReq};
 use crate::msg::Msg;
 use crate::pipes::{PipeMode, PipeTable};
+use crate::trace::{TraceEvent, TraceSink};
 use std::collections::{HashMap, VecDeque};
 use taskstream_model::{PipeId, TaskId, TaskInstance, TaskTypeId, Value};
 use ts_cgra::KernelTiming;
@@ -300,6 +301,7 @@ pub(crate) struct TileIo<'a> {
     pub memctrl: &'a mut MemCtrl,
     pub pipes: &'a mut PipeTable,
     pub next_job: &'a mut u64,
+    pub trace: &'a mut TraceSink,
 }
 
 /// One compute tile.
@@ -556,6 +558,18 @@ impl Tile {
         self.advance_compute(io.now);
         {
             let t = &self.queue[0];
+            // first compute progress of this task: busy tiles tick in
+            // every scheduling mode, so this fires identically whether
+            // idle neighbours are skipped or not
+            if before == (0, 0) && (t.firings_done, t.native_progress) != before {
+                io.trace.emit(
+                    io.now,
+                    TraceEvent::TaskFire {
+                        task: t.id.0,
+                        tile: self.id,
+                    },
+                );
+            }
             if (t.firings_done, t.native_progress) == before && !t.compute_done() {
                 let starved =
                     (0..t.in_total.len()).any(|p| t.in_total[p] > 0 && t.in_avail[p] == 0);
@@ -952,13 +966,21 @@ impl Tile {
                             let mode = match consumer {
                                 Some(cn) if cfg.features.pipelining => {
                                     self.stats.bump("pipes_direct");
+                                    io.trace.emit(
+                                        io.now,
+                                        TraceEvent::PipeDirect {
+                                            pipe: pipe.0,
+                                            consumer_node: cn,
+                                        },
+                                    );
                                     PipeMode::Direct { consumer_node: cn }
                                 }
                                 _ => {
                                     self.stats.bump("pipes_spilled");
-                                    PipeMode::Spill {
-                                        base: io.pipes.alloc_spill(t.sinks[p].total),
-                                    }
+                                    let base = io.pipes.alloc_spill(t.sinks[p].total);
+                                    io.trace
+                                        .emit(io.now, TraceEvent::PipeSpill { pipe: pipe.0, base });
+                                    PipeMode::Spill { base }
                                 }
                             };
                             io.pipes.get_mut(pipe).mode = Some(mode);

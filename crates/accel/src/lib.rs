@@ -76,7 +76,9 @@ mod msg;
 pub mod oracle;
 mod pipes;
 mod report;
+mod trace;
 
 pub use accelerator::{Accelerator, RunError};
 pub use config::{DeltaConfig, Features};
 pub use report::{RunReport, SimProfile};
+pub use trace::{TraceEvent, TraceRecord, TraceSink};

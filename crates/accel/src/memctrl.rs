@@ -304,6 +304,20 @@ impl MemCtrl {
         )
     }
 
+    /// Queue depths for trace sampling: `(admit, gated, backlog,
+    /// dram_jobs, dram_inflight)`. Reads only state that is identical
+    /// whether the controller is ticked densely or lazily, so sampled
+    /// values agree across scheduler fast paths.
+    pub(crate) fn queue_depths(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.admit.len(),
+            self.gated.len(),
+            self.backlog_len,
+            self.dram.pending_jobs(),
+            self.dram.inflight_words(),
+        )
+    }
+
     /// True when no request, job, or staged response remains.
     pub(crate) fn is_idle(&self) -> bool {
         debug_assert_eq!(

@@ -114,10 +114,7 @@ pub fn execute_untimed<P: Program + ?Sized>(program: &mut P) -> Result<OracleOut
                 }
             }
             None => {
-                return Err(format!(
-                    "oracle deadlock: {} queued task(s) wait on pipes whose producers never ran",
-                    st.queue.len()
-                ));
+                return Err(st.deadlock_report());
             }
         }
     }
@@ -216,13 +213,20 @@ impl OracleState {
         }
         for inst in tasks {
             self.validate(&inst)?;
-            for p in inst.input_pipes().chain(inst.output_pipes()) {
-                if !self.pipes.contains_key(&p) {
-                    return Err(format!("task uses undeclared pipe {p:?}"));
-                }
-            }
             let id = TaskId(self.next_task);
             self.next_task += 1;
+            // Same check order (inputs, then outputs) and message as the
+            // timed machine, so differential tests compare them verbatim.
+            for p in inst.input_pipes() {
+                if !self.pipes.contains_key(&p) {
+                    return Err(crate::dispatch::undeclared_pipe_msg(id, "input", p));
+                }
+            }
+            for p in inst.output_pipes() {
+                if !self.pipes.contains_key(&p) {
+                    return Err(crate::dispatch::undeclared_pipe_msg(id, "output", p));
+                }
+            }
             self.queue.push_back((id, inst));
         }
         Ok(())
@@ -264,6 +268,38 @@ impl OracleState {
             }
         }
         Ok(())
+    }
+
+    /// Describes a wedged queue: which tasks are stuck and which pipe
+    /// inputs each one is still missing.
+    fn deadlock_report(&self) -> String {
+        const MAX_LISTED: usize = 8;
+        let mut out = format!(
+            "oracle deadlock: {} queued task(s) wait on pipes whose producers never ran",
+            self.queue.len()
+        );
+        for (id, inst) in self.queue.iter().take(MAX_LISTED) {
+            let ty = self
+                .types
+                .get(inst.ty.0)
+                .map(|t| t.name.as_ref())
+                .unwrap_or("?");
+            let missing: Vec<String> = inst
+                .input_pipes()
+                .filter(|p| !matches!(self.pipes.get(p), Some(Some(_))))
+                .map(|p| format!("{p:?}"))
+                .collect();
+            out += &format!(
+                "\n  stuck {:?} '{}' missing: {}",
+                id,
+                ty,
+                missing.join(", ")
+            );
+        }
+        if self.queue.len() > MAX_LISTED {
+            out += &format!("\n  … and {} more", self.queue.len() - MAX_LISTED);
+        }
+        out
     }
 
     /// True when every pipe input has recorded producer data.

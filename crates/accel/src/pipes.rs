@@ -142,6 +142,26 @@ impl PipeTable {
         assert!(p.consumer.is_none(), "pipe {pipe:?} already has a consumer");
         p.consumer = Some(task);
     }
+
+    /// One-line human-readable state of a pipe, for wedge diagnostics:
+    /// which task produces it and how far that producer has got.
+    pub(crate) fn debug_summary(&self, id: PipeId) -> String {
+        let Some(p) = self.pipes.get(&id) else {
+            return format!("{id:?}: undeclared");
+        };
+        let producer = match p.producer {
+            Some(t) => format!("{t:?}"),
+            None => "none".to_string(),
+        };
+        let stage = if p.producer_completed {
+            "completed"
+        } else if p.producer_dispatched {
+            "dispatched"
+        } else {
+            "not dispatched"
+        };
+        format!("{id:?}: producer {producer} {stage}")
+    }
 }
 
 #[cfg(test)]

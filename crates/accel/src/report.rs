@@ -1,5 +1,6 @@
 //! Run results.
 
+use crate::trace::TraceRecord;
 use taskstream_model::Value;
 use ts_mem::Storage;
 use ts_sim::stats::Report;
@@ -92,12 +93,21 @@ pub struct RunReport {
     /// Per-component cycle attribution (ticked vs skipped vs woken).
     /// Simulator bookkeeping, excluded from equivalence comparisons.
     pub profile: SimProfile,
+    /// Structured event trace, empty unless `DeltaConfig::trace` was
+    /// set. Observability output, not a modelled quantity — kept out of
+    /// [`RunReport::stats`] so tracing never perturbs goldens. The
+    /// stream itself is identical across the `active_set × idle_skip`
+    /// fast-path combinations.
+    pub trace: Vec<TraceRecord>,
+    /// Trace records evicted because the trace ring overflowed.
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
     /// Cycles between occupancy samples in [`RunReport::timeline`].
     pub const TIMELINE_STRIDE: u64 = 256;
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cycles: u64,
         stats: Report,
@@ -106,6 +116,8 @@ impl RunReport {
         timeline: Vec<(u64, u32)>,
         skipped_cycles: u64,
         profile: SimProfile,
+        trace: Vec<TraceRecord>,
+        trace_dropped: u64,
     ) -> Self {
         RunReport {
             cycles,
@@ -115,6 +127,8 @@ impl RunReport {
             timeline,
             skipped_cycles,
             profile,
+            trace,
+            trace_dropped,
         }
     }
 

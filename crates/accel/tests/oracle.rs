@@ -276,6 +276,90 @@ fn pipe_chains_match_oracle_with_pipelining_disabled() {
     );
 }
 
+/// A task referencing a pipe nobody declared: both engines must
+/// reject it at load time, with the *same* message naming the task and
+/// the pipe (the wedge this used to cause — `is_ready` returning false
+/// forever — is exactly what load-time validation exists to prevent).
+#[test]
+fn undeclared_pipe_error_is_identical_in_both_engines() {
+    struct Bad {
+        output_side: bool,
+    }
+    impl Program for Bad {
+        fn name(&self) -> &str {
+            "bad"
+        }
+        fn task_types(&self) -> Vec<TaskType> {
+            vec![inc_type("inc")]
+        }
+        fn memory_image(&self) -> MemoryImage {
+            MemoryImage::new().dram_segment(0, vec![1i64; 4])
+        }
+        fn initial(&mut self, s: &mut Spawner) {
+            let phantom = taskstream_model::PipeId(7777);
+            let inst = TaskInstance::new(TaskTypeId(0));
+            let inst = if self.output_side {
+                inst.input_stream(StreamDesc::dram(0, 4))
+                    .output_pipe(phantom)
+            } else {
+                inst.input_pipe(phantom).output_discard()
+            };
+            s.spawn(inst);
+        }
+        fn on_complete(&mut self, _d: &CompletedTask, _s: &mut Spawner) {}
+    }
+
+    for output_side in [false, true] {
+        let timed_err = Accelerator::new(DeltaConfig::delta(2))
+            .run(&mut Bad { output_side })
+            .unwrap_err();
+        let ts_delta::RunError::Program(timed_msg) = timed_err else {
+            panic!("expected a program error, got {timed_err}");
+        };
+        let oracle_msg = execute_untimed(&mut Bad { output_side }).unwrap_err();
+        assert_eq!(timed_msg, oracle_msg, "engines disagree on the error");
+        assert!(
+            timed_msg.contains("TaskId(0)") && timed_msg.contains("7777"),
+            "error names neither task nor pipe: {timed_msg}"
+        );
+        let dir = if output_side { "output" } else { "input" };
+        assert!(timed_msg.contains(dir), "direction missing: {timed_msg}");
+    }
+}
+
+/// The oracle's wedge error must say *which* tasks are stuck and on
+/// *which* pipes, not just that a deadlock happened.
+#[test]
+fn oracle_deadlock_names_the_stuck_task_and_pipe() {
+    struct Stuck;
+    impl Program for Stuck {
+        fn name(&self) -> &str {
+            "stuck"
+        }
+        fn task_types(&self) -> Vec<TaskType> {
+            vec![inc_type("inc")]
+        }
+        fn memory_image(&self) -> MemoryImage {
+            MemoryImage::new()
+        }
+        fn initial(&mut self, s: &mut Spawner) {
+            let p = s.pipe(4);
+            // declared but never produced: ready() is false forever
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_pipe(p)
+                    .output_discard(),
+            );
+        }
+        fn on_complete(&mut self, _d: &CompletedTask, _s: &mut Spawner) {}
+    }
+    let err = execute_untimed(&mut Stuck).unwrap_err();
+    assert!(err.contains("deadlock"), "unexpected: {err}");
+    assert!(err.contains("TaskId(0)"), "no task named: {err}");
+    assert!(err.contains("PipeId(0)"), "no pipe named: {err}");
+    assert!(err.contains("'inc'"), "no type named: {err}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 

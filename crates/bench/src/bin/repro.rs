@@ -11,6 +11,7 @@
 //! repro --no-idle-skip      # disable the next-event jump (A/B reference)
 //! repro --check-goldens     # diff results against goldens/, exit 1 on drift
 //! repro --bless             # regenerate the committed goldens/ files
+//! repro --trace fig_noc     # trace one run, write TRACE_fig_noc.json
 //! ```
 //!
 //! `--jobs 1` reproduces the fully serial behavior; any `--jobs N`
@@ -27,8 +28,17 @@
 //! the committed `goldens/<scale>/<id>.json` snapshot and additionally
 //! asserts the machine-level shapes the paper claims rest on (see
 //! `ts_bench::golden`). Violations are printed, written to
-//! `GOLDEN_diff.txt`, and the process exits nonzero. After an
-//! intentional model change, `--bless` rewrites the snapshots.
+//! `GOLDEN_diff.txt`, and the process exits nonzero; a passing check
+//! removes any stale `GOLDEN_diff.txt` from a previous failure. After
+//! an intentional model change, `--bless` rewrites the snapshots.
+//!
+//! `--trace <experiment>` runs one representative simulation of the
+//! experiment with event tracing enabled, writes the stream as
+//! Chrome/Perfetto trace-event JSON to `TRACE_<experiment>.json`
+//! (open it in <https://ui.perfetto.dev> or `chrome://tracing`), and
+//! prints two derived reports: a per-link NoC occupancy heatmap and
+//! the memory-queue depth timeseries. Tracing never changes results —
+//! the report is bit-identical with the recorder on or off.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -50,6 +60,7 @@ flags:
   --no-idle-skip         disable the next-event jump (A/B reference)
   --check-goldens        diff results against goldens/, exit 1 on drift
   --bless                regenerate the committed goldens/ files
+  --trace <experiment>   trace one run, write TRACE_<experiment>.json
 
 experiments: omit to run all; known ids are listed in ts_bench::experiments::ALL";
 
@@ -63,6 +74,7 @@ fn main() {
     let mut no_idle_skip = false;
     let mut check_goldens = false;
     let mut bless = false;
+    let mut trace: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -80,6 +92,9 @@ fn main() {
             }
             "--check-goldens" => check_goldens = true,
             "--bless" => bless = true,
+            "--trace" => {
+                trace = Some(it.next().expect("--trace needs an experiment id"));
+            }
             s if s.starts_with("--") => {
                 eprintln!("error: unknown flag '{s}'\n\n{USAGE}");
                 std::process::exit(2);
@@ -93,6 +108,10 @@ fn main() {
             .num_threads(n)
             .build_global()
             .expect("building the global thread pool");
+    }
+    if let Some(id) = trace {
+        run_trace(&id, scale);
+        return;
     }
     let ids: Vec<&str> = if wanted.is_empty() {
         ALL.to_vec()
@@ -182,6 +201,9 @@ fn main() {
 
     if check_goldens {
         if violations.is_empty() {
+            // A previous failing run may have left its report behind;
+            // a green check must not leave a stale diff lying around.
+            let _ = std::fs::remove_file("GOLDEN_diff.txt");
             eprintln!(
                 "goldens OK: {} experiment(s) match goldens/{} and satisfy the shape claims",
                 timings.len(),
@@ -199,6 +221,41 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Runs `repro --trace <id>`: one traced simulation, the Perfetto JSON
+/// on disk, and the two derived text reports on stdout.
+fn run_trace(id: &str, scale: Scale) {
+    use ts_bench::trace_report;
+
+    let t0 = Instant::now();
+    let run = experiments::trace_run(id, scale);
+    let records = &run.report.trace;
+    println!(
+        "=== trace {id} ({}, workload {}, {} cycles) ===",
+        experiments::scale_name(scale),
+        run.workload,
+        run.report.cycles
+    );
+    println!(
+        "  {} event(s) recorded, {} dropped to ring overflow",
+        records.len(),
+        run.report.trace_dropped
+    );
+
+    let path = format!("TRACE_{id}.json");
+    let json = trace_report::perfetto_json(&run.workload, run.cfg.tiles, records);
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("  wrote {path} (load it in https://ui.perfetto.dev or chrome://tracing)\n");
+
+    println!("--- NoC link occupancy (stride-sampled, nonzero links) ---");
+    println!(
+        "{}",
+        trace_report::noc_heatmap(run.cfg.mesh_dims(), records)
+    );
+    println!("--- memory queue depths (stride-sampled) ---");
+    println!("{}", trace_report::queue_depth_table(records, 32));
+    println!("  ({:.1?})", t0.elapsed());
 }
 
 /// Locates the committed `goldens/` directory: the working directory's

@@ -10,7 +10,7 @@
 use crate::golden::GoldenDoc;
 use crate::{fmt_x, run_grid, Job, Table};
 use taskstream_model::Policy;
-use ts_delta::{area, DeltaConfig, Features};
+use ts_delta::{area, DeltaConfig, Features, RunReport};
 use ts_sim::stats::geomean;
 use ts_workloads::{
     bfs::Bfs, dtree::DTree, gemm::Gemm, hash_join::HashJoin, kmeans::KMeans, merge_sort::MergeSort,
@@ -1007,6 +1007,56 @@ pub fn render_doc(doc: &GoldenDoc) -> String {
 /// Panics on an unknown id (the caller lists [`ALL`]).
 pub fn run(id: &str, scale: Scale) -> String {
     render_doc(&run_doc(id, scale))
+}
+
+/// A single traced simulation of an experiment's representative
+/// workload (see [`trace_run`]).
+#[derive(Debug)]
+pub struct TraceRun {
+    /// The validated report, with `report.trace` populated.
+    pub report: RunReport,
+    /// Name of the workload that ran.
+    pub workload: String,
+    /// The exact configuration used (mesh dims, tile count).
+    pub cfg: DeltaConfig,
+}
+
+/// Runs one representative workload of experiment `id` with event
+/// tracing enabled and returns the traced, validated report.
+///
+/// Tracing a whole sweep grid would interleave streams meaninglessly,
+/// so `repro --trace` records one simulation chosen to exercise what
+/// the experiment is about: the multicast-heavy experiments trace
+/// `dtree`, the stealing experiment traces `merge_sort` with stealing
+/// on, everything else traces `spmv`.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the caller lists [`ALL`]).
+pub fn trace_run(id: &str, scale: Scale) -> TraceRun {
+    assert!(
+        ALL.contains(&id),
+        "unknown experiment '{id}' (known: {ALL:?})"
+    );
+    let wl: Box<dyn Workload> = match (id, scale) {
+        ("fig_noc" | "fig_batch", Scale::Tiny) => Box::new(DTree::tiny(SEED)),
+        ("fig_noc" | "fig_batch", Scale::Small) => Box::new(DTree::small(SEED)),
+        ("fig_steal", Scale::Tiny) => Box::new(MergeSort::tiny(SEED)),
+        ("fig_steal", Scale::Small) => Box::new(MergeSort::small(SEED)),
+        (_, Scale::Tiny) => Box::new(Spmv::tiny(SEED)),
+        (_, Scale::Small) => Box::new(Spmv::small(SEED)),
+    };
+    let mut cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
+    if id == "fig_steal" {
+        cfg.work_stealing = true;
+    }
+    cfg.trace = true;
+    let report = crate::run_validated(wl.as_ref(), cfg.clone(), false);
+    TraceRun {
+        report,
+        workload: wl.name().to_string(),
+        cfg,
+    }
 }
 
 #[cfg(test)]

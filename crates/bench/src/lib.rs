@@ -37,6 +37,7 @@ pub mod experiments;
 pub mod golden;
 pub mod profile;
 mod table;
+pub mod trace_report;
 
 pub use table::Table;
 

@@ -196,6 +196,12 @@ impl Dram {
         self.waiting.len() + self.active.len()
     }
 
+    /// Words (and write acks) issued but still waiting out their
+    /// latency, for queue-depth sampling.
+    pub fn inflight_words(&self) -> usize {
+        self.inflight.len()
+    }
+
     /// True when no job or in-flight word remains.
     pub fn is_idle(&self) -> bool {
         self.waiting.is_empty() && self.active.is_empty() && self.inflight.is_empty()

@@ -140,6 +140,11 @@ pub struct Mesh<P> {
 }
 
 impl<P: Clone> Mesh<P> {
+    /// Input ports per router: E, W, N, S neighbours plus local
+    /// injection (index [`Mesh::PORTS`]` - 1`). Exposed so occupancy
+    /// samplers can sweep `0..PORTS` with [`Mesh::queue_depth`].
+    pub const PORTS: usize = PORTS;
+
     /// Creates a mesh with the given dimensions and per-port queue
     /// capacity (also used for ejection buffers).
     ///
@@ -250,6 +255,16 @@ impl<P: Clone> Mesh<P> {
     /// Number of payloads waiting in the ejection buffer at `node`.
     pub fn eject_len(&self, node: NodeId) -> usize {
         self.eject[node].len()
+    }
+
+    /// Flits waiting in one router input queue (`port` in
+    /// `0..`[`Mesh::PORTS`]), for link-occupancy sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `port` is out of range.
+    pub fn queue_depth(&self, node: NodeId, port: usize) -> usize {
+        self.queues[node][port].len()
     }
 
     /// True when no flit is queued anywhere (ejection buffers may still
