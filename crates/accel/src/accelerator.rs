@@ -2,7 +2,10 @@
 
 use crate::config::DeltaConfig;
 use crate::dispatch::{is_ready, undeclared_pipe_msg, PendingTask};
-use crate::exec::{DramJobSpec, Feed, FeedKind, Sink, SinkKind, TaskExec, Tile, TileIo};
+use crate::exec::{
+    DramJobSpec, Feed, FeedKind, ProgressSig, Sink, SinkKind, TaskExec, Tile, TileIo,
+};
+use crate::faults::{FaultReport, FaultSchedule, FlitFault};
 use crate::memctrl::{MemCtrl, ReadReq};
 use crate::msg::Msg;
 use crate::pipes::{PipeMode, PipeTable};
@@ -22,9 +25,17 @@ use ts_sim::stats::{Report, Stats};
 use ts_sim::Activity;
 use ts_stream::{Addr, DataSrc, StreamDesc};
 
-/// Cycles without forward progress after which a run is declared
-/// wedged (a modelling deadlock) instead of spinning.
-const STALL_LIMIT: u64 = 3_000_000;
+/// Cycles between recovery-watchdog scans of in-flight tasks. A scan
+/// walks every queued task, so it is strided; the timeout check uses
+/// the cycle a signature was first seen, not the scan cycle, so the
+/// stride only delays detection, never misses it.
+const WATCHDOG_STRIDE: u64 = 64;
+
+/// Failed re-dispatch attempts after which a victim is force-placed on
+/// the least-loaded healthy tile (over-subscribing its queue) rather
+/// than backing off again — the pressure valve that keeps recovery
+/// from wedging when every healthy queue is full.
+const FORCE_PLACE_RETRIES: u32 = 3;
 
 /// Errors from [`Accelerator::run`].
 #[derive(Debug)]
@@ -158,6 +169,40 @@ struct RunState {
     /// Structured event recorder (no-op unless `cfg.trace`). Like
     /// `profile`, trace state never feeds back into the simulation.
     trace: TraceSink,
+    /// Fault schedule, present only when `cfg.faults` is active; every
+    /// query is a pure function of `(seed, site, time)`.
+    fsched: Option<FaultSchedule>,
+    /// Per tile: the fail-stop transition was observed (queue drained,
+    /// event traced) — transitions are handled exactly once.
+    fail_seen: Vec<bool>,
+    /// Per tile: last stall epoch a `FaultTileDown` trace was emitted
+    /// for (stored as epoch + 1 so 0 means "none"), keeping the trace
+    /// at one event per stall window.
+    stall_traced: Vec<u64>,
+    /// Victimized tasks waiting out their re-dispatch backoff.
+    recovery_q: Vec<Victim>,
+    /// Recovery-watchdog state: last observed progress signature of
+    /// each in-flight task and the cycle it was first seen.
+    watch: HashMap<TaskId, (ProgressSig, u64)>,
+    /// Injection and recovery tallies for the final report.
+    freport: FaultReport,
+}
+
+/// A task pulled off a failed (or unresponsive) tile, waiting out its
+/// backoff before re-dispatch. Carries the functional results of the
+/// original dispatch: outputs were already applied to memory, and
+/// re-running a non-idempotent kernel (`WriteMode::Add`) would corrupt
+/// them, so recovery rebuilds *metering* state only.
+struct Victim {
+    /// Cycle at which re-dispatch may next be attempted.
+    due: u64,
+    /// Failed re-dispatch attempts so far (drives the backoff).
+    retries: u32,
+    id: TaskId,
+    inst: TaskInstance,
+    out_values: Vec<Vec<Value>>,
+    emit_firings: Option<Vec<Vec<u64>>>,
+    native_cycles: Option<u64>,
 }
 
 impl RunState {
@@ -211,6 +256,18 @@ impl RunState {
         let picker = TilePicker::new(cfg.effective_policy(), cfg.tiles, cfg.seed);
         let pipes = PipeTable::new(spill_base, SPILL_RESERVE);
 
+        let fsched = cfg
+            .faults
+            .is_active()
+            .then(|| FaultSchedule::new(&cfg.faults, cfg.seed, cfg.tiles));
+        if cfg.faults.dram_retry_rate > 0.0 {
+            memctrl.dram_mut().set_fault_injection(
+                cfg.faults.dram_retry_rate,
+                cfg.faults.dram_retry_cycles,
+                cfg.seed,
+            );
+        }
+
         let tile_synced = vec![0; cfg.tiles];
         let mut state = RunState {
             cfg: cfg.clone(),
@@ -240,6 +297,12 @@ impl RunState {
             mesh_synced: 0,
             profile: SimProfile::default(),
             trace: TraceSink::new(cfg.trace),
+            fsched,
+            fail_seen: vec![false; cfg.tiles],
+            stall_traced: vec![0; cfg.tiles],
+            recovery_q: Vec::new(),
+            watch: HashMap::new(),
+            freport: FaultReport::default(),
         };
 
         let mut spawner = Spawner::new(state.next_pipe);
@@ -339,7 +402,9 @@ impl RunState {
     fn main_loop<P: Program + ?Sized>(&mut self, program: &mut P) -> Result<RunReport, RunError> {
         let active = self.cfg.active_set;
         loop {
-            if self.now >= self.cfg.max_cycles || self.now - self.last_progress > STALL_LIMIT {
+            if self.now >= self.cfg.max_cycles
+                || self.now - self.last_progress > self.cfg.stall_limit
+            {
                 return Err(RunError::Timeout {
                     cycles: self.now,
                     diagnostics: self.diagnostics(),
@@ -379,6 +444,14 @@ impl RunState {
                 self.pending.push_back(p);
             }
 
+            // fault bookkeeping: fail-stop transitions, the recovery
+            // watchdog, and due victim re-dispatches — before the
+            // dispatch scan so a freshly drained tile can take new work
+            // this very cycle
+            if self.fsched.is_some() {
+                self.fault_step()?;
+            }
+
             // with nothing pending, a dispatch cycle is a pure no-op
             // (no RNG draws, no stats) — skip the scan in either mode
             if !self.pending.is_empty() {
@@ -392,6 +465,23 @@ impl RunState {
                 for t in 0..self.tiles.len() {
                     let node = self.tiles[t].node;
                     while let Some(msg) = self.mesh.eject(node) {
+                        // flit faults strike at ejection (after the NoC
+                        // delivery accounting, so conservation holds):
+                        // the payload is lost either way — a corrupted
+                        // flit is detected and discarded, a dropped one
+                        // simply never arrives
+                        if let Some(fs) = &self.fsched {
+                            let seq = self.mesh.ejected_total(node) - 1;
+                            if let Some(fault) = fs.flit_fault(node, seq) {
+                                match fault {
+                                    FlitFault::Dropped => self.freport.noc_flits_dropped += 1,
+                                    FlitFault::Corrupted => self.freport.noc_flits_corrupted += 1,
+                                }
+                                self.trace
+                                    .emit(self.now, TraceEvent::FaultFlitDropped { node });
+                                continue;
+                            }
+                        }
                         self.tiles[t].on_msg(msg);
                     }
                 }
@@ -436,6 +526,38 @@ impl RunState {
                     trace: &mut self.trace,
                 };
                 for (t, tile) in tiles.iter_mut().enumerate() {
+                    // a failed or transiently stalled tile with queued
+                    // work burns the cycle without executing (degenerate
+                    // tick); an *idle* down tile follows the normal idle
+                    // paths so the fast-path equivalence is untouched
+                    if let Some(fs) = &self.fsched {
+                        if !tile.is_idle() && fs.tile_down(t, self.now) {
+                            tile.stats.bump("fault_down_cycles");
+                            if active {
+                                debug_assert_eq!(
+                                    self.tile_synced[t], self.now,
+                                    "tile {t} degenerate tick without catch-up"
+                                );
+                                self.tile_synced[t] = self.now + 1;
+                            }
+                            if !fs.tile_failed(t, self.now) {
+                                // transient stall: trace once per window
+                                let epoch = fs.stall_epoch(self.now) + 1;
+                                if self.stall_traced[t] != epoch {
+                                    self.stall_traced[t] = epoch;
+                                    let fc = fs.config();
+                                    let len = fc.tile_stall_epoch.max(1);
+                                    let until = (epoch - 1) * len + fc.tile_stall_cycles.min(len);
+                                    io.trace.emit(
+                                        self.now,
+                                        TraceEvent::FaultTileDown { tile: t, until },
+                                    );
+                                }
+                            }
+                            self.profile.tile_ticks += 1;
+                            continue;
+                        }
+                    }
                     if active {
                         if tile.is_idle() {
                             continue;
@@ -509,6 +631,7 @@ impl RunState {
             if self.pending.is_empty()
                 && self.admit_q.is_empty()
                 && self.host_q.is_empty()
+                && self.recovery_q.is_empty()
                 && self.tiles.iter().all(|t| t.is_idle())
                 && self.memctrl.is_idle()
                 && self.mesh.is_idle()
@@ -566,6 +689,12 @@ impl RunState {
         if let Some((due, _)) = self.admit_q.front() {
             act = act.merge(Activity::At(*due));
         }
+        // victims waiting out a backoff are a pending event too; a due
+        // entry that could not place clamps to `now`, which suppresses
+        // jumping without claiming a past event
+        for v in &self.recovery_q {
+            act = act.merge(Activity::At(v.due.max(self.now)));
+        }
         act
     }
 
@@ -587,7 +716,7 @@ impl RunState {
         };
         let target = next_due
             .min(self.cfg.max_cycles)
-            .min(self.last_progress + STALL_LIMIT + 1);
+            .min(self.last_progress + self.cfg.stall_limit + 1);
         (target > self.now).then_some(target)
     }
 
@@ -743,6 +872,7 @@ impl RunState {
             ..
         } = done;
         let tile = self.task_tile[&id];
+        self.watch.remove(&id);
         self.trace
             .emit(self.now, TraceEvent::TaskComplete { task: id.0, tile });
         self.picker.on_complete(tile, placement_hint(&inst));
@@ -827,6 +957,14 @@ impl RunState {
         debug_assert_eq!(self.profile.noc_ticks + self.profile.noc_skipped, self.now);
         let trace = std::mem::replace(&mut self.trace, TraceSink::new(false));
         let trace_dropped = trace.dropped();
+        // injection counts come from pure enumerations of the schedule
+        // (not from per-cycle observation), so the report is identical
+        // whichever scheduler fast paths ran
+        if let Some(fs) = &self.fsched {
+            self.freport.tile_fail_stops = fs.count_fail_stops(self.now);
+            self.freport.tile_stalls = fs.count_stalls(self.now);
+            self.freport.dram_retries = self.memctrl.dram().fault_retries();
+        }
         RunReport::new(
             self.now,
             report,
@@ -837,7 +975,384 @@ impl RunState {
             self.profile,
             trace.into_records(),
             trace_dropped,
+            self.freport,
         )
+    }
+
+    // ------------------------------------------------------- faults
+
+    /// True when the fault schedule has tile `t` out of service now.
+    fn tile_down_now(&self, t: usize) -> bool {
+        self.fsched
+            .as_ref()
+            .is_some_and(|f| f.tile_down(t, self.now))
+    }
+
+    /// One cycle of fault bookkeeping: observe fail-stop transitions
+    /// (evicting the victims' queued tasks when recovery is on), run
+    /// the strided progress watchdog, and re-dispatch victims whose
+    /// backoff has elapsed.
+    fn fault_step(&mut self) -> Result<(), RunError> {
+        let recovery = self.fsched.as_ref().is_some_and(|f| f.recovery());
+        for t in 0..self.tiles.len() {
+            if self.fail_seen[t]
+                || !self
+                    .fsched
+                    .as_ref()
+                    .is_some_and(|f| f.tile_failed(t, self.now))
+            {
+                continue;
+            }
+            self.fail_seen[t] = true;
+            self.trace.emit(
+                self.now,
+                TraceEvent::FaultTileDown {
+                    tile: t,
+                    until: u64::MAX,
+                },
+            );
+            if recovery {
+                for exec in self.tiles[t].drain_queue() {
+                    self.victimize(exec, t);
+                }
+            }
+        }
+        if recovery {
+            if self.now.is_multiple_of(WATCHDOG_STRIDE) {
+                self.watchdog_scan();
+            }
+            self.redispatch_due()?;
+        }
+        Ok(())
+    }
+
+    /// Progress watchdog: a queued task whose observable metering
+    /// signature has not changed for `watchdog_timeout` cycles is
+    /// pulled and re-dispatched. This is the recovery path for lost
+    /// input flits — a dropped multicast branch or pipe word leaves a
+    /// feed short forever, which no tile-local check can see.
+    fn watchdog_scan(&mut self) {
+        let timeout = self
+            .fsched
+            .as_ref()
+            .expect("watchdog implies schedule")
+            .config()
+            .watchdog_timeout;
+        let mut fired: Vec<(usize, TaskId)> = Vec::new();
+        let mut fresh = HashMap::with_capacity(self.watch.len());
+        for (t, tile) in self.tiles.iter().enumerate() {
+            for task in &tile.queue {
+                let sig = task.progress_sig();
+                let since = match self.watch.get(&task.id) {
+                    Some(&(old, at)) if old == sig => at,
+                    _ => self.now,
+                };
+                if self.now - since > timeout {
+                    fired.push((t, task.id));
+                } else {
+                    fresh.insert(task.id, (sig, since));
+                }
+            }
+        }
+        // rebuild rather than patch: entries for completed, stolen, or
+        // already-victimized tasks drop out automatically
+        self.watch = fresh;
+        for (t, id) in fired {
+            if let Some(exec) = self.tiles[t].remove_task(id) {
+                self.freport.watchdog_fires += 1;
+                self.victimize(exec, t);
+            }
+        }
+    }
+
+    /// Pulls a task out of the machine for later re-dispatch, keeping
+    /// the functional results of its original dispatch (see [`Victim`]).
+    fn victimize(&mut self, exec: TaskExec, old_tile: usize) {
+        let wasted = self.now - exec.dispatched_at;
+        let id = exec.id;
+        let inst = exec.inst;
+        let out_values = exec.out_values;
+        let emit_firings = exec.emit_firings;
+        let native_cycles = exec.native_cycles;
+        self.watch.remove(&id);
+        self.picker.on_complete(old_tile, placement_hint(&inst));
+        self.freport.wasted_cycles += wasted;
+        // a direct pipe this task produces must restart: its remaining
+        // words would otherwise stream to a tile that no longer runs
+        // the consumer (or from one that no longer runs this producer)
+        for pp in inst.output_pipes() {
+            let ps = self.pipes.get_mut(pp);
+            if matches!(ps.mode, Some(PipeMode::Direct { .. })) {
+                ps.mode = None;
+                self.freport.pipe_replays += 1;
+            }
+        }
+        let backoff = {
+            let fc = self
+                .fsched
+                .as_ref()
+                .expect("victim implies schedule")
+                .config();
+            fc.backoff_base.min(fc.backoff_cap)
+        };
+        self.freport.backoff_cycles += backoff;
+        self.trace.emit(
+            self.now,
+            TraceEvent::TaskVictim {
+                task: id.0,
+                tile: old_tile,
+            },
+        );
+        self.recovery_q.push(Victim {
+            due: self.now + backoff,
+            retries: 0,
+            id,
+            inst,
+            out_values,
+            emit_firings,
+            native_cycles,
+        });
+    }
+
+    /// Re-dispatches victims whose backoff has elapsed onto healthy
+    /// tiles with queue space, backing off exponentially (bounded by
+    /// `backoff_cap`) when none can take them; after
+    /// [`FORCE_PLACE_RETRIES`] failures the least-loaded healthy tile
+    /// takes the task over-subscribed rather than letting the run
+    /// wedge.
+    fn redispatch_due(&mut self) -> Result<(), RunError> {
+        if self.recovery_q.is_empty() {
+            return Ok(());
+        }
+        let mut i = 0;
+        while i < self.recovery_q.len() {
+            if self.recovery_q[i].due > self.now {
+                i += 1;
+                continue;
+            }
+            let now = self.now;
+            self.mask_scratch.clear();
+            {
+                let fs = self.fsched.as_ref().expect("victim implies schedule");
+                let cfg = &self.cfg;
+                self.mask_scratch.extend(
+                    self.tiles
+                        .iter()
+                        .enumerate()
+                        .map(|(t, tile)| tile.queue_space(cfg) > 0 && !fs.tile_down(t, now)),
+                );
+            }
+            let picked = self
+                .picker
+                .pick(&self.recovery_q[i].inst, &self.mask_scratch);
+            let target = match picked {
+                Some(t) => Some(t),
+                None if self.recovery_q[i].retries >= FORCE_PLACE_RETRIES => {
+                    let fs = self.fsched.as_ref().expect("victim implies schedule");
+                    (0..self.tiles.len())
+                        .filter(|&t| !fs.tile_down(t, now))
+                        .min_by_key(|&t| self.tiles[t].queue.len())
+                }
+                None => None,
+            };
+            match target {
+                Some(tile) => {
+                    let v = self.recovery_q.remove(i);
+                    self.redispatch(v, tile)?;
+                }
+                None => {
+                    let (base, cap) = {
+                        let fc = self
+                            .fsched
+                            .as_ref()
+                            .expect("victim implies schedule")
+                            .config();
+                        (fc.backoff_base, fc.backoff_cap)
+                    };
+                    let v = &mut self.recovery_q[i];
+                    v.retries += 1;
+                    let backoff = (base << v.retries.min(16)).min(cap);
+                    v.due = now + backoff;
+                    self.freport.backoff_cycles += backoff;
+                    i += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirrors [`dispatch_to`](Self::dispatch_to) *minus every
+    /// functional section*: results were computed — and applied to
+    /// memory — at the original dispatch, so only the metering state
+    /// (feeds, sinks, routes) is rebuilt on the new tile.
+    fn redispatch(&mut self, v: Victim, tile: usize) -> Result<(), RunError> {
+        let Victim {
+            id,
+            inst,
+            out_values,
+            emit_firings,
+            native_cycles,
+            ..
+        } = v;
+        let timing = self.types[inst.ty.0].timing;
+        let tile_node = self.cfg.tile_node(tile);
+        for pp in inst.input_pipes() {
+            self.pipes.get_mut(pp).consumer_node = Some(tile_node);
+        }
+
+        // feeds: memory streams re-read in full — a shared input
+        // re-requests its words as a fresh unicast read, which is the
+        // replay of a lost multicast branch; pipe inputs re-route or
+        // fall back to spill
+        let mut feeds = Vec::with_capacity(inst.inputs.len());
+        let mut pipe_routes: Vec<(taskstream_model::PipeId, usize)> = Vec::new();
+        for (port, b) in inst.inputs.iter().enumerate() {
+            let feed = match b {
+                InputBinding::Stream(desc) | InputBinding::Shared { desc, .. } => {
+                    self.build_stream_feed(desc, tile)?
+                }
+                InputBinding::Pipe(pp) => {
+                    let total = self
+                        .pipes
+                        .get(*pp)
+                        .data
+                        .as_ref()
+                        .map(|d| d.len() as u64)
+                        .expect("producer data recorded");
+                    match self.pipes.get(*pp).mode {
+                        None => {
+                            pipe_routes.push((*pp, port));
+                            Feed {
+                                total,
+                                remaining: 0,
+                                kind: FeedKind::PipeDirect,
+                            }
+                        }
+                        Some(PipeMode::Spill { .. }) => Feed {
+                            total,
+                            remaining: 0,
+                            kind: FeedKind::PipeSpill {
+                                pipe: *pp,
+                                issued: false,
+                            },
+                        },
+                        Some(PipeMode::Direct { .. }) => {
+                            // the producer is mid-stream towards the old
+                            // tile: demote the pipe to a spill buffer —
+                            // the producer's remaining words land there
+                            // (its drain re-reads the mode every cycle)
+                            // and the consumer re-reads the whole stream
+                            let base = self.pipes.alloc_spill(total);
+                            self.pipes.get_mut(*pp).mode = Some(PipeMode::Spill { base });
+                            self.freport.pipe_replays += 1;
+                            self.trace
+                                .emit(self.now, TraceEvent::PipeSpill { pipe: pp.0, base });
+                            // a producer that already pushed its last
+                            // word direct would now wait forever for the
+                            // spill ack it nominally needs
+                            if let Some(pid) = self.pipes.get(*pp).producer {
+                                if let Some(&pt) = self.task_tile.get(&pid) {
+                                    if let Some(prod) = self.tiles[pt].find_task(pid) {
+                                        for s in &mut prod.sinks {
+                                            if let SinkKind::Pipe { pipe } = s.kind {
+                                                if pipe == *pp && s.sent == s.total {
+                                                    s.acked = true;
+                                                }
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            Feed {
+                                total,
+                                remaining: 0,
+                                kind: FeedKind::PipeSpill {
+                                    pipe: *pp,
+                                    issued: false,
+                                },
+                            }
+                        }
+                    }
+                }
+            };
+            feeds.push(feed);
+        }
+
+        // sinks: identical shape to the original dispatch; addresses
+        // are recomputed for metering only — the functional writes
+        // landed when the task first dispatched
+        let mut sinks: Vec<Sink> = Vec::with_capacity(inst.outputs.len());
+        for (port, binding) in inst.outputs.iter().enumerate() {
+            let total = out_values[port].len() as u64;
+            let kind = match binding {
+                OutputBinding::Discard => SinkKind::Discard,
+                OutputBinding::Memory { desc, mode } => match desc_src(desc) {
+                    DataSrc::Spad => SinkKind::Spad,
+                    DataSrc::Dram => SinkKind::DramWrite {
+                        addrs: self.write_addrs(desc, out_values[port].len(), tile)?,
+                        mode: *mode,
+                        gather: desc.is_indirect(),
+                        mc_node: self.cfg.mc_node_for(tile_node),
+                    },
+                },
+                OutputBinding::Scatter {
+                    src,
+                    base,
+                    scale,
+                    addr_port,
+                    mode,
+                } => SinkKind::Scatter {
+                    addr_port: *addr_port,
+                    to_dram: *src == DataSrc::Dram,
+                    base: *base,
+                    scale: *scale,
+                    mode: *mode,
+                    mc_node: self.cfg.mc_node_for(tile_node),
+                },
+                OutputBinding::Pipe(pp) => SinkKind::Pipe { pipe: *pp },
+            };
+            sinks.push(Sink {
+                kind,
+                total,
+                sent: 0,
+                acked: false,
+                held: false,
+            });
+        }
+        for port in 0..sinks.len() {
+            if let SinkKind::Scatter { addr_port, .. } = sinks[port].kind {
+                sinks[addr_port].held = true;
+            }
+        }
+
+        let exec = TaskExec::new(
+            id,
+            inst.ty,
+            inst,
+            timing,
+            native_cycles,
+            feeds,
+            out_values,
+            emit_firings,
+            sinks,
+            self.cfg.out_buf,
+            self.cfg.fabric.lanes,
+            self.now,
+        );
+        let work = placement_hint(&exec.inst);
+        for (pp, port) in pipe_routes {
+            self.tiles[tile].pipe_routes.insert(pp, (id, port));
+        }
+        self.wake_tile(tile, self.now);
+        self.tiles[tile].enqueue(exec);
+        self.task_tile.insert(id, tile);
+        self.picker.on_dispatch(tile, work);
+        self.trace
+            .emit(self.now, TraceEvent::TaskRedispatch { task: id.0, tile });
+        // deliberately NOT counted as `dispatch.tasks_dispatched`: that
+        // stat must keep matching spawns and completions one-to-one
+        self.freport.tasks_redispatched += 1;
+        Ok(())
     }
 
     // ------------------------------------------------------------ dispatch
@@ -903,7 +1418,11 @@ impl RunState {
     /// Extension: one steal per cycle — the emptiest idle tile takes an
     /// eligible queued task from the most loaded tile.
     fn steal_cycle(&mut self) {
-        let Some(thief) = (0..self.tiles.len()).find(|&t| self.tiles[t].is_idle()) else {
+        // a down tile never steals (work moved onto it would just sit);
+        // stealing *from* a down tile is fine and actively helpful
+        let Some(thief) =
+            (0..self.tiles.len()).find(|&t| self.tiles[t].is_idle() && !self.tile_down_now(t))
+        else {
             return;
         };
         let victim = (0..self.tiles.len())
@@ -950,13 +1469,20 @@ impl RunState {
     /// producers to pipeline, not queue behind other work).
     fn fill_mask(&mut self, idle_only: bool) {
         self.mask_scratch.clear();
-        self.mask_scratch.extend(self.tiles.iter().map(|t| {
-            if idle_only {
-                t.is_idle()
-            } else {
-                t.queue_space(&self.cfg) > 0
-            }
-        }));
+        // under recovery the dispatcher routes around down tiles; the
+        // no-recovery baseline keeps placing onto them (and wedges) —
+        // that asymmetry is exactly the fault experiment's comparison
+        let fs = self.fsched.as_ref().filter(|f| f.recovery());
+        let now = self.now;
+        self.mask_scratch
+            .extend(self.tiles.iter().enumerate().map(|(t, tile)| {
+                let fits = if idle_only {
+                    tile.is_idle()
+                } else {
+                    tile.queue_space(&self.cfg) > 0
+                };
+                fits && !fs.is_some_and(|f| f.tile_down(t, now))
+            }));
     }
 
     /// True when the task consumes a pipe whose producer has dispatched

@@ -192,14 +192,8 @@ mod tests {
 
     #[test]
     fn overhead_shrinks_with_bigger_spads() {
-        let small = breakdown(&DeltaConfig {
-            spad_words: 16 * 1024,
-            ..DeltaConfig::delta(8)
-        });
-        let big = breakdown(&DeltaConfig {
-            spad_words: 256 * 1024,
-            ..DeltaConfig::delta(8)
-        });
+        let small = breakdown(&DeltaConfig::builder(8).spad_words(16 * 1024).build());
+        let big = breakdown(&DeltaConfig::builder(8).spad_words(256 * 1024).build());
         assert!(big.taskstream_overhead() < small.taskstream_overhead());
     }
 }

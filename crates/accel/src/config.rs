@@ -1,5 +1,13 @@
-//! Accelerator configuration and presets.
+//! Accelerator configuration: presets, the typed builder, and the
+//! fault-injection knobs.
+//!
+//! [`DeltaConfig`]'s fields stay readable, but the sanctioned way to
+//! *customize* a configuration is the fluent surface: start from a
+//! named preset ([`DeltaConfig::delta`], [`DeltaConfig::static_baseline`],
+//! [`DeltaConfig::ablation`]) or from [`DeltaConfig::builder`], chain
+//! setters, and [`DeltaConfigBuilder::build`] validates the result.
 
+use crate::faults::FaultsConfig;
 use taskstream_model::Policy;
 use ts_cgra::FabricConfig;
 use ts_mem::DramConfig;
@@ -120,10 +128,20 @@ pub struct DeltaConfig {
     /// Off by default: a disabled trace costs one branch per emit
     /// point and the report is bit-identical either way.
     pub trace: bool,
-    /// Seed for mapper restarts and randomized policies.
+    /// Fault injection and task-level recovery (see
+    /// [`crate::faults`]). Inert by default; fault schedules derive
+    /// from [`seed`](DeltaConfig::seed), so same seed → byte-identical
+    /// [`FaultReport`](crate::FaultReport).
+    pub faults: FaultsConfig,
+    /// Seed for mapper restarts, randomized policies, and fault
+    /// schedules.
     pub seed: u64,
     /// Hard cycle limit (a wedged model errors instead of spinning).
     pub max_cycles: u64,
+    /// Cycles without any task completion before the run is declared
+    /// wedged and errors out (the "no progress" watchdog of the whole
+    /// machine, distinct from the per-task recovery watchdog).
+    pub stall_limit: u64,
 }
 
 impl DeltaConfig {
@@ -165,19 +183,44 @@ impl DeltaConfig {
             idle_skip: true,
             active_set: true,
             trace: false,
+            faults: FaultsConfig::none(),
             seed: 0xDE17A,
             max_cycles: 200_000_000,
+            stall_limit: 3_000_000,
         }
     }
 
     /// The paper's comparison point: the *same hardware* with the
     /// TaskStream mechanisms disabled and owner-computes placement.
     pub fn static_parallel(tiles: usize) -> Self {
-        DeltaConfig {
-            policy: Policy::StaticHash,
-            features: Features::none(),
-            ..Self::delta(tiles)
+        let mut cfg = Self::delta(tiles);
+        cfg.policy = Policy::StaticHash;
+        cfg.features = Features::none();
+        cfg
+    }
+
+    /// Canonical name for the static-parallel comparison point
+    /// (alias of [`DeltaConfig::static_parallel`]).
+    pub fn static_baseline(tiles: usize) -> Self {
+        Self::static_parallel(tiles)
+    }
+
+    /// An ablation point: the Delta preset with a chosen subset of the
+    /// TaskStream mechanisms (policy synced to `work_aware`).
+    pub fn ablation(tiles: usize, features: Features) -> Self {
+        Self::delta(tiles).with_features(features)
+    }
+
+    /// Starts a fluent builder from the Delta preset.
+    pub fn builder(tiles: usize) -> DeltaConfigBuilder {
+        DeltaConfigBuilder {
+            cfg: Self::delta(tiles),
         }
+    }
+
+    /// Re-opens this configuration for fluent modification.
+    pub fn to_builder(self) -> DeltaConfigBuilder {
+        DeltaConfigBuilder { cfg: self }
     }
 
     /// Default 8-tile Delta (the paper-scale configuration).
@@ -263,8 +306,229 @@ impl DeltaConfig {
             "dispatch rate must be positive"
         );
         assert!(self.dispatch_window > 0, "dispatch window must be positive");
+        assert!(self.stall_limit > 0, "stall limit must be positive");
         let (w, h) = self.mesh_dims();
         assert!(w * h >= self.tiles + self.mem_ctrls, "mesh too small");
+        self.faults.validate();
+    }
+}
+
+/// Fluent construction surface for [`DeltaConfig`]: every knob the
+/// experiments and tests tune goes through one named setter instead of
+/// bare struct mutation. Obtain one from [`DeltaConfig::builder`] or
+/// [`DeltaConfig::to_builder`]; [`DeltaConfigBuilder::build`] validates
+/// and returns the finished configuration.
+///
+/// ```
+/// use ts_delta::{DeltaConfig, FaultsConfig};
+///
+/// let cfg = DeltaConfig::builder(4)
+///     .tile_queue(8)
+///     .work_stealing(true)
+///     .faults(FaultsConfig::chaos())
+///     .seed(7)
+///     .build();
+/// assert_eq!(cfg.tiles, 4);
+/// assert!(cfg.faults.recovery);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaConfigBuilder {
+    cfg: DeltaConfig,
+}
+
+impl DeltaConfigBuilder {
+    /// Number of memory-controller nodes on the mesh.
+    pub fn mem_ctrls(mut self, n: usize) -> Self {
+        self.cfg.mem_ctrls = n;
+        self
+    }
+
+    /// Replaces the per-tile CGRA fabric wholesale.
+    pub fn fabric(mut self, fabric: FabricConfig) -> Self {
+        self.cfg.fabric = fabric;
+        self
+    }
+
+    /// Vector lanes of the per-tile fabric.
+    pub fn fabric_lanes(mut self, lanes: u32) -> Self {
+        self.cfg.fabric.lanes = lanes;
+        self
+    }
+
+    /// Configuration cost per PE of the per-tile fabric.
+    pub fn fabric_config_per_pe(mut self, cycles: u64) -> Self {
+        self.cfg.fabric.config_per_pe = cycles;
+        self
+    }
+
+    /// Per-tile scratchpad size in words.
+    pub fn spad_words(mut self, words: usize) -> Self {
+        self.cfg.spad_words = words;
+        self
+    }
+
+    /// Per-tile scratchpad accesses per cycle.
+    pub fn spad_bw(mut self, bw: f64) -> Self {
+        self.cfg.spad_bw = bw;
+        self
+    }
+
+    /// Replaces the shared DRAM model wholesale.
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.cfg.dram = dram;
+        self
+    }
+
+    /// DRAM access latency in cycles.
+    pub fn dram_latency(mut self, cycles: u64) -> Self {
+        self.cfg.dram.latency = cycles;
+        self
+    }
+
+    /// Per-port router queue capacity.
+    pub fn noc_queue(mut self, depth: usize) -> Self {
+        self.cfg.noc_queue = depth;
+        self
+    }
+
+    /// Dispatched-task queue depth per tile.
+    pub fn tile_queue(mut self, depth: usize) -> Self {
+        self.cfg.tile_queue = depth;
+        self
+    }
+
+    /// Output-port buffer depth (words) per port.
+    pub fn out_buf(mut self, words: usize) -> Self {
+        self.cfg.out_buf = words;
+        self
+    }
+
+    /// Engine rate for locally generated streams (words/cycle).
+    pub fn engine_rate(mut self, rate: f64) -> Self {
+        self.cfg.engine_rate = rate;
+        self
+    }
+
+    /// Tasks the dispatcher can place per cycle.
+    pub fn dispatch_per_cycle(mut self, n: usize) -> Self {
+        self.cfg.dispatch_per_cycle = n;
+        self
+    }
+
+    /// Pending-queue lookahead of the dispatcher.
+    pub fn dispatch_window(mut self, n: usize) -> Self {
+        self.cfg.dispatch_window = n;
+        self
+    }
+
+    /// Cycles from a spawn decision to dispatch eligibility.
+    pub fn spawn_latency(mut self, cycles: u64) -> Self {
+        self.cfg.spawn_latency = cycles;
+        self
+    }
+
+    /// Cycles from task completion to the host seeing it.
+    pub fn host_latency(mut self, cycles: u64) -> Self {
+        self.cfg.host_latency = cycles;
+        self
+    }
+
+    /// Fixed per-task startup cost at a tile.
+    pub fn task_start_overhead(mut self, cycles: u64) -> Self {
+        self.cfg.task_start_overhead = cycles;
+        self
+    }
+
+    /// Control-path latency from a stream engine to a controller.
+    pub fn mem_req_latency(mut self, cycles: u64) -> Self {
+        self.cfg.mem_req_latency = cycles;
+        self
+    }
+
+    /// Multicast-table batching window.
+    pub fn mcast_batch_window(mut self, cycles: u64) -> Self {
+        self.cfg.mcast_batch_window = cycles;
+        self
+    }
+
+    /// Queue positions whose DRAM streams may prefetch.
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.cfg.prefetch_depth = depth;
+        self
+    }
+
+    /// Placement policy (syncs `features.work_aware`, like
+    /// [`DeltaConfig::with_policy`]).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.cfg = self.cfg.with_policy(policy);
+        self
+    }
+
+    /// Feature toggles (syncs the policy, like
+    /// [`DeltaConfig::with_features`]).
+    pub fn features(mut self, features: Features) -> Self {
+        self.cfg = self.cfg.with_features(features);
+        self
+    }
+
+    /// Idle tiles steal queued tasks from the most loaded tile.
+    pub fn work_stealing(mut self, on: bool) -> Self {
+        self.cfg.work_stealing = on;
+        self
+    }
+
+    /// Simulator fast path: next-event jump over quiescent stretches.
+    pub fn idle_skip(mut self, on: bool) -> Self {
+        self.cfg.idle_skip = on;
+        self
+    }
+
+    /// Simulator fast path: tick only components reporting activity.
+    pub fn active_set(mut self, on: bool) -> Self {
+        self.cfg.active_set = on;
+        self
+    }
+
+    /// Record a structured event trace of the run.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.cfg.trace = on;
+        self
+    }
+
+    /// Fault injection and recovery policy.
+    pub fn faults(mut self, faults: FaultsConfig) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Seed for mapper restarts, randomized policies, and fault
+    /// schedules.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Hard cycle limit.
+    pub fn max_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.max_cycles = cycles;
+        self
+    }
+
+    /// Whole-machine no-progress limit before the run errors out.
+    pub fn stall_limit(mut self, cycles: u64) -> Self {
+        self.cfg.stall_limit = cycles;
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations, like
+    /// [`DeltaConfig::validate`].
+    pub fn build(self) -> DeltaConfig {
+        self.cfg.validate();
+        self.cfg
     }
 }
 
@@ -312,5 +576,55 @@ mod tests {
         let c = DeltaConfig::delta(4).with_policy(Policy::Random);
         assert!(!c.features.work_aware);
         assert_eq!(c.effective_policy(), Policy::Random);
+    }
+
+    #[test]
+    fn builder_roundtrips_the_preset() {
+        // an untouched builder is exactly the preset (so goldens
+        // cannot drift from the migration to the fluent surface)
+        let a = DeltaConfig::delta(8);
+        let b = DeltaConfig::builder(8).build();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = DeltaConfig::static_baseline(8);
+        let d = DeltaConfig::static_parallel(8);
+        assert_eq!(format!("{c:?}"), format!("{d:?}"));
+    }
+
+    #[test]
+    fn builder_setters_land_and_sync() {
+        let c = DeltaConfig::builder(4)
+            .tile_queue(9)
+            .policy(Policy::StaticHash)
+            .work_stealing(true)
+            .stall_limit(1234)
+            .faults(FaultsConfig::chaos())
+            .build();
+        assert_eq!(c.tile_queue, 9);
+        assert!(!c.features.work_aware);
+        assert_eq!(c.effective_policy(), Policy::StaticHash);
+        assert!(c.work_stealing);
+        assert_eq!(c.stall_limit, 1234);
+        assert!(c.faults.is_active());
+
+        let d = DeltaConfig::ablation(
+            4,
+            Features {
+                work_aware: false,
+                pipelining: true,
+                multicast: true,
+            },
+        );
+        assert_eq!(d.effective_policy(), Policy::RoundRobin);
+
+        let e = d.to_builder().features(Features::all()).build();
+        assert_eq!(e.effective_policy(), Policy::WorkAware);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn builder_build_validates_faults() {
+        let mut f = FaultsConfig::none();
+        f.noc_drop_rate = 2.0;
+        let _ = DeltaConfig::builder(2).faults(f).build();
     }
 }

@@ -32,6 +32,11 @@ use ts_sim::stats::Stats;
 use ts_sim::TokenBucket;
 use ts_stream::Addr;
 
+/// A task's observable metering progress (firings, native advance,
+/// words arrived, words drained) — the recovery watchdog victimizes a
+/// task whose signature stops changing.
+pub(crate) type ProgressSig = (u64, u64, u64, u64);
+
 /// A deferred DRAM read, issued by the tile when the owning task enters
 /// the prefetch window (so prefetch never starves the running task's
 /// streams).
@@ -265,6 +270,17 @@ impl TaskExec {
         self.out_values.len()
     }
 
+    /// Observable metering progress, used by the recovery watchdog: any
+    /// firing, native advance, word arrival, or sink drain changes it.
+    pub(crate) fn progress_sig(&self) -> ProgressSig {
+        (
+            self.firings_done,
+            self.native_progress,
+            self.in_avail.iter().sum(),
+            self.sinks.iter().map(|s| s.sent).sum(),
+        )
+    }
+
     fn compute_done(&self) -> bool {
         match self.native_cycles {
             Some(c) => self.native_progress >= c,
@@ -321,6 +337,10 @@ pub(crate) struct Tile {
     /// Cycles the current queue head has made no observable progress.
     head_stall: u64,
     head_sig: (u64, u64, u64, u64),
+    /// Fault runs only: tolerate stale NoC messages (flits for a task
+    /// that was victimized away, duplicates of a re-sent stream) by
+    /// dropping them instead of panicking on an unknown route.
+    fault_tolerant: bool,
     pub stats: Stats,
 }
 
@@ -344,6 +364,7 @@ impl Tile {
             engine: TokenBucket::per_cycle(cfg.engine_rate),
             head_stall: 0,
             head_sig: (0, 0, 0, 0),
+            fault_tolerant: cfg.faults.is_active(),
             stats: Stats::new(),
         }
     }
@@ -441,8 +462,27 @@ impl Tile {
         t
     }
 
-    fn find_task(&mut self, id: TaskId) -> Option<&mut TaskExec> {
+    pub(crate) fn find_task(&mut self, id: TaskId) -> Option<&mut TaskExec> {
         self.queue.iter_mut().find(|t| t.id == id)
+    }
+
+    /// Fail-stop recovery: evicts every queued task for re-dispatch
+    /// elsewhere, leaving the tile idle.
+    pub(crate) fn drain_queue(&mut self) -> Vec<TaskExec> {
+        self.phase = Phase::Idle;
+        self.head_stall = 0;
+        std::mem::take(&mut self.queue).into()
+    }
+
+    /// Watchdog recovery: evicts one queued task by id.
+    pub(crate) fn remove_task(&mut self, id: TaskId) -> Option<TaskExec> {
+        let qi = self.queue.iter().position(|t| t.id == id)?;
+        let t = self.queue.remove(qi).expect("position just found");
+        if qi == 0 {
+            self.phase = Phase::Idle;
+            self.head_stall = 0;
+        }
+        Some(t)
     }
 
     /// Routes one ejected NoC message into task state.
@@ -456,11 +496,11 @@ impl Tile {
                 // routes stay registered for the whole run: words of one
                 // job may arrive out of order across controller nodes,
                 // so the `last` flag cannot be used for cleanup
-                let routes = self
-                    .job_routes
-                    .get(&job)
-                    .cloned()
-                    .unwrap_or_else(|| panic!("tile {}: unknown read job {job}", self.id));
+                let routes = match self.job_routes.get(&job) {
+                    Some(r) => r.clone(),
+                    None if self.fault_tolerant => return,
+                    None => panic!("tile {}: unknown read job {job}", self.id),
+                };
                 for (task, port) in &routes {
                     if let Some(t) = self.find_task(*task) {
                         t.in_avail[*port] += words as u64;
@@ -468,10 +508,11 @@ impl Tile {
                 }
             }
             Msg::PipeWord { pipe, last } => {
-                let (task, port) = *self
-                    .pipe_routes
-                    .get(&pipe)
-                    .unwrap_or_else(|| panic!("tile {}: unknown pipe {pipe:?}", self.id));
+                let (task, port) = match self.pipe_routes.get(&pipe) {
+                    Some(&r) => r,
+                    None if self.fault_tolerant => return,
+                    None => panic!("tile {}: unknown pipe {pipe:?}", self.id),
+                };
                 if let Some(t) = self.find_task(task) {
                     t.in_avail[port] += 1;
                 }

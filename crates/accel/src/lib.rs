@@ -71,6 +71,7 @@ mod config;
 mod dispatch;
 pub mod energy;
 mod exec;
+pub mod faults;
 mod memctrl;
 mod msg;
 pub mod oracle;
@@ -79,6 +80,9 @@ mod report;
 mod trace;
 
 pub use accelerator::{Accelerator, RunError};
-pub use config::{DeltaConfig, Features};
+pub use config::{DeltaConfig, DeltaConfigBuilder, Features};
+pub use faults::{FaultReport, FaultsConfig};
 pub use report::{RunReport, SimProfile};
-pub use trace::{TraceEvent, TraceRecord, TraceSink};
+// TraceSink stays crate-internal: consumers read the recorded stream
+// off `RunReport::trace`, they never hold the sink itself.
+pub use trace::{TraceEvent, TraceRecord};

@@ -1,5 +1,6 @@
 //! Run results.
 
+use crate::faults::FaultReport;
 use crate::trace::TraceRecord;
 use taskstream_model::Value;
 use ts_mem::Storage;
@@ -101,6 +102,11 @@ pub struct RunReport {
     pub trace: Vec<TraceRecord>,
     /// Trace records evicted because the trace ring overflowed.
     pub trace_dropped: u64,
+    /// Injected-fault and recovery tallies. All-zero (and inert) when
+    /// fault injection is disabled; like `profile`, kept out of
+    /// [`RunReport::stats`] so faults-off reports stay byte-identical
+    /// to builds that predate fault injection.
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -118,6 +124,7 @@ impl RunReport {
         profile: SimProfile,
         trace: Vec<TraceRecord>,
         trace_dropped: u64,
+        faults: FaultReport,
     ) -> Self {
         RunReport {
             cycles,
@@ -129,6 +136,7 @@ impl RunReport {
             profile,
             trace,
             trace_dropped,
+            faults,
         }
     }
 

@@ -124,6 +124,35 @@ pub enum TraceEvent {
         /// Flits waiting in the queue this sample.
         depth: usize,
     },
+    /// A fault schedule took a tile out of service (fail-stop). Emitted
+    /// once, at the transition cycle, from the fault-injection step.
+    FaultTileDown {
+        /// Tile that went down.
+        tile: usize,
+        /// Cycle the tile comes back, `u64::MAX` for fail-stop.
+        until: u64,
+    },
+    /// A NoC flit was dropped (or its payload corrupted and discarded)
+    /// at ejection by the fault schedule.
+    FaultFlitDropped {
+        /// Mesh node where the flit was lost.
+        node: usize,
+    },
+    /// Recovery pulled an in-flight task off a failed (or unresponsive)
+    /// tile; it will be re-dispatched after backoff.
+    TaskVictim {
+        /// Task id.
+        task: u64,
+        /// Tile the task was pulled from.
+        tile: usize,
+    },
+    /// Recovery re-placed a victimized task on a healthy tile.
+    TaskRedispatch {
+        /// Task id.
+        task: u64,
+        /// Tile the task was re-placed on.
+        tile: usize,
+    },
     /// Stride-sampled memory-subsystem queue depths.
     QueueDepth {
         /// Requests waiting in the memory controller's admission queue.

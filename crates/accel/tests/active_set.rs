@@ -189,11 +189,13 @@ where
     F: Fn() -> P,
 {
     let run = |active_set: bool, idle_skip: bool| {
-        Accelerator::new(DeltaConfig {
-            active_set,
-            idle_skip,
-            ..cfg.clone()
-        })
+        Accelerator::new(
+            cfg.clone()
+                .to_builder()
+                .active_set(active_set)
+                .idle_skip(idle_skip)
+                .build(),
+        )
         .run(&mut make())
         .unwrap()
     };
@@ -240,11 +242,10 @@ where
 
 #[test]
 fn serial_chain_reports_identical_across_scheduler_modes() {
-    let cfg = DeltaConfig {
-        spawn_latency: 700,
-        host_latency: 700,
-        ..DeltaConfig::delta(4)
-    };
+    let cfg = DeltaConfig::builder(4)
+        .spawn_latency(700)
+        .host_latency(700)
+        .build();
     assert_active_set_equivalent(|| SerialChain { remaining: 6 }, cfg, 64);
 }
 
@@ -257,32 +258,30 @@ fn serial_chain_default_latencies_still_defer_tiles() {
 fn partial_occupancy_defers_only_idle_tiles() {
     // Waves narrower than the machine: some tiles busy, some idle —
     // the whole-machine jump can't fire but the active set can.
-    let cfg = DeltaConfig {
-        spawn_latency: 200,
-        host_latency: 200,
-        ..DeltaConfig::delta(8)
-    };
+    let cfg = DeltaConfig::builder(8)
+        .spawn_latency(200)
+        .host_latency(200)
+        .build();
     assert_active_set_equivalent(|| Waves::new(vec![3, 2, 3], 32, true), cfg, 64);
 }
 
 #[test]
 fn work_stealing_wakes_thieves_correctly() {
-    let cfg = DeltaConfig {
-        work_stealing: true,
-        spawn_latency: 300,
-        host_latency: 300,
-        ..DeltaConfig::delta(4)
-    };
+    let cfg = DeltaConfig::builder(4)
+        .work_stealing(true)
+        .spawn_latency(300)
+        .host_latency(300)
+        .build();
     assert_active_set_equivalent(|| Waves::new(vec![5, 5, 5], 32, false), cfg, 32);
 }
 
 #[test]
 fn static_parallel_baseline_is_equivalent_too() {
-    let cfg = DeltaConfig {
-        spawn_latency: 150,
-        host_latency: 150,
-        ..DeltaConfig::static_parallel(4)
-    };
+    let cfg = DeltaConfig::static_parallel(4)
+        .to_builder()
+        .spawn_latency(150)
+        .host_latency(150)
+        .build();
     assert_active_set_equivalent(|| Waves::new(vec![2, 4, 1], 24, true), cfg, 64);
 }
 
@@ -300,18 +299,19 @@ proptest! {
         work_stealing in prop::bool::ANY,
         write_out in prop::bool::ANY,
     ) {
-        let cfg = DeltaConfig {
-            spawn_latency: latency,
-            host_latency: latency,
-            work_stealing,
-            ..DeltaConfig::delta(tiles)
-        };
+        let cfg = DeltaConfig::builder(tiles)
+            .spawn_latency(latency)
+            .host_latency(latency)
+            .work_stealing(work_stealing)
+            .build();
         let run = |active_set: bool, idle_skip: bool| {
-            Accelerator::new(DeltaConfig {
-                active_set,
-                idle_skip,
-                ..cfg.clone()
-            })
+            Accelerator::new(
+                cfg.clone()
+                    .to_builder()
+                    .active_set(active_set)
+                    .idle_skip(idle_skip)
+                    .build(),
+            )
             .run(&mut Waves::new(widths.clone(), stream_len, write_out))
             .unwrap()
         };

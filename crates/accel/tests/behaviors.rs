@@ -73,10 +73,7 @@ fn multicast_join_window_collects_batched_sharers() {
 fn zero_batch_window_still_correct_but_reads_more() {
     let run = |window: u64| {
         let mut p = Sharers { n: 8, len: 256 };
-        let cfg = DeltaConfig {
-            mcast_batch_window: window,
-            ..DeltaConfig::delta(8)
-        };
+        let cfg = DeltaConfig::builder(8).mcast_batch_window(window).build();
         Accelerator::new(cfg)
             .run(&mut p)
             .unwrap()
@@ -144,10 +141,7 @@ fn zero_reconfig_cost_is_supported() {
 #[test]
 fn prefetch_depth_one_still_correct() {
     let mut p = Sharers { n: 4, len: 128 };
-    let cfg = DeltaConfig {
-        prefetch_depth: 1,
-        ..DeltaConfig::delta(2)
-    };
+    let cfg = DeltaConfig::builder(2).prefetch_depth(1).build();
     let r = Accelerator::new(cfg).run(&mut p).unwrap();
     assert_eq!(r.tasks_completed, 4);
 }
@@ -487,11 +481,11 @@ fn work_stealing_rebalances_static_placement() {
         fn on_complete(&mut self, _d: &CompletedTask, _s: &mut Spawner) {}
     }
     let run = |steal: bool| {
-        let cfg = DeltaConfig {
-            work_stealing: steal,
-            tile_queue: 16,
-            ..DeltaConfig::static_parallel(4)
-        };
+        let cfg = DeltaConfig::static_parallel(4)
+            .to_builder()
+            .work_stealing(steal)
+            .tile_queue(16)
+            .build();
         Accelerator::new(cfg).run(&mut Lopsided).unwrap()
     };
     let without = run(false);
@@ -509,10 +503,7 @@ fn work_stealing_rebalances_static_placement() {
 fn stealing_preserves_correctness_across_the_board() {
     // reuse the Sharers program (DRAM reductions) with stealing on
     let mut p = Sharers { n: 12, len: 128 };
-    let cfg = DeltaConfig {
-        work_stealing: true,
-        ..DeltaConfig::delta(4)
-    };
+    let cfg = DeltaConfig::builder(4).work_stealing(true).build();
     let r = Accelerator::new(cfg).run(&mut p).unwrap();
     assert_eq!(r.tasks_completed, 12);
 }

@@ -117,18 +117,12 @@ where
     P: Program,
     F: Fn() -> P,
 {
-    let skip = Accelerator::new(DeltaConfig {
-        idle_skip: true,
-        ..cfg.clone()
-    })
-    .run(&mut make())
-    .unwrap();
-    let dense = Accelerator::new(DeltaConfig {
-        idle_skip: false,
-        ..cfg
-    })
-    .run(&mut make())
-    .unwrap();
+    let skip = Accelerator::new(cfg.clone().to_builder().idle_skip(true).build())
+        .run(&mut make())
+        .unwrap();
+    let dense = Accelerator::new(cfg.to_builder().idle_skip(false).build())
+        .run(&mut make())
+        .unwrap();
 
     assert!(
         skip.skipped_cycles > 0,
@@ -149,11 +143,10 @@ where
 fn serial_chain_reports_identical_with_and_without_skip() {
     // Long spawn/host latencies leave windows far wider than the
     // timeline stride, so sample backfill is exercised too.
-    let cfg = DeltaConfig {
-        spawn_latency: 700,
-        host_latency: 700,
-        ..DeltaConfig::delta(4)
-    };
+    let cfg = DeltaConfig::builder(4)
+        .spawn_latency(700)
+        .host_latency(700)
+        .build();
     assert_skip_equivalent(|| SerialChain { remaining: 6 }, cfg, 64);
 }
 
@@ -165,11 +158,10 @@ fn serial_chain_default_latencies_still_skip() {
 
 #[test]
 fn parallel_waves_reports_identical_with_and_without_skip() {
-    let cfg = DeltaConfig {
-        spawn_latency: 400,
-        host_latency: 400,
-        ..DeltaConfig::delta(8)
-    };
+    let cfg = DeltaConfig::builder(8)
+        .spawn_latency(400)
+        .host_latency(400)
+        .build();
     assert_skip_equivalent(
         || Waves {
             waves: 4,
@@ -183,12 +175,11 @@ fn parallel_waves_reports_identical_with_and_without_skip() {
 
 #[test]
 fn work_stealing_config_reports_identical_with_and_without_skip() {
-    let cfg = DeltaConfig {
-        work_stealing: true,
-        spawn_latency: 300,
-        host_latency: 300,
-        ..DeltaConfig::delta(4)
-    };
+    let cfg = DeltaConfig::builder(4)
+        .work_stealing(true)
+        .spawn_latency(300)
+        .host_latency(300)
+        .build();
     assert_skip_equivalent(
         || Waves {
             waves: 3,

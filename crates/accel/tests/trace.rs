@@ -164,12 +164,12 @@ where
     let run = |active_set: bool, idle_skip: bool| {
         run_traced(
             make(),
-            DeltaConfig {
-                active_set,
-                idle_skip,
-                trace: true,
-                ..cfg.clone()
-            },
+            cfg.clone()
+                .to_builder()
+                .active_set(active_set)
+                .idle_skip(idle_skip)
+                .trace(true)
+                .build(),
         )
     };
     let dense = run(false, false);
@@ -191,13 +191,12 @@ where
 #[test]
 fn tracing_never_changes_the_report() {
     let mk = || Waves::new(vec![3, 2, 4], 32, true);
-    let cfg = DeltaConfig {
-        spawn_latency: 200,
-        host_latency: 200,
-        ..DeltaConfig::delta(4)
-    };
+    let cfg = DeltaConfig::builder(4)
+        .spawn_latency(200)
+        .host_latency(200)
+        .build();
     let off = run_traced(mk(), cfg.clone());
-    let on = run_traced(mk(), DeltaConfig { trace: true, ..cfg });
+    let on = run_traced(mk(), cfg.to_builder().trace(true).build());
     assert!(off.trace.is_empty() && off.trace_dropped == 0);
     assert!(!on.trace.is_empty());
     assert_eq!(on.cycles, off.cycles);
@@ -211,10 +210,7 @@ fn tracing_never_changes_the_report() {
 fn trace_captures_the_task_lifecycle() {
     let r = run_traced(
         Waves::new(vec![2, 3], 24, true),
-        DeltaConfig {
-            trace: true,
-            ..DeltaConfig::delta(4)
-        },
+        DeltaConfig::builder(4).trace(true).build(),
     );
     let count = |f: &dyn Fn(&TraceEvent) -> bool| r.trace.iter().filter(|t| f(&t.event)).count();
     let n = r.tasks_completed as usize;
@@ -236,10 +232,7 @@ fn trace_records_pipe_resolution() {
             stages: 3,
             seg_len: 16,
         },
-        DeltaConfig {
-            trace: true,
-            ..DeltaConfig::delta(2)
-        },
+        DeltaConfig::builder(2).trace(true).build(),
     );
     let direct = r
         .trace
@@ -262,11 +255,10 @@ fn trace_records_pipe_resolution() {
 fn trace_streams_match_across_modes_on_fixed_programs() {
     assert_trace_equal_across_modes(
         || Waves::new(vec![3, 2, 3], 32, true),
-        DeltaConfig {
-            spawn_latency: 200,
-            host_latency: 200,
-            ..DeltaConfig::delta(8)
-        },
+        DeltaConfig::builder(8)
+            .spawn_latency(200)
+            .host_latency(200)
+            .build(),
     );
     assert_trace_equal_across_modes(
         || PipeChain {
@@ -282,12 +274,11 @@ fn trace_streams_match_across_modes_on_fixed_programs() {
 fn trace_streams_match_across_modes_with_stealing() {
     assert_trace_equal_across_modes(
         || Waves::new(vec![5, 5, 5], 32, false),
-        DeltaConfig {
-            work_stealing: true,
-            spawn_latency: 300,
-            host_latency: 300,
-            ..DeltaConfig::delta(4)
-        },
+        DeltaConfig::builder(4)
+            .work_stealing(true)
+            .spawn_latency(300)
+            .host_latency(300)
+            .build(),
     );
 }
 
@@ -305,19 +296,20 @@ proptest! {
         work_stealing in prop::bool::ANY,
         write_out in prop::bool::ANY,
     ) {
-        let cfg = DeltaConfig {
-            spawn_latency: latency,
-            host_latency: latency,
-            work_stealing,
-            trace: true,
-            ..DeltaConfig::delta(tiles)
-        };
+        let cfg = DeltaConfig::builder(tiles)
+            .spawn_latency(latency)
+            .host_latency(latency)
+            .work_stealing(work_stealing)
+            .trace(true)
+            .build();
         let run = |active_set: bool, idle_skip: bool| {
-            Accelerator::new(DeltaConfig {
-                active_set,
-                idle_skip,
-                ..cfg.clone()
-            })
+            Accelerator::new(
+                cfg.clone()
+                    .to_builder()
+                    .active_set(active_set)
+                    .idle_skip(idle_skip)
+                    .build(),
+            )
             .run(&mut Waves::new(widths.clone(), stream_len, write_out))
             .unwrap()
         };

@@ -68,12 +68,11 @@ impl Program for NarrowWaves {
 }
 
 fn run_waves(active_set: bool) -> u64 {
-    let cfg = DeltaConfig {
-        active_set,
-        spawn_latency: 60,
-        host_latency: 60,
-        ..DeltaConfig::delta(16)
-    };
+    let cfg = DeltaConfig::builder(16)
+        .active_set(active_set)
+        .spawn_latency(60)
+        .host_latency(60)
+        .build();
     let mut p = NarrowWaves {
         waves: 30,
         outstanding: 0,

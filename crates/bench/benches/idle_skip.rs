@@ -58,12 +58,11 @@ impl Program for SerialChain {
 }
 
 fn run_chain(idle_skip: bool) -> u64 {
-    let cfg = DeltaConfig {
-        idle_skip,
-        spawn_latency: 600,
-        host_latency: 600,
-        ..DeltaConfig::delta(4)
-    };
+    let cfg = DeltaConfig::builder(4)
+        .idle_skip(idle_skip)
+        .spawn_latency(600)
+        .host_latency(600)
+        .build();
     let mut p = SerialChain { remaining: 40 };
     Accelerator::new(cfg).run(&mut p).unwrap().cycles
 }

@@ -1,18 +1,24 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro                     # run everything at the default (small) scale
-//! repro fig_overall         # one experiment
-//! repro --tiny              # everything, test-sized instances
-//! repro --jobs 8            # run each experiment's sweep on 8 threads
-//! repro --profile           # also print per-experiment cycle attribution
-//! repro --bench-json out.json   # also write machine-readable timings
-//! repro --no-active-set     # disable active-set scheduling (A/B reference)
-//! repro --no-idle-skip      # disable the next-event jump (A/B reference)
-//! repro --check-goldens     # diff results against goldens/, exit 1 on drift
-//! repro --bless             # regenerate the committed goldens/ files
-//! repro --trace fig_noc     # trace one run, write TRACE_fig_noc.json
+//! repro sweep                    # run everything at the default (small) scale
+//! repro sweep fig_overall        # one experiment
+//! repro sweep --tiny             # everything, test-sized instances
+//! repro sweep --jobs 8           # run each experiment's sweep on 8 threads
+//! repro sweep --profile          # also print per-experiment cycle attribution
+//! repro sweep --bench-json out.json  # also write machine-readable timings
+//! repro sweep --no-active-set    # disable active-set scheduling (A/B reference)
+//! repro sweep --no-idle-skip     # disable the next-event jump (A/B reference)
+//! repro goldens check            # diff results against goldens/, exit 1 on drift
+//! repro goldens bless            # regenerate the committed goldens/ files
+//! repro trace fig_noc            # trace one run, write TRACE_fig_noc.json
+//! repro faults fig_overall       # chaos-preset fault run, write FAULTS_*.txt
 //! ```
+//!
+//! The pre-subcommand spellings remain as hidden aliases: a bare
+//! `repro [experiment ...]` sweeps, and `--check-goldens`, `--bless`,
+//! and `--trace <experiment>` behave exactly as they used to. Unknown
+//! flags and unknown experiment ids exit with status 2.
 //!
 //! `--jobs 1` reproduces the fully serial behavior; any `--jobs N`
 //! prints byte-identical tables (per-job seeds are derived from the
@@ -24,21 +30,30 @@
 //! the fraction of machine cycles covered by next-event jumps. The
 //! same counters land in the `--bench-json` output.
 //!
-//! `--check-goldens` compares every experiment, cell by cell, against
+//! `goldens check` compares every experiment, cell by cell, against
 //! the committed `goldens/<scale>/<id>.json` snapshot and additionally
 //! asserts the machine-level shapes the paper claims rest on (see
 //! `ts_bench::golden`). Violations are printed, written to
 //! `GOLDEN_diff.txt`, and the process exits nonzero; a passing check
 //! removes any stale `GOLDEN_diff.txt` from a previous failure. After
-//! an intentional model change, `--bless` rewrites the snapshots.
+//! an intentional model change, `goldens bless` rewrites the snapshots.
 //!
-//! `--trace <experiment>` runs one representative simulation of the
+//! `trace <experiment>` runs one representative simulation of the
 //! experiment with event tracing enabled, writes the stream as
 //! Chrome/Perfetto trace-event JSON to `TRACE_<experiment>.json`
 //! (open it in <https://ui.perfetto.dev> or `chrome://tracing`), and
 //! prints two derived reports: a per-link NoC occupancy heatmap and
 //! the memory-queue depth timeseries. Tracing never changes results —
 //! the report is bit-identical with the recorder on or off.
+//!
+//! `faults <experiment>` runs the experiment's representative workload
+//! under the all-faults chaos preset (`FaultsConfig::chaos`: tile
+//! fail-stops, transient stalls, flit loss, DRAM retries, recovery
+//! on), requires it to complete and validate against both the
+//! workload reference and the untimed oracle, prints the
+//! injection/recovery summary, and writes it to
+//! `FAULTS_<experiment>.txt`. `--rate <r>` overrides the preset's tile
+//! fail-stop rate.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -49,78 +64,328 @@ use ts_delta::SimProfile;
 use ts_workloads::Scale;
 
 const USAGE: &str = "\
-usage: repro [experiment ...] [flags]
+usage: repro <command> [args]
 
-flags:
+commands:
+  sweep [experiment ...]            run experiments and print their tables
+  goldens check [experiment ...]    diff results against goldens/, exit 1 on drift
+  goldens bless [experiment ...]    regenerate the committed goldens/ files
+  trace <experiment>                trace one run, write TRACE_<experiment>.json
+  faults <experiment>               chaos fault run, write FAULTS_<experiment>.txt
+
+common flags (sweep and goldens):
   --tiny                 run test-sized instances (default: small)
   --jobs <n>             worker threads for each experiment's sweep
   --profile              print per-experiment cycle attribution
   --bench-json <path>    write machine-readable timings
   --no-active-set        disable active-set scheduling (A/B reference)
   --no-idle-skip         disable the next-event jump (A/B reference)
-  --check-goldens        diff results against goldens/, exit 1 on drift
-  --bless                regenerate the committed goldens/ files
-  --trace <experiment>   trace one run, write TRACE_<experiment>.json
+
+`repro <command> --help` prints each command's usage. The
+pre-subcommand spellings still work: `repro [experiment ...] [flags]`
+with --check-goldens / --bless / --trace <experiment>.
 
 experiments: omit to run all; known ids are listed in ts_bench::experiments::ALL";
 
+const SWEEP_USAGE: &str = "\
+usage: repro sweep [experiment ...] [--tiny] [--jobs <n>] [--profile]
+                   [--bench-json <path>] [--no-active-set] [--no-idle-skip]
+
+Runs the named experiments (all of them when none are named) and
+prints their tables.";
+
+const GOLDENS_USAGE: &str = "\
+usage: repro goldens <check|bless> [experiment ...] [--tiny] [--jobs <n>]
+                     [--profile] [--bench-json <path>]
+                     [--no-active-set] [--no-idle-skip]
+
+check: re-runs the experiments and diffs them cell by cell against the
+committed goldens/<scale>/ snapshots plus the shape claims; violations
+land in GOLDEN_diff.txt and the exit status is 1.
+bless: rewrites the snapshots after an intentional model change.";
+
+const TRACE_USAGE: &str = "\
+usage: repro trace <experiment> [--tiny]
+
+Runs one representative simulation of the experiment with event
+tracing on and writes Chrome/Perfetto JSON to TRACE_<experiment>.json.";
+
+const FAULTS_USAGE: &str = "\
+usage: repro faults <experiment> [--tiny] [--rate <r>]
+
+Runs the experiment's representative workload under the chaos fault
+preset (fail-stops, stalls, flit loss, DRAM retries; recovery on),
+validates the completed run against the reference and the untimed
+oracle, and writes the summary to FAULTS_<experiment>.txt. --rate
+overrides the tile fail-stop rate.";
+
+/// What to do with goldens while running experiments.
+#[derive(Clone, Copy, PartialEq)]
+enum GoldenMode {
+    Off,
+    Check,
+    Bless,
+}
+
+/// Flags shared by `sweep`, `goldens`, and the legacy spelling.
+#[derive(Default)]
+struct Common {
+    tiny: bool,
+    jobs: Option<usize>,
+    show_profile: bool,
+    bench_json: Option<String>,
+    no_active_set: bool,
+    no_idle_skip: bool,
+}
+
+impl Common {
+    fn scale(&self) -> Scale {
+        if self.tiny {
+            Scale::Tiny
+        } else {
+            Scale::Small
+        }
+    }
+
+    /// Applies the process-wide knobs (fast-path overrides, pool size).
+    fn apply(&self) {
+        ts_bench::disable_fast_paths(self.no_active_set, self.no_idle_skip);
+        if let Some(n) = self.jobs {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("building the global thread pool");
+        }
+    }
+
+    /// Tries to consume `arg` (and, for valued flags, the next
+    /// argument) as one of the shared flags.
+    fn eat(&mut self, arg: &str, it: &mut std::vec::IntoIter<String>, usage: &str) -> bool {
+        match arg {
+            "--tiny" => self.tiny = true,
+            "--no-active-set" => self.no_active_set = true,
+            "--no-idle-skip" => self.no_idle_skip = true,
+            "--profile" => self.show_profile = true,
+            "--jobs" => {
+                let v = take_value(it, "--jobs", usage);
+                self.jobs = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| die("--jobs value must be an integer", usage)),
+                );
+            }
+            "--bench-json" => self.bench_json = Some(take_value(it, "--bench-json", usage)),
+            _ => return false,
+        }
+        true
+    }
+}
+
+fn die(msg: &str, usage: &str) -> ! {
+    eprintln!("error: {msg}\n\n{usage}");
+    std::process::exit(2);
+}
+
+fn take_value(it: &mut std::vec::IntoIter<String>, flag: &str, usage: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| die(&format!("{flag} needs a value"), usage))
+}
+
+/// Expands a possibly-empty id selection to the run list, rejecting
+/// unknown ids (exit 2).
+fn resolve_ids(wanted: &[String], usage: &str) -> Vec<String> {
+    if wanted.is_empty() {
+        return ALL.iter().map(|s| s.to_string()).collect();
+    }
+    for id in wanted {
+        if !ALL.contains(&id.as_str()) {
+            die(
+                &format!("unknown experiment '{id}' (known: {ALL:?})"),
+                usage,
+            );
+        }
+    }
+    wanted.to_vec()
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Small;
-    let mut jobs: Option<usize> = None;
-    let mut bench_json: Option<String> = None;
-    let mut show_profile = false;
-    let mut no_active_set = false;
-    let mut no_idle_skip = false;
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => {
+            args.remove(0);
+            cmd_sweep(args);
+        }
+        Some("goldens") => {
+            args.remove(0);
+            cmd_goldens(args);
+        }
+        Some("trace") => {
+            args.remove(0);
+            cmd_trace(args);
+        }
+        Some("faults") => {
+            args.remove(0);
+            cmd_faults(args);
+        }
+        Some("help" | "--help" | "-h") => println!("{USAGE}"),
+        _ => legacy(args),
+    }
+}
+
+fn cmd_sweep(args: Vec<String>) {
+    let mut common = Common::default();
+    let mut wanted = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--help" || a == "-h" {
+            println!("{SWEEP_USAGE}");
+            return;
+        }
+        if common.eat(&a, &mut it, SWEEP_USAGE) {
+            continue;
+        }
+        if a.starts_with("--") {
+            die(&format!("unknown flag '{a}'"), SWEEP_USAGE);
+        }
+        wanted.push(a);
+    }
+    let ids = resolve_ids(&wanted, SWEEP_USAGE);
+    common.apply();
+    run_experiments(&ids, &common, GoldenMode::Off);
+}
+
+fn cmd_goldens(args: Vec<String>) {
+    let mut it = args.into_iter();
+    let mode = match it.next().as_deref() {
+        Some("check") => GoldenMode::Check,
+        Some("bless") => GoldenMode::Bless,
+        Some("--help" | "-h") => {
+            println!("{GOLDENS_USAGE}");
+            return;
+        }
+        Some(other) => die(
+            &format!("expected 'check' or 'bless', got '{other}'"),
+            GOLDENS_USAGE,
+        ),
+        None => die("expected 'check' or 'bless'", GOLDENS_USAGE),
+    };
+    let mut common = Common::default();
+    let mut wanted = Vec::new();
+    while let Some(a) = it.next() {
+        if a == "--help" || a == "-h" {
+            println!("{GOLDENS_USAGE}");
+            return;
+        }
+        if common.eat(&a, &mut it, GOLDENS_USAGE) {
+            continue;
+        }
+        if a.starts_with("--") {
+            die(&format!("unknown flag '{a}'"), GOLDENS_USAGE);
+        }
+        wanted.push(a);
+    }
+    let ids = resolve_ids(&wanted, GOLDENS_USAGE);
+    common.apply();
+    run_experiments(&ids, &common, mode);
+}
+
+fn cmd_trace(args: Vec<String>) {
+    let mut common = Common::default();
+    let mut wanted = Vec::new();
+    for a in args {
+        if a == "--help" || a == "-h" {
+            println!("{TRACE_USAGE}");
+            return;
+        }
+        if a == "--tiny" {
+            common.tiny = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            die(&format!("unknown flag '{a}'"), TRACE_USAGE);
+        }
+        wanted.push(a);
+    }
+    let [id] = wanted.as_slice() else {
+        die("expected exactly one experiment id", TRACE_USAGE);
+    };
+    let ids = resolve_ids(std::slice::from_ref(id), TRACE_USAGE);
+    run_trace(&ids[0], common.scale());
+}
+
+fn cmd_faults(args: Vec<String>) {
+    let mut common = Common::default();
+    let mut rate: Option<f64> = None;
+    let mut wanted = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--help" || a == "-h" {
+            println!("{FAULTS_USAGE}");
+            return;
+        }
+        if a == "--tiny" {
+            common.tiny = true;
+            continue;
+        }
+        if a == "--rate" {
+            let v = take_value(&mut it, "--rate", FAULTS_USAGE);
+            rate = Some(
+                v.parse()
+                    .unwrap_or_else(|_| die("--rate value must be a number", FAULTS_USAGE)),
+            );
+            continue;
+        }
+        if a.starts_with("--") {
+            die(&format!("unknown flag '{a}'"), FAULTS_USAGE);
+        }
+        wanted.push(a);
+    }
+    let [id] = wanted.as_slice() else {
+        die("expected exactly one experiment id", FAULTS_USAGE);
+    };
+    let ids = resolve_ids(std::slice::from_ref(id), FAULTS_USAGE);
+    run_faults(&ids[0], common.scale(), rate);
+}
+
+/// The pre-subcommand command line, kept verbatim as a hidden alias.
+fn legacy(args: Vec<String>) {
+    let mut common = Common::default();
     let mut check_goldens = false;
     let mut bless = false;
     let mut trace: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
+        if common.eat(&a, &mut it, USAGE) {
+            continue;
+        }
         match a.as_str() {
-            "--tiny" => scale = Scale::Tiny,
-            "--no-active-set" => no_active_set = true,
-            "--no-idle-skip" => no_idle_skip = true,
-            "--jobs" => {
-                let v = it.next().expect("--jobs needs a value");
-                jobs = Some(v.parse().expect("--jobs value must be an integer"));
-            }
-            "--profile" => show_profile = true,
-            "--bench-json" => {
-                bench_json = Some(it.next().expect("--bench-json needs a path"));
-            }
             "--check-goldens" => check_goldens = true,
             "--bless" => bless = true,
-            "--trace" => {
-                trace = Some(it.next().expect("--trace needs an experiment id"));
-            }
-            s if s.starts_with("--") => {
-                eprintln!("error: unknown flag '{s}'\n\n{USAGE}");
-                std::process::exit(2);
-            }
+            "--trace" => trace = Some(take_value(&mut it, "--trace", USAGE)),
+            s if s.starts_with("--") => die(&format!("unknown flag '{s}'"), USAGE),
             _ => wanted.push(a),
         }
     }
-    ts_bench::disable_fast_paths(no_active_set, no_idle_skip);
-    if let Some(n) = jobs {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build_global()
-            .expect("building the global thread pool");
-    }
+    common.apply();
     if let Some(id) = trace {
-        run_trace(&id, scale);
+        run_trace(&id, common.scale());
         return;
     }
-    let ids: Vec<&str> = if wanted.is_empty() {
-        ALL.to_vec()
-    } else {
-        wanted.iter().map(|s| s.as_str()).collect()
+    let ids = resolve_ids(&wanted, USAGE);
+    let mode = match (check_goldens, bless) {
+        (_, true) => GoldenMode::Bless,
+        (true, false) => GoldenMode::Check,
+        (false, false) => GoldenMode::Off,
     };
+    run_experiments(&ids, &common, mode);
+}
 
+/// Runs the selected experiments, printing each table and handling
+/// goldens, profiles, and the bench-json output per `common`/`mode`.
+fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
+    let scale = common.scale();
     let golden_dir = goldens_root().join(experiments::scale_name(scale));
-    if bless {
+    if mode == GoldenMode::Bless {
         std::fs::create_dir_all(&golden_dir).expect("creating the goldens directory");
     }
 
@@ -138,44 +403,47 @@ fn main() {
         timings.push((id.to_string(), secs, prof));
         println!("=== {id} ===");
         println!("{out}");
-        if show_profile {
+        if common.show_profile {
             println!("  profile: {}", profile::summarize(&prof));
         }
         println!("  ({:.1?})\n", t0.elapsed());
 
         let golden_path = golden_dir.join(format!("{id}.json"));
-        if bless {
-            std::fs::write(&golden_path, doc.to_json())
-                .unwrap_or_else(|e| panic!("writing {}: {e}", golden_path.display()));
-            eprintln!("blessed {}", golden_path.display());
-        }
-        if check_goldens {
-            match std::fs::read_to_string(&golden_path) {
-                Ok(text) => match GoldenDoc::from_json(&text) {
-                    Ok(golden) => violations.extend(golden.diff(&doc)),
-                    Err(e) => violations.push(format!(
-                        "{id} ({}): unreadable golden {}: {e}",
+        match mode {
+            GoldenMode::Bless => {
+                std::fs::write(&golden_path, doc.to_json())
+                    .unwrap_or_else(|e| panic!("writing {}: {e}", golden_path.display()));
+                eprintln!("blessed {}", golden_path.display());
+            }
+            GoldenMode::Check => {
+                match std::fs::read_to_string(&golden_path) {
+                    Ok(text) => match GoldenDoc::from_json(&text) {
+                        Ok(golden) => violations.extend(golden.diff(&doc)),
+                        Err(e) => violations.push(format!(
+                            "{id} ({}): unreadable golden {}: {e}",
+                            doc.scale,
+                            golden_path.display()
+                        )),
+                    },
+                    Err(_) => violations.push(format!(
+                        "{id} ({}): missing golden {} (run `repro goldens bless` to create it)",
                         doc.scale,
                         golden_path.display()
                     )),
-                },
-                Err(_) => violations.push(format!(
-                    "{id} ({}): missing golden {} (run `repro --bless` to create it)",
-                    doc.scale,
-                    golden_path.display()
-                )),
+                }
+                violations.extend(doc.shape_violations());
             }
-            violations.extend(doc.shape_violations());
+            GoldenMode::Off => {}
         }
     }
     let total = t_all.elapsed().as_secs_f64();
-    if show_profile {
+    if common.show_profile {
         let (tally, runs) = profile::snapshot();
         println!("=== profile (whole run, {runs} simulations) ===");
         println!("  {}\n", profile::summarize(&tally));
     }
 
-    if let Some(path) = bench_json {
+    if let Some(path) = &common.bench_json {
         let (tally, runs) = profile::snapshot();
         let mut json = String::from("{\n");
         json.push_str(&format!(
@@ -195,11 +463,11 @@ fn main() {
             ));
         }
         json.push_str("  ]\n}\n");
-        std::fs::write(&path, json).expect("writing the bench json");
+        std::fs::write(path, json).expect("writing the bench json");
         eprintln!("wrote {path}");
     }
 
-    if check_goldens {
+    if mode == GoldenMode::Check {
         if violations.is_empty() {
             // A previous failing run may have left its report behind;
             // a green check must not leave a stale diff lying around.
@@ -223,7 +491,7 @@ fn main() {
     }
 }
 
-/// Runs `repro --trace <id>`: one traced simulation, the Perfetto JSON
+/// Runs `repro trace <id>`: one traced simulation, the Perfetto JSON
 /// on disk, and the two derived text reports on stdout.
 fn run_trace(id: &str, scale: Scale) {
     use ts_bench::trace_report;
@@ -255,6 +523,26 @@ fn run_trace(id: &str, scale: Scale) {
     );
     println!("--- memory queue depths (stride-sampled) ---");
     println!("{}", trace_report::queue_depth_table(records, 32));
+    println!("  ({:.1?})", t0.elapsed());
+}
+
+/// Runs `repro faults <id>`: one chaos-preset fault-injected
+/// simulation, the summary on stdout and in `FAULTS_<id>.txt`.
+fn run_faults(id: &str, scale: Scale, rate: Option<f64>) {
+    let t0 = Instant::now();
+    let fr = experiments::fault_run(id, scale, rate);
+    let header = format!(
+        "=== faults {id} ({}, workload {}, {} cycles) ===",
+        experiments::scale_name(scale),
+        fr.workload,
+        fr.report.cycles
+    );
+    println!("{header}");
+    println!("{}", fr.summary);
+    let path = format!("FAULTS_{id}.txt");
+    std::fs::write(&path, format!("{header}\n{}", fr.summary))
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("  wrote {path}");
     println!("  ({:.1?})", t0.elapsed());
 }
 

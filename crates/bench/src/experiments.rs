@@ -8,9 +8,9 @@
 //! so `repro --jobs N` output is byte-identical to `--jobs 1`.
 
 use crate::golden::GoldenDoc;
-use crate::{fmt_x, run_grid, Job, Table};
+use crate::{fmt_x, run_faulted, run_grid, run_grid_faulted, FaultOutcome, Job, Table};
 use taskstream_model::Policy;
-use ts_delta::{area, DeltaConfig, Features, RunReport};
+use ts_delta::{area, DeltaConfig, FaultsConfig, Features, RunReport};
 use ts_sim::stats::geomean;
 use ts_workloads::{
     bfs::Bfs, dtree::DTree, gemm::Gemm, hash_join::HashJoin, kmeans::KMeans, merge_sort::MergeSort,
@@ -44,10 +44,7 @@ pub fn derive_seed(base: u64, key: &str) -> u64 {
 
 /// A design point with the job's derived seed applied.
 fn seeded(cfg: DeltaConfig, wl: &dyn Workload) -> DeltaConfig {
-    DeltaConfig {
-        seed: derive_seed(SEED, wl.name()),
-        ..cfg
-    }
+    cfg.to_builder().seed(derive_seed(SEED, wl.name())).build()
 }
 
 /// Result of the headline experiment.
@@ -444,10 +441,7 @@ pub fn fig_window(scale: Scale) -> Table {
             jobs.push(Job::new(
                 wl.as_ref(),
                 seeded(
-                    DeltaConfig {
-                        dispatch_window: w,
-                        ..DeltaConfig::delta(TILES)
-                    },
+                    DeltaConfig::builder(TILES).dispatch_window(w).build(),
                     wl.as_ref(),
                 ),
             ));
@@ -485,10 +479,7 @@ pub fn fig_prefetch(scale: Scale) -> Table {
             jobs.push(Job::new(
                 wl.as_ref(),
                 seeded(
-                    DeltaConfig {
-                        prefetch_depth: d,
-                        ..DeltaConfig::delta(TILES)
-                    },
+                    DeltaConfig::builder(TILES).prefetch_depth(d).build(),
                     wl.as_ref(),
                 ),
             ));
@@ -524,10 +515,7 @@ pub fn fig_batch(scale: Scale) -> Table {
         jobs.push(Job::new(
             wl.as_ref(),
             seeded(
-                DeltaConfig {
-                    mcast_batch_window: w,
-                    ..DeltaConfig::delta(TILES)
-                },
+                DeltaConfig::builder(TILES).mcast_batch_window(w).build(),
                 wl.as_ref(),
             ),
         ));
@@ -562,11 +550,10 @@ pub fn fig_spawn(scale: Scale) -> Table {
             jobs.push(Job::new(
                 wl.as_ref(),
                 seeded(
-                    DeltaConfig {
-                        spawn_latency: lat,
-                        host_latency: lat,
-                        ..DeltaConfig::delta(TILES)
-                    },
+                    DeltaConfig::builder(TILES)
+                        .spawn_latency(lat)
+                        .host_latency(lat)
+                        .build(),
                     wl.as_ref(),
                 ),
             ));
@@ -602,10 +589,7 @@ pub fn fig_queue(scale: Scale) -> Table {
             jobs.push(Job::new(
                 wl.as_ref(),
                 seeded(
-                    DeltaConfig {
-                        tile_queue: depth,
-                        ..DeltaConfig::delta(TILES)
-                    },
+                    DeltaConfig::builder(TILES).tile_queue(depth).build(),
                     wl.as_ref(),
                 ),
             ));
@@ -645,9 +629,8 @@ pub fn fig_reconfig(scale: Scale) -> Table {
     let mut jobs = Vec::new();
     for wl in &wls {
         for &c in costs {
-            let mut cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
-            cfg.fabric.config_per_pe = c;
-            jobs.push(Job::new(wl.as_ref(), cfg));
+            let cfg = DeltaConfig::builder(TILES).fabric_config_per_pe(c).build();
+            jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
         }
     }
     let results = run_grid(&jobs);
@@ -684,10 +667,10 @@ pub fn fig_steal(scale: Scale) -> Table {
     let mut jobs = Vec::new();
     for wl in &wls {
         for (policy, steal) in combos {
-            let cfg = DeltaConfig {
-                work_stealing: steal,
-                ..DeltaConfig::delta(TILES).with_policy(policy)
-            };
+            let cfg = DeltaConfig::builder(TILES)
+                .policy(policy)
+                .work_stealing(steal)
+                .build();
             jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
         }
     }
@@ -795,9 +778,8 @@ pub fn fig_lanes(scale: Scale) -> Table {
     let mut jobs = Vec::new();
     for wl in &wls {
         for &l in lanes {
-            let mut cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
-            cfg.fabric.lanes = l;
-            jobs.push(Job::new(wl.as_ref(), cfg));
+            let cfg = DeltaConfig::builder(TILES).fabric_lanes(l).build();
+            jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
         }
     }
     let results = run_grid(&jobs);
@@ -851,6 +833,190 @@ pub fn fig_timeline(scale: Scale) -> Table {
         }
     }
     table
+}
+
+/// One `fig_faults` design point: the given preset with fault
+/// injection scaled off a single knob — `rate` of the tiles fail-stop,
+/// transient stalls hit each (tile, epoch) with the same probability,
+/// and DRAM retries arrive at a quarter of it. Recovery is what the
+/// experiment compares, so it is the one per-side difference.
+fn fault_point(cfg: DeltaConfig, rate: f64, recovery: bool, window: u64) -> DeltaConfig {
+    let faults = FaultsConfig {
+        tile_fail_rate: rate,
+        tile_fail_window: window,
+        tile_stall_rate: rate,
+        dram_retry_rate: rate / 4.0,
+        recovery,
+        watchdog_timeout: 8_000,
+        ..FaultsConfig::none()
+    };
+    // Tight enough that a wedged baseline gives up quickly, loose
+    // enough that recovery backoff (cap 4096) never trips it.
+    cfg.to_builder().faults(faults).stall_limit(80_000).build()
+}
+
+/// `fig_faults` — graceful degradation under injected faults: Delta
+/// with task-level recovery vs the static-parallel baseline, sweeping
+/// the fault rate (see [`fault_point`]). Both sides see the *same*
+/// seeded fault schedule; "lost" is the cycle cost relative to the
+/// same design at rate 0. Delta routes around dead tiles and finishes
+/// (every completed run also validates against the untimed oracle);
+/// the baseline keeps hashing tasks onto a fail-stopped tile and
+/// wedges, rendered as `wedged`.
+pub fn fig_faults(scale: Scale) -> Table {
+    let rates: &[f64] = &[0.0, 0.125, 0.25, 0.5];
+    // fail-stop cycles are drawn from 1..=window; keep the window
+    // inside the run so every swept rate actually injects
+    let (wl, window): (Box<dyn Workload>, u64) = match scale {
+        Scale::Tiny => (Box::new(Spmv::tiny(SEED)), 256),
+        Scale::Small => (Box::new(Spmv::small(SEED)), 8192),
+    };
+    let mut jobs = Vec::new();
+    for &r in rates {
+        jobs.push(Job::new(
+            wl.as_ref(),
+            seeded(
+                fault_point(DeltaConfig::delta(TILES), r, true, window),
+                wl.as_ref(),
+            ),
+        ));
+        jobs.push(Job::baseline(
+            wl.as_ref(),
+            seeded(
+                fault_point(DeltaConfig::static_baseline(TILES), r, false, window),
+                wl.as_ref(),
+            ),
+        ));
+    }
+    let results = run_grid_faulted(&jobs);
+
+    let delta_base = results[0]
+        .report()
+        .expect("fault-free delta run cannot wedge")
+        .cycles;
+    let static_base = results[1]
+        .report()
+        .expect("fault-free baseline run cannot wedge")
+        .cycles;
+    let mut table = Table::new(&[
+        "fail rate",
+        "delta cyc",
+        "delta lost",
+        "redispatched",
+        "static cyc",
+        "static lost",
+    ]);
+    for (&r, pair) in rates.iter().zip(results.chunks(2)) {
+        let d = pair[0]
+            .report()
+            .expect("delta with recovery must not wedge");
+        let (s_cyc, s_lost) = match &pair[1] {
+            FaultOutcome::Completed(s) => (
+                s.cycles.to_string(),
+                s.cycles.saturating_sub(static_base).to_string(),
+            ),
+            FaultOutcome::Wedged { .. } => ("wedged".into(), "wedged".into()),
+        };
+        table.row(vec![
+            format!("{r:.3}"),
+            d.cycles.to_string(),
+            d.cycles.saturating_sub(delta_base).to_string(),
+            d.faults.tasks_redispatched.to_string(),
+            s_cyc,
+            s_lost,
+        ]);
+    }
+    table
+}
+
+/// Output of `repro faults <experiment>`: one chaos-preset run of the
+/// experiment's representative workload, completed, validated, and
+/// summarized (see [`fault_run`]).
+#[derive(Debug)]
+pub struct FaultRun {
+    /// The validated report, `report.faults` populated.
+    pub report: RunReport,
+    /// Name of the workload that ran.
+    pub workload: String,
+    /// Printable injection/recovery summary.
+    pub summary: Table,
+}
+
+/// Runs one representative workload of experiment `id` under the
+/// all-faults chaos preset ([`FaultsConfig::chaos`], every fault class
+/// active, recovery on) and returns the validated report plus a
+/// summary table. `fail_rate` overrides the preset's tile fail-stop
+/// rate. The workload choice mirrors [`trace_run`].
+///
+/// # Panics
+///
+/// Panics on an unknown id, if the run wedges (recovery exists to
+/// prevent exactly that), or if the completed run fails validation,
+/// conservation, or oracle equivalence.
+pub fn fault_run(id: &str, scale: Scale, fail_rate: Option<f64>) -> FaultRun {
+    assert!(
+        ALL.contains(&id),
+        "unknown experiment '{id}' (known: {ALL:?})"
+    );
+    let wl: Box<dyn Workload> = match (id, scale) {
+        ("fig_noc" | "fig_batch", Scale::Tiny) => Box::new(DTree::tiny(SEED)),
+        ("fig_noc" | "fig_batch", Scale::Small) => Box::new(DTree::small(SEED)),
+        ("fig_steal", Scale::Tiny) => Box::new(MergeSort::tiny(SEED)),
+        ("fig_steal", Scale::Small) => Box::new(MergeSort::small(SEED)),
+        (_, Scale::Tiny) => Box::new(Spmv::tiny(SEED)),
+        (_, Scale::Small) => Box::new(Spmv::small(SEED)),
+    };
+    let faults = FaultsConfig {
+        tile_fail_rate: fail_rate.unwrap_or(FaultsConfig::chaos().tile_fail_rate),
+        // keep the fail-stop window inside the run at test scale so
+        // the smoke actually exercises victimization and re-dispatch
+        tile_fail_window: match scale {
+            Scale::Tiny => 256,
+            Scale::Small => 8192,
+        },
+        ..FaultsConfig::chaos()
+    };
+    let cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref())
+        .to_builder()
+        .faults(faults)
+        .stall_limit(200_000)
+        .build();
+    let report = match run_faulted(wl.as_ref(), cfg, false) {
+        FaultOutcome::Completed(r) => *r,
+        FaultOutcome::Wedged { cycles } => {
+            panic!("chaos run of {id} wedged at cycle {cycles} despite recovery")
+        }
+    };
+    let f = &report.faults;
+    let mut summary = Table::new(&["metric", "value"]);
+    let mut kv = |k: &str, v: String| summary.row(vec![k.into(), v]);
+    kv("workload", wl.name().into());
+    kv("cycles", report.cycles.to_string());
+    kv("tasks completed", report.tasks_completed.to_string());
+    kv("tile fail-stops", f.tile_fail_stops.to_string());
+    kv("tile stalls", f.tile_stalls.to_string());
+    kv(
+        "noc flits lost",
+        format!(
+            "{} ({} dropped, {} corrupted)",
+            f.noc_flits_dropped + f.noc_flits_corrupted,
+            f.noc_flits_dropped,
+            f.noc_flits_corrupted
+        ),
+    );
+    kv("dram retries", f.dram_retries.to_string());
+    kv("faults injected", f.injected().to_string());
+    kv("watchdog fires", f.watchdog_fires.to_string());
+    kv("tasks redispatched", f.tasks_redispatched.to_string());
+    kv("pipe replays", f.pipe_replays.to_string());
+    kv("backoff cycles", f.backoff_cycles.to_string());
+    kv("wasted cycles", f.wasted_cycles.to_string());
+    kv("cycles lost to recovery", f.cycles_lost().to_string());
+    FaultRun {
+        workload: wl.name().to_string(),
+        report,
+        summary,
+    }
 }
 
 /// `tbl_energy` — per-workload energy, Delta vs static-parallel
@@ -931,6 +1097,7 @@ pub const ALL: &[&str] = &[
     "fig_steal",
     "fig_lanes",
     "fig_timeline",
+    "fig_faults",
     "tbl_energy",
     "tbl_area",
 ];
@@ -978,6 +1145,7 @@ pub fn run_doc(id: &str, scale: Scale) -> GoldenDoc {
         "fig_steal" => fig_steal(scale),
         "fig_lanes" => fig_lanes(scale),
         "fig_timeline" => fig_timeline(scale),
+        "fig_faults" => fig_faults(scale),
         "tbl_energy" => tbl_energy(scale),
         "tbl_area" => tbl_area(),
         other => panic!("unknown experiment '{other}' (known: {ALL:?})"),
@@ -1046,11 +1214,18 @@ pub fn trace_run(id: &str, scale: Scale) -> TraceRun {
         (_, Scale::Tiny) => Box::new(Spmv::tiny(SEED)),
         (_, Scale::Small) => Box::new(Spmv::small(SEED)),
     };
-    let mut cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
+    let mut b = seeded(DeltaConfig::delta(TILES), wl.as_ref())
+        .to_builder()
+        .trace(true);
     if id == "fig_steal" {
-        cfg.work_stealing = true;
+        b = b.work_stealing(true);
     }
-    cfg.trace = true;
+    if id == "fig_faults" {
+        // trace the thing the experiment is about: a run with live
+        // fault injection and recovery (chaos preset)
+        b = b.faults(FaultsConfig::chaos()).stall_limit(200_000);
+    }
+    let cfg = b.build();
     let report = crate::run_validated(wl.as_ref(), cfg.clone(), false);
     TraceRun {
         report,

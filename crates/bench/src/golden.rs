@@ -172,6 +172,44 @@ impl GoldenDoc {
                     _ => out.push(format!("{ctx}: no parsable dtree 'saved' cell")),
                 }
             }
+            "fig_faults" => {
+                // graceful degradation: at every nonzero fault rate
+                // Delta completes and loses strictly fewer cycles than
+                // the no-recovery baseline (wedged = lost everything)
+                for row in &self.rows {
+                    let rate = row.first().map_or("", |c| c.as_str());
+                    if rate.is_empty() || rate == "0.000" {
+                        continue;
+                    }
+                    let cell = |col: &str| {
+                        self.headers
+                            .iter()
+                            .position(|h| h == col)
+                            .and_then(|c| row.get(c))
+                            .map(|s| s.as_str())
+                    };
+                    let delta_lost = cell("delta lost").and_then(|v| v.parse::<u64>().ok());
+                    match (delta_lost, cell("static lost")) {
+                        (None, _) => out.push(format!(
+                            "{ctx}: rate {rate}: Delta did not complete with a parsable cycle loss"
+                        )),
+                        (Some(_), Some("wedged")) => {}
+                        (Some(d), Some(s)) => match s.parse::<u64>() {
+                            Ok(s) if d < s => {}
+                            Ok(s) => out.push(format!(
+                                "{ctx}: rate {rate}: Delta lost {d} cycles, not strictly fewer \
+                                 than the baseline's {s}"
+                            )),
+                            Err(_) => out.push(format!(
+                                "{ctx}: rate {rate}: unparsable 'static lost' cell '{s}'"
+                            )),
+                        },
+                        (Some(_), None) => {
+                            out.push(format!("{ctx}: rate {rate}: no 'static lost' cell"))
+                        }
+                    }
+                }
+            }
             _ => {}
         }
         out

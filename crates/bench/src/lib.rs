@@ -27,6 +27,7 @@
 //! | `fig_steal` | extension: work stealing vs work-aware dispatch |
 //! | `fig_lanes` | extension: vector-lane scaling |
 //! | `fig_timeline` | tile-occupancy sparklines over the run |
+//! | `fig_faults` | fault injection: Delta recovery vs wedging baseline |
 //! | `tbl_energy` | per-workload energy, Delta vs static |
 //! | `tbl_area` | area breakdown + TaskStream overhead |
 
@@ -43,7 +44,7 @@ pub use table::Table;
 
 use rayon::prelude::*;
 use taskstream_model::Program;
-use ts_delta::{Accelerator, DeltaConfig, RunReport};
+use ts_delta::{oracle, Accelerator, DeltaConfig, RunError, RunReport};
 use ts_workloads::Workload;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -97,6 +98,93 @@ pub fn run_validated(wl: &dyn Workload, mut cfg: DeltaConfig, baseline_program: 
     report
 }
 
+/// What a fault-injected run came to: completion (validated like any
+/// other run) or a wedge — the machine stopped making progress before
+/// finishing, which is the expected fate of the no-recovery baseline
+/// once a tile it depends on fail-stops.
+#[derive(Debug)]
+pub enum FaultOutcome {
+    /// The run finished; the report validated against the workload
+    /// reference, the conservation invariants, and the untimed oracle.
+    Completed(Box<RunReport>),
+    /// The run hit its stall limit without completing.
+    Wedged {
+        /// Cycle at which the run gave up.
+        cycles: u64,
+    },
+}
+
+impl FaultOutcome {
+    /// The completed report, if the run finished.
+    pub fn report(&self) -> Option<&RunReport> {
+        match self {
+            FaultOutcome::Completed(r) => Some(r),
+            FaultOutcome::Wedged { .. } => None,
+        }
+    }
+}
+
+/// Runs one workload on one fault-injected configuration.
+///
+/// Like [`run_validated`], but a stalled machine is a *result*
+/// ([`FaultOutcome::Wedged`]) instead of a panic — `fig_faults` exists
+/// to show the no-recovery baseline wedging. Completed runs are held to
+/// a stricter bar than fault-free ones: on top of reference validation
+/// and the conservation invariants, the final state must match the
+/// untimed oracle, proving the injected faults perturbed timing only,
+/// never function.
+///
+/// # Panics
+///
+/// Panics on any error other than a stall/cycle-limit timeout, or if a
+/// completed run fails any of the three checks.
+pub fn run_faulted(
+    wl: &dyn Workload,
+    mut cfg: DeltaConfig,
+    baseline_program: bool,
+) -> FaultOutcome {
+    if FORCE_NO_ACTIVE_SET.load(Ordering::Relaxed) {
+        cfg.active_set = false;
+    }
+    if FORCE_NO_IDLE_SKIP.load(Ordering::Relaxed) {
+        cfg.idle_skip = false;
+    }
+    let tiles = cfg.tiles;
+    let make = || -> Box<dyn Program> {
+        if baseline_program {
+            wl.make_baseline_program()
+        } else {
+            wl.make_program()
+        }
+    };
+    let mut program = make();
+    let report = match Accelerator::new(cfg).run(program.as_mut()) {
+        Ok(report) => report,
+        Err(RunError::Timeout { cycles, .. }) => return FaultOutcome::Wedged { cycles },
+        Err(e) => panic!("{} failed under faults: {e}", wl.name()),
+    };
+    wl.validate(&report)
+        .unwrap_or_else(|e| panic!("{} produced wrong results under faults: {e}", wl.name()));
+    report
+        .check_conservation(tiles)
+        .unwrap_or_else(|e| panic!("{}: {e}", wl.name()));
+    let truth = oracle::execute_untimed(make().as_mut())
+        .unwrap_or_else(|e| panic!("{}: oracle rejected the program: {e}", wl.name()));
+    oracle::check_equivalence(&report, &truth)
+        .unwrap_or_else(|e| panic!("{} diverged from the oracle under faults: {e}", wl.name()));
+    profile::record(&report.profile);
+    FaultOutcome::Completed(Box::new(report))
+}
+
+/// Executes a fault-injected sweep grid on the global rayon pool,
+/// returning outcomes **in job order** (same determinism argument as
+/// [`run_grid`]).
+pub fn run_grid_faulted(jobs: &[Job<'_>]) -> Vec<FaultOutcome> {
+    jobs.par_iter()
+        .map(|j| run_faulted(j.wl, j.cfg.clone(), j.baseline))
+        .collect()
+}
+
 /// One cell of an experiment's sweep grid: a workload at one design
 /// point, with the program formulation to use.
 ///
@@ -146,7 +234,8 @@ pub fn run_grid(jobs: &[Job<'_>]) -> Vec<RunReport> {
         .collect()
 }
 
-/// Formats a ratio as `x.xx×`.
-pub fn fmt_x(v: f64) -> String {
+/// Formats a ratio as `x.xx×`. Rendering detail of the experiment
+/// tables, not part of the harness API.
+pub(crate) fn fmt_x(v: f64) -> String {
     format!("{v:.2}x")
 }

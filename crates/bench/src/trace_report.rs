@@ -183,6 +183,45 @@ pub fn perfetto_json(workload: &str, tiles: usize, records: &[TraceRecord]) -> S
                     ),
                 );
             }
+            TraceEvent::FaultTileDown { tile, until } => {
+                let until = if until == u64::MAX {
+                    "end of run".to_string()
+                } else {
+                    format!("cycle {until}")
+                };
+                push(
+                    &mut out,
+                    instant(c, tile, &format!("FAULT tile {tile} down until {until}")),
+                );
+            }
+            TraceEvent::FaultFlitDropped { node } => {
+                push(
+                    &mut out,
+                    instant(c, disp_tid, &format!("FAULT flit dropped at node {node}")),
+                );
+            }
+            TraceEvent::TaskVictim { task, tile } => {
+                // close the open span: the task left this tile without
+                // completing, and will re-span from its re-dispatch
+                let start = task_start.remove(&task).unwrap_or(c);
+                let ty = task_ty.get(&task).copied().unwrap_or(0);
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"task {task} (victim)\",\"cat\":\"task\",\"ph\":\"X\",\
+                         \"ts\":{start},\"dur\":{},\"pid\":0,\"tid\":{tile},\
+                         \"args\":{{\"ty\":{ty}}}}}",
+                        c.saturating_sub(start).max(1)
+                    ),
+                );
+            }
+            TraceEvent::TaskRedispatch { task, tile } => {
+                task_start.insert(task, c);
+                push(
+                    &mut out,
+                    instant(c, tile, &format!("redispatch task {task}")),
+                );
+            }
         }
     }
     out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");

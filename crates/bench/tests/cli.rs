@@ -1,0 +1,134 @@
+//! End-to-end tests of the `repro` command line: the subcommand
+//! spellings, the pre-subcommand spellings they alias, and the exit-2
+//! contract for unknown flags, ids, and malformed invocations.
+//!
+//! Only simulation-free experiments (`tbl_config`, `tbl_area`) and one
+//! tiny fault run are exercised, so the suite stays fast in debug.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str], cwd: Option<&PathBuf>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(args);
+    if let Some(dir) = cwd {
+        cmd.current_dir(dir);
+    }
+    cmd.output().expect("spawning repro")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The printed tables minus the wall-clock lines, which legitimately
+/// differ between two invocations.
+fn tables_only(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.trim_start().starts_with('('))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A scratch working directory so runs that write report files
+/// (`FAULTS_*.txt`, `GOLDEN_diff.txt`) never litter the repo.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("creating the scratch directory");
+    dir
+}
+
+#[test]
+fn sweep_subcommand_and_legacy_spelling_print_the_same_tables() {
+    let new = repro(&["sweep", "tbl_config", "--tiny"], None);
+    let old = repro(&["tbl_config", "--tiny"], None);
+    assert!(new.status.success(), "sweep failed: {}", stderr(&new));
+    assert!(old.status.success(), "legacy failed: {}", stderr(&old));
+    let new_out = stdout(&new);
+    assert!(
+        new_out.contains("=== tbl_config ==="),
+        "no table: {new_out}"
+    );
+    assert_eq!(tables_only(&new_out), tables_only(&stdout(&old)));
+}
+
+#[test]
+fn goldens_check_matches_the_legacy_check_goldens_flag() {
+    let dir = scratch("goldens");
+    let new = repro(&["goldens", "check", "tbl_area", "--tiny"], Some(&dir));
+    let old = repro(&["tbl_area", "--tiny", "--check-goldens"], Some(&dir));
+    assert!(
+        new.status.success(),
+        "goldens check failed: {}",
+        stderr(&new)
+    );
+    assert!(
+        old.status.success(),
+        "--check-goldens failed: {}",
+        stderr(&old)
+    );
+    for out in [&new, &old] {
+        assert!(stderr(out).contains("goldens OK"), "{}", stderr(out));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faults_subcommand_runs_chaos_and_writes_the_summary() {
+    let dir = scratch("faults");
+    let out = repro(
+        &["faults", "tbl_config", "--tiny", "--rate", "0.25"],
+        Some(&dir),
+    );
+    assert!(out.status.success(), "faults run failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("=== faults tbl_config"), "no header: {text}");
+    assert!(text.contains("tile fail-stops"), "no summary: {text}");
+    let report = std::fs::read_to_string(dir.join("FAULTS_tbl_config.txt"))
+        .expect("the summary file next to the run");
+    assert!(report.contains("faults injected"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    for spelling in [&["--help"][..], &["help"][..], &["sweep", "--help"][..]] {
+        let out = repro(spelling, None);
+        assert!(out.status.success());
+        assert!(stdout(&out).contains("usage: repro"), "{spelling:?}");
+    }
+}
+
+#[test]
+fn malformed_invocations_exit_two_with_usage() {
+    let cases: &[&[&str]] = &[
+        &["sweep", "--bogus"],
+        &["--bogus"],
+        &["sweep", "no_such_experiment"],
+        &["no_such_experiment"],
+        &["goldens", "frobnicate"],
+        &["goldens"],
+        &["trace"],
+        &["faults"],
+        &["faults", "tbl_config", "--rate"],
+        &["trace", "tbl_config", "tbl_area"],
+    ];
+    for args in cases {
+        let out = repro(args, None);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} should exit 2, stderr: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains("usage:"),
+            "{args:?} printed no usage: {}",
+            stderr(&out)
+        );
+    }
+}

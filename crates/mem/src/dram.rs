@@ -121,8 +121,11 @@ pub struct Dram {
     bw: TokenBucket,
     waiting: VecDeque<ActiveJob>,
     active: VecDeque<ActiveJob>,
-    /// (ready_cycle, out) in issue order; latency is constant so this
-    /// stays sorted.
+    /// (ready_cycle, out) in issue order. With fault injection off the
+    /// constant latency keeps this sorted; a retried word may be due
+    /// *later* than words issued after it, in which case the
+    /// front-gated release below holds those back too — modelling an
+    /// in-order return channel blocked behind the retry.
     inflight: VecDeque<(u64, DramOut)>,
     next_job: JobId,
     /// Addresses read at least once, for the `read_words_unique`
@@ -130,7 +133,27 @@ pub struct Dram {
     /// read_words_unique` and the multicast traffic claims both lean on
     /// distinguishing total from first-touch reads.
     seen_reads: HashSet<Addr>,
+    /// Per-served-word probability of a detected transient error; the
+    /// word is retried, adding `fault_retry` cycles to its latency.
+    fault_rate: f64,
+    fault_retry: u64,
+    fault_seed: u64,
+    /// Words served since construction — the deterministic draw index
+    /// for fault injection (serve order is itself deterministic).
+    fault_served: u64,
+    fault_retries: u64,
     stats: Stats,
+}
+
+/// splitmix64-style draw in `[0, 1)` for transient-error injection.
+fn fault_draw(seed: u64, index: u64) -> f64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15 ^ seed;
+    h ^= index;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl Dram {
@@ -151,9 +174,30 @@ impl Dram {
             inflight: VecDeque::new(),
             next_job: 0,
             seen_reads: HashSet::new(),
+            fault_rate: 0.0,
+            fault_retry: 0,
+            fault_seed: 0,
+            fault_served: 0,
+            fault_retries: 0,
             stats: Stats::new(),
             config,
         }
+    }
+
+    /// Arms deterministic transient-error injection: each served word
+    /// independently takes a detected-error retry (adding
+    /// `retry_cycles` to its latency) with probability `rate`, drawn
+    /// from `seed` and the word's serve index. With `rate == 0.0`
+    /// (the default) behavior is identical to an unarmed DRAM.
+    pub fn set_fault_injection(&mut self, rate: f64, retry_cycles: u64, seed: u64) {
+        self.fault_rate = rate;
+        self.fault_retry = retry_cycles;
+        self.fault_seed = seed;
+    }
+
+    /// Words that took a detected-error retry so far.
+    pub fn fault_retries(&self) -> u64 {
+        self.fault_retries
     }
 
     /// Functional access to the backing store (for loading images and
@@ -297,7 +341,14 @@ impl Dram {
                     let w = job.next_word;
                     job.next_word += 1;
                     let last = job.next_word == total;
-                    let ready = now + self.config.latency;
+                    let mut ready = now + self.config.latency;
+                    if self.fault_rate > 0.0 {
+                        self.fault_served += 1;
+                        if fault_draw(self.fault_seed, self.fault_served) < self.fault_rate {
+                            ready += self.fault_retry;
+                            self.fault_retries += 1;
+                        }
+                    }
                     match &job.kind {
                         JobKind::Read { addrs, .. } => {
                             let value = self.storage.read(addrs[w]);
@@ -627,6 +678,50 @@ mod tests {
         run_until_idle(&mut d, 100);
         assert_eq!(d.stats().counter("read_words"), 5);
         assert_eq!(d.stats().counter("read_words_unique"), 3);
+    }
+
+    #[test]
+    fn fault_retries_delay_but_never_corrupt() {
+        let run = |rate: f64, seed: u64| {
+            let mut d = Dram::new(DramConfig {
+                words: 256,
+                latency: 4,
+                ..DramConfig::default()
+            });
+            d.set_fault_injection(rate, 50, seed);
+            d.storage_mut().load(0, &(0..128).collect::<Vec<i64>>());
+            d.submit(
+                JobKind::Read {
+                    addrs: (0..128).collect(),
+                    gather: false,
+                },
+                0,
+            )
+            .unwrap();
+            let mut outs = Vec::new();
+            let mut cycles = 0;
+            for now in 0..100_000 {
+                outs.extend(d.tick(now));
+                cycles = now;
+                if d.is_idle() {
+                    break;
+                }
+            }
+            (outs, cycles, d.fault_retries())
+        };
+        let (clean, clean_cycles, r0) = run(0.0, 9);
+        let (faulty, faulty_cycles, r1) = run(0.25, 9);
+        let (again, again_cycles, r2) = run(0.25, 9);
+        assert_eq!(r0, 0);
+        assert!(r1 > 0, "0.25 rate over 128 words injected nothing");
+        // deterministic: same seed, same retries, same timing
+        assert_eq!(r1, r2);
+        assert_eq!(faulty_cycles, again_cycles);
+        // retries add latency but values and order are untouched
+        assert!(faulty_cycles > clean_cycles);
+        let vals = |o: &[DramOut]| o.iter().map(|o| o.value).collect::<Vec<_>>();
+        assert_eq!(vals(&clean), vals(&faulty));
+        assert_eq!(vals(&faulty), vals(&again));
     }
 
     #[test]

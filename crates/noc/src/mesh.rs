@@ -132,6 +132,10 @@ pub struct Mesh<P> {
     queued: usize,
     /// Payloads currently sitting in ejection buffers.
     ejected: usize,
+    /// Payloads ever ejected per node, in ejection order. Gives every
+    /// delivered flit a deterministic per-node sequence number, which
+    /// fault injectors use as a stable draw point for flit faults.
+    ejected_seq: Vec<u64>,
     rotate: usize,
     /// Per-node output-link occupancy scratch, reused across ticks so
     /// the hot loop does not allocate.
@@ -163,6 +167,7 @@ impl<P: Clone> Mesh<P> {
             eject: (0..n).map(|_| Fifo::new(queue_cap)).collect(),
             queued: 0,
             ejected: 0,
+            ejected_seq: vec![0; n],
             rotate: 0,
             link_used: vec![[false; 5]; n],
             stats: Stats::new(),
@@ -248,8 +253,16 @@ impl<P: Clone> Mesh<P> {
         let p = self.eject[node].pop();
         if p.is_some() {
             self.ejected -= 1;
+            self.ejected_seq[node] += 1;
         }
         p
+    }
+
+    /// Payloads ever ejected at `node` (a deterministic per-node flit
+    /// sequence counter; after [`Mesh::eject`] returns `Some`, the
+    /// returned payload's sequence number is `ejected_total(node) - 1`).
+    pub fn ejected_total(&self, node: NodeId) -> u64 {
+        self.ejected_seq[node]
     }
 
     /// Number of payloads waiting in the ejection buffer at `node`.

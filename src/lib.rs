@@ -21,13 +21,33 @@
 //! | [`model`] | `taskstream-model` | **the TaskStream execution model** |
 //! | [`delta`] | `ts-delta` | the Delta accelerator + static baseline + area model |
 //! | [`workloads`] | `ts-workloads` | task-parallel workload suite |
+//! | [`bench`] | `ts-bench` | evaluation harness: experiments, goldens, tracing |
+//!
+//! ## The curated surface
+//!
+//! Everything a typical consumer needs is re-exported at the crate
+//! root, so most programs never name the sub-crates:
+//!
+//! * configure: [`DeltaConfig`] presets ([`DeltaConfig::delta`],
+//!   [`DeltaConfig::static_baseline`], [`DeltaConfig::ablation`]) and
+//!   the fluent [`DeltaConfigBuilder`] ([`DeltaConfig::builder`]),
+//!   with [`Features`] toggles and [`FaultsConfig`] fault injection;
+//! * run: [`Accelerator::run`], yielding a [`RunReport`] (cycles,
+//!   stats, final DRAM, [`SimProfile`], [`FaultReport`]) or a
+//!   [`RunError`];
+//! * check: the [`oracle`] executes the same program untimed and
+//!   [`oracle::check_equivalence`] proves the timed run computed the
+//!   same thing;
+//! * reproduce: [`experiments`] regenerates the paper's tables and
+//!   figures (`experiments::run`, `experiments::ALL`), which is what
+//!   the `repro` binary drives.
 //!
 //! ## Quickstart
 //!
 //! See `examples/quickstart.rs`; the short version:
 //!
 //! ```
-//! use taskstream::delta::{Accelerator, DeltaConfig};
+//! use taskstream::{Accelerator, DeltaConfig};
 //! use taskstream::workloads::{spmv::Spmv, Workload};
 //!
 //! let wl = Spmv::tiny(7); // seeded test-sized instance
@@ -37,11 +57,28 @@
 //! wl.validate(&run).unwrap();
 //! println!("finished in {} cycles", run.cycles);
 //! ```
+//!
+//! And a fault-injected run through the builder:
+//!
+//! ```
+//! use taskstream::{Accelerator, DeltaConfig, FaultsConfig};
+//! use taskstream::workloads::{spmv::Spmv, Workload};
+//!
+//! let wl = Spmv::tiny(7);
+//! let cfg = DeltaConfig::builder(4)
+//!     .faults(FaultsConfig::chaos())
+//!     .seed(7)
+//!     .build();
+//! let run = Accelerator::new(cfg).run(wl.make_program().as_mut()).unwrap();
+//! wl.validate(&run).unwrap(); // faults perturb timing, never function
+//! assert_eq!(run.faults.recovered(), run.faults.tasks_redispatched);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use taskstream_model as model;
+pub use ts_bench as bench;
 pub use ts_cgra as cgra;
 pub use ts_delta as delta;
 pub use ts_dfg as dfg;
@@ -50,3 +87,9 @@ pub use ts_noc as noc;
 pub use ts_sim as sim;
 pub use ts_stream as stream;
 pub use ts_workloads as workloads;
+
+pub use ts_bench::experiments;
+pub use ts_delta::{
+    oracle, Accelerator, DeltaConfig, DeltaConfigBuilder, FaultReport, FaultsConfig, Features,
+    RunError, RunReport, SimProfile,
+};
