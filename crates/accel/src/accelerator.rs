@@ -9,9 +9,9 @@ use crate::faults::{FaultReport, FaultSchedule, FlitFault};
 use crate::memctrl::{MemCtrl, ReadReq};
 use crate::msg::Msg;
 use crate::pipes::{PipeMode, PipeTable};
-use crate::report::{RunReport, SimProfile};
+use crate::report::{stretch_bucket, RunReport, SimProfile};
 use crate::trace::{TraceEvent, TraceSink};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 use taskstream_model::{
@@ -22,7 +22,7 @@ use ts_cgra::{Fabric, KernelTiming, MapError};
 use ts_dfg::interp;
 use ts_noc::Mesh;
 use ts_sim::stats::{Report, Stats};
-use ts_sim::Activity;
+use ts_sim::{Activity, FxHashMap};
 use ts_stream::{Addr, DataSrc, StreamDesc};
 
 /// Cycles between recovery-watchdog scans of in-flight tasks. A scan
@@ -141,9 +141,9 @@ struct RunState {
     admit_q: VecDeque<(u64, PendingTask)>,
     host_q: VecDeque<(u64, CompletedTask)>,
     /// Tile of every dispatched task.
-    task_tile: HashMap<TaskId, usize>,
+    task_tile: FxHashMap<TaskId, usize>,
     /// Open multicast reads by region (joinable until served).
-    open_regions: HashMap<taskstream_model::RegionId, u64>,
+    open_regions: FxHashMap<taskstream_model::RegionId, u64>,
     now: u64,
     next_task: u64,
     next_job: u64,
@@ -159,6 +159,12 @@ struct RunState {
     /// falls behind and is caught up in closed form when a dispatch or
     /// steal wakes it.
     tile_synced: Vec<u64>,
+    /// Per-tile cached activity under the event-driven tile scheduler
+    /// (`cfg.tile_events`): the clamped result of the tile's last
+    /// post-tick [`Tile::next_event`] evaluation. Invalidated to
+    /// `Activity::Now` by [`touch_tile`](Self::touch_tile) whenever
+    /// external state the tile observes changes.
+    tile_next: Vec<Activity>,
     /// Lazy-schedule marker for the memory controller.
     mem_synced: u64,
     /// Reusable tile-placement mask (see [`fill_mask`](Self::fill_mask)).
@@ -183,7 +189,7 @@ struct RunState {
     recovery_q: Vec<Victim>,
     /// Recovery-watchdog state: last observed progress signature of
     /// each in-flight task and the cycle it was first seen.
-    watch: HashMap<TaskId, (ProgressSig, u64)>,
+    watch: FxHashMap<TaskId, (ProgressSig, u64)>,
     /// Injection and recovery tallies for the final report.
     freport: FaultReport,
 }
@@ -280,8 +286,8 @@ impl RunState {
             pending: VecDeque::new(),
             admit_q: VecDeque::new(),
             host_q: VecDeque::new(),
-            task_tile: HashMap::new(),
-            open_regions: HashMap::new(),
+            task_tile: FxHashMap::default(),
+            open_regions: FxHashMap::default(),
             now: 0,
             next_task: 0,
             next_job: 0,
@@ -292,6 +298,7 @@ impl RunState {
             timeline: Vec::new(),
             skipped_cycles: 0,
             tile_synced,
+            tile_next: vec![Activity::Idle; cfg.tiles],
             mem_synced: 0,
             mask_scratch: Vec::new(),
             mesh_synced: 0,
@@ -301,7 +308,7 @@ impl RunState {
             fail_seen: vec![false; cfg.tiles],
             stall_traced: vec![0; cfg.tiles],
             recovery_q: Vec::new(),
-            watch: HashMap::new(),
+            watch: FxHashMap::default(),
             freport: FaultReport::default(),
         };
 
@@ -460,7 +467,9 @@ impl RunState {
 
             // deliver NoC ejections; `on_msg` only touches queued-task
             // state, so delivering to a lazily skipped (idle) tile needs
-            // no catch-up
+            // no catch-up — but a *busy* tile deferred by the
+            // event-driven scheduler must replay its blocked stretch
+            // against the pre-arrival state before the words land
             if self.mesh.eject_pending() {
                 for t in 0..self.tiles.len() {
                     let node = self.tiles[t].node;
@@ -482,6 +491,7 @@ impl RunState {
                                 continue;
                             }
                         }
+                        self.touch_tile(t, self.now);
                         self.tiles[t].on_msg(msg);
                     }
                 }
@@ -526,6 +536,38 @@ impl RunState {
                     trace: &mut self.trace,
                 };
                 for (t, tile) in tiles.iter_mut().enumerate() {
+                    if active {
+                        if self.cfg.tile_events {
+                            // event-driven: skip tiles whose next
+                            // interesting cycle is still ahead; on a due
+                            // event, replay the deferred stretch in
+                            // closed form before the dense tick
+                            if !self.tile_next[t].is_active(self.now) {
+                                continue;
+                            }
+                            let behind = self.now - self.tile_synced[t];
+                            if behind > 0 {
+                                if tile.is_idle() {
+                                    tile.skip_idle_cycles(behind);
+                                    self.profile.tile_skipped += behind;
+                                } else {
+                                    tile.bulk_advance(behind);
+                                    self.profile.tile_bulk_cycles += behind;
+                                }
+                                self.profile.tile_stretch_hist[stretch_bucket(behind)] += 1;
+                                self.profile.tile_wakes += 1;
+                            }
+                            self.tile_synced[t] = self.now + 1;
+                        } else if tile.is_idle() {
+                            continue;
+                        } else {
+                            debug_assert_eq!(
+                                self.tile_synced[t], self.now,
+                                "tile {t} ticking without catch-up"
+                            );
+                            self.tile_synced[t] = self.now + 1;
+                        }
+                    }
                     // a failed or transiently stalled tile with queued
                     // work burns the cycle without executing (degenerate
                     // tick); an *idle* down tile follows the normal idle
@@ -533,13 +575,6 @@ impl RunState {
                     if let Some(fs) = &self.fsched {
                         if !tile.is_idle() && fs.tile_down(t, self.now) {
                             tile.stats.bump("fault_down_cycles");
-                            if active {
-                                debug_assert_eq!(
-                                    self.tile_synced[t], self.now,
-                                    "tile {t} degenerate tick without catch-up"
-                                );
-                                self.tile_synced[t] = self.now + 1;
-                            }
                             if !fs.tile_failed(t, self.now) {
                                 // transient stall: trace once per window
                                 let epoch = fs.stall_epoch(self.now) + 1;
@@ -555,21 +590,37 @@ impl RunState {
                                 }
                             }
                             self.profile.tile_ticks += 1;
+                            if self.cfg.tile_events {
+                                // down tiles stay dense: recovery
+                                // decisions and stall-window edges are
+                                // cycle-granular
+                                self.tile_next[t] = Activity::Now;
+                            }
                             continue;
                         }
-                    }
-                    if active {
-                        if tile.is_idle() {
-                            continue;
-                        }
-                        debug_assert_eq!(
-                            self.tile_synced[t], self.now,
-                            "tile {t} ticking without catch-up"
-                        );
-                        self.tile_synced[t] = self.now + 1;
                     }
                     completed.extend(tile.tick(&mut io, &self.cfg));
                     self.profile.tile_ticks += 1;
+                    if self.cfg.tile_events {
+                        // post-tick contract: cache where the next tick
+                        // could matter, clamped to the tile's next
+                        // possible fault transition so degenerate ticks
+                        // and stall-window traces stay cycle-accurate
+                        self.profile.tile_next_event_calls += 1;
+                        let mut next = tile.next_event(self.now, io.pipes, self.cfg.prefetch_depth);
+                        if let Some(fs) = &self.fsched {
+                            if !tile.is_idle() {
+                                if let Some(c) = fs.next_tile_transition(t, self.now) {
+                                    // even a blocked tile with no
+                                    // intrinsic event must take its
+                                    // degenerate ticks if it goes down
+                                    // mid-stretch
+                                    next = next.clamp_to(c);
+                                }
+                            }
+                        }
+                        self.tile_next[t] = next;
+                    }
                 }
             }
             for done in completed {
@@ -656,17 +707,29 @@ impl RunState {
     /// The component activities folded into one machine-level need, plus
     /// the due-queue fronts. `Now` suppresses jumping; `At(t)` names the
     /// next event. Reads only state that is identical whether components
-    /// are ticked densely or lazily (queue contents and time-gated
-    /// fronts, never budget levels), so the jump decision — and with it
-    /// `skipped_cycles` — is bit-identical across `active_set` modes.
+    /// are ticked densely or lazily (queue contents, time-gated fronts
+    /// and the cached per-tile next events — which both `active_set`
+    /// modes maintain identically — never budget levels), so the jump
+    /// decision — and with it `skipped_cycles` — is bit-identical across
+    /// `active_set` modes.
+    ///
+    /// Under `tile_events` a blocked tile contributes its cached next
+    /// event instead of the pessimistic `Now`, which is what lets the
+    /// machine jump over stretches where every queued task is provably
+    /// waiting on stream data.
     ///
     /// `Now` is absorbing, so the scan returns the moment any component
     /// reports it — this runs every densely ticked cycle, and on a busy
     /// machine the first tile usually answers.
     fn machine_activity(&self) -> Activity {
         let mut act = Activity::Idle;
-        for t in &self.tiles {
-            match t.activity() {
+        for (t, tile) in self.tiles.iter().enumerate() {
+            let a = if self.cfg.tile_events {
+                self.tile_next[t]
+            } else {
+                tile.activity()
+            };
+            match a {
                 Activity::Now => return Activity::Now,
                 a => act = act.merge(a),
             }
@@ -714,9 +777,47 @@ impl RunState {
             Activity::Idle => return None,
             Activity::At(t) => t,
         };
-        let target = next_due
+        let mut target = next_due
             .min(self.cfg.max_cycles)
             .min(self.last_progress + self.cfg.stall_limit + 1);
+        // Event-driven tiles let the machine jump while tasks are still
+        // queued (legacy jumps require every queue empty), which exposes
+        // per-cycle machinery the all-idle case proves inert:
+        if self.cfg.tile_events {
+            // the steal scan acts (attempt traces, migrations) whenever
+            // an idle tile coexists with a loaded one, and a transiently
+            // stalled idle tile can become a thief mid-stretch — only a
+            // fail-stopped tile provably never will
+            if self.cfg.work_stealing
+                && self.tiles.iter().any(|t| t.queue.len() >= 2)
+                && self.tiles.iter().enumerate().any(|(t, tile)| {
+                    tile.is_idle()
+                        && !self
+                            .fsched
+                            .as_ref()
+                            .is_some_and(|fs| fs.tile_failed(t, self.now))
+                })
+            {
+                return None;
+            }
+            // fault transitions (fail-stops, stall-window edges) and
+            // recovery-watchdog scans happen in dense loop iterations;
+            // clamp the jump so none is skipped while work is in flight.
+            // All-idle jumps keep the legacy behaviour (transitions of
+            // empty tiles are observed late, exactly as before).
+            if let Some(fs) = &self.fsched {
+                if self.tiles.iter().any(|t| !t.is_idle()) {
+                    for t in 0..self.tiles.len() {
+                        if let Some(c) = fs.next_tile_transition(t, self.now) {
+                            target = target.min(c);
+                        }
+                    }
+                    if fs.recovery() {
+                        target = target.min((self.now / WATCHDOG_STRIDE + 1) * WATCHDOG_STRIDE);
+                    }
+                }
+            }
+        }
         (target > self.now).then_some(target)
     }
 
@@ -732,28 +833,41 @@ impl RunState {
         let k = target - self.now;
         if !self.cfg.active_set {
             // markers are not maintained under dense ticking, so the
-            // whole machine replays eagerly here instead
+            // whole machine replays eagerly here instead; tiles holding
+            // blocked work (reachable only under `tile_events`) replay
+            // as a bulk advance rather than an idle skip
             for tile in &mut self.tiles {
-                tile.skip_idle_cycles(k);
+                if tile.is_idle() {
+                    tile.skip_idle_cycles(k);
+                    self.profile.tile_skipped += k;
+                } else {
+                    tile.bulk_advance(k);
+                    self.profile.tile_bulk_cycles += k;
+                }
+                self.profile.tile_stretch_hist[stretch_bucket(k)] += 1;
             }
             self.memctrl.replay_idle_cycles(k);
             self.mesh.skip_idle_cycles(k);
-            self.profile.tile_skipped += k * self.tiles.len() as u64;
             self.profile.mem_skipped += k;
             self.profile.noc_skipped += k;
+            self.profile.mem_stretch_hist[stretch_bucket(k)] += 1;
+            self.profile.noc_stretch_hist[stretch_bucket(k)] += 1;
         }
         // Timeline samples at stride multiples in [now, target) all see
-        // zero busy tiles. Trace samples at the same points see the
-        // *frozen* component state: a skippable stretch has no gated
-        // requests, no backlog, no DRAM service work and an empty mesh
-        // (any of those forces dense ticking), while the admission queue
-        // holds only not-yet-due entries that dense ticking would leave
-        // untouched — so backfilling from the current state reproduces
-        // the densely ticked sample stream exactly.
+        // the frozen busy-tile count (zero on legacy all-idle jumps; the
+        // queues cannot change mid-jump either way). Trace samples at
+        // the same points see the *frozen* component state: a skippable
+        // stretch has no gated requests, no backlog, no DRAM service
+        // work and an empty mesh (any of those forces dense ticking),
+        // while the admission queue holds only not-yet-due entries that
+        // dense ticking would leave untouched — so backfilling from the
+        // current state reproduces the densely ticked sample stream
+        // exactly.
         let stride = RunReport::TIMELINE_STRIDE;
+        let busy = self.tiles.iter().filter(|t| !t.is_idle()).count() as u32;
         let mut t = self.now.next_multiple_of(stride);
         while t < target {
-            self.timeline.push((t, 0));
+            self.timeline.push((t, busy));
             if self.trace.enabled() {
                 let (admit, gated, backlog, dram_jobs, dram_inflight) = self.memctrl.queue_depths();
                 debug_assert_eq!((gated, backlog, dram_jobs), (0, 0, 0));
@@ -775,23 +889,37 @@ impl RunState {
         }
         self.skipped_cycles += k;
         self.profile.jump_cycles += k;
+        self.profile.jump_hist[stretch_bucket(k)] += 1;
         self.now = target;
     }
 
-    /// Catches a lazily skipped tile up to cycle `upto` (exclusive) so
-    /// it can accept work: the skipped stretch replays in closed form.
-    /// A no-op for live tiles, whose markers are already current, and
-    /// under dense ticking, where markers are not maintained at all.
-    fn wake_tile(&mut self, t: usize, upto: u64) {
-        if !self.cfg.active_set {
-            return;
+    /// Catches a lazily deferred tile up to cycle `upto` (exclusive)
+    /// *before* external state it can observe changes — a dispatch, a
+    /// steal, an arriving flit, a recovery eviction, a producer
+    /// completing. The deferred stretch replays in closed form (an idle
+    /// skip when the queue is empty, a blocked-head bulk advance
+    /// otherwise), and under `tile_events` the cached next event drops
+    /// to `Now` so the tile re-evaluates the changed state densely. A
+    /// no-op for live tiles, whose markers are already current; under
+    /// dense ticking only the cache invalidation applies.
+    fn touch_tile(&mut self, t: usize, upto: u64) {
+        if self.cfg.active_set {
+            let behind = upto - self.tile_synced[t];
+            if behind > 0 {
+                if self.tiles[t].is_idle() {
+                    self.tiles[t].skip_idle_cycles(behind);
+                    self.profile.tile_skipped += behind;
+                } else {
+                    self.tiles[t].bulk_advance(behind);
+                    self.profile.tile_bulk_cycles += behind;
+                }
+                self.profile.tile_stretch_hist[stretch_bucket(behind)] += 1;
+                self.tile_synced[t] = upto;
+                self.profile.tile_wakes += 1;
+            }
         }
-        let behind = upto - self.tile_synced[t];
-        if behind > 0 {
-            self.tiles[t].skip_idle_cycles(behind);
-            self.tile_synced[t] = upto;
-            self.profile.tile_skipped += behind;
-            self.profile.tile_wakes += 1;
+        if self.cfg.tile_events {
+            self.tile_next[t] = Activity::Now;
         }
     }
 
@@ -808,9 +936,15 @@ impl RunState {
         for t in 0..self.tiles.len() {
             let behind = self.now - self.tile_synced[t];
             if behind > 0 {
-                self.tiles[t].skip_idle_cycles(behind);
+                if self.tiles[t].is_idle() {
+                    self.tiles[t].skip_idle_cycles(behind);
+                    self.profile.tile_skipped += behind;
+                } else {
+                    self.tiles[t].bulk_advance(behind);
+                    self.profile.tile_bulk_cycles += behind;
+                }
+                self.profile.tile_stretch_hist[stretch_bucket(behind)] += 1;
                 self.tile_synced[t] = self.now;
-                self.profile.tile_skipped += behind;
             }
         }
         let behind = self.now - self.mem_synced;
@@ -876,6 +1010,17 @@ impl RunState {
         self.trace
             .emit(self.now, TraceEvent::TaskComplete { task: id.0, tile });
         self.picker.on_complete(tile, placement_hint(&inst));
+        // completing a producer lets dispatched consumers issue their
+        // spill reads: each such tile replays its deferred stretch
+        // against the pre-completion state, then re-evaluates densely
+        // (completions land after the tile-tick step, hence `now + 1`)
+        for p in inst.output_pipes() {
+            if let Some(cid) = self.pipes.get(p).consumer {
+                if let Some(&ct) = self.task_tile.get(&cid) {
+                    self.touch_tile(ct, self.now + 1);
+                }
+            }
+        }
         for p in inst.output_pipes() {
             self.pipes.get_mut(p).producer_completed = true;
         }
@@ -949,9 +1094,9 @@ impl RunState {
             "every cycle is either looped or jumped"
         );
         debug_assert_eq!(
-            self.profile.tile_ticks + self.profile.tile_skipped,
+            self.profile.tile_ticks + self.profile.tile_skipped + self.profile.tile_bulk_cycles,
             self.now * self.tiles.len() as u64,
-            "per-tile ticks + skips must cover the whole run"
+            "per-tile ticks + skips + bulk advances must cover the whole run"
         );
         debug_assert_eq!(self.profile.mem_ticks + self.profile.mem_skipped, self.now);
         debug_assert_eq!(self.profile.noc_ticks + self.profile.noc_skipped, self.now);
@@ -968,7 +1113,8 @@ impl RunState {
         RunReport::new(
             self.now,
             report,
-            self.memctrl.dram().storage().clone(),
+            // moved, not cloned: nothing reads the DRAM after the report
+            self.memctrl.dram_mut().take_storage(),
             self.tasks_completed,
             std::mem::take(&mut self.timeline),
             self.skipped_cycles,
@@ -1012,6 +1158,9 @@ impl RunState {
                 },
             );
             if recovery {
+                // the drain empties the queue: replay any deferred
+                // blocked stretch against the pre-failure state first
+                self.touch_tile(t, self.now);
                 for exec in self.tiles[t].drain_queue() {
                     self.victimize(exec, t);
                 }
@@ -1039,7 +1188,7 @@ impl RunState {
             .config()
             .watchdog_timeout;
         let mut fired: Vec<(usize, TaskId)> = Vec::new();
-        let mut fresh = HashMap::with_capacity(self.watch.len());
+        let mut fresh = FxHashMap::with_capacity_and_hasher(self.watch.len(), Default::default());
         for (t, tile) in self.tiles.iter().enumerate() {
             for task in &tile.queue {
                 let sig = task.progress_sig();
@@ -1058,6 +1207,9 @@ impl RunState {
         // already-victimized tasks drop out automatically
         self.watch = fresh;
         for (t, id) in fired {
+            // eviction mutates the queue mid-stretch: catch the tile up
+            // first so the closed-form replay sees the state it froze on
+            self.touch_tile(t, self.now);
             if let Some(exec) = self.tiles[t].remove_task(id) {
                 self.freport.watchdog_fires += 1;
                 self.victimize(exec, t);
@@ -1252,6 +1404,10 @@ impl RunState {
                             // spill ack it nominally needs
                             if let Some(pid) = self.pipes.get(*pp).producer {
                                 if let Some(&pt) = self.task_tile.get(&pid) {
+                                    // the ack can complete a producer
+                                    // head that was sleeping on it: catch
+                                    // the tile up and wake it first
+                                    self.touch_tile(pt, self.now);
                                     if let Some(prod) = self.tiles[pt].find_task(pid) {
                                         for s in &mut prod.sinks {
                                             if let SinkKind::Pipe { pipe } = s.kind {
@@ -1343,7 +1499,7 @@ impl RunState {
         for (pp, port) in pipe_routes {
             self.tiles[tile].pipe_routes.insert(pp, (id, port));
         }
-        self.wake_tile(tile, self.now);
+        self.touch_tile(tile, self.now);
         self.tiles[tile].enqueue(exec);
         self.task_tile.insert(id, tile);
         self.picker.on_dispatch(tile, work);
@@ -1442,6 +1598,10 @@ impl RunState {
         };
         let thief_node = self.cfg.tile_node(thief);
         let mc = self.cfg.mc_node_for(thief_node);
+        // the steal mutates the victim's queue, so a lazily deferred
+        // victim replays its blocked stretch (through `now` inclusive —
+        // it already took its tick this cycle) before the task leaves
+        self.touch_tile(victim, self.now + 1);
         let exec = self.tiles[victim].steal(qi, thief_node, mc);
         let hint = placement_hint(&exec.inst);
         self.picker.on_complete(victim, hint);
@@ -1459,7 +1619,7 @@ impl RunState {
         // steals land after the tile-tick step, so the thief's current
         // cycle already counted as idle: catch it up through `now`
         // inclusive before it takes the task
-        self.wake_tile(thief, self.now + 1);
+        self.touch_tile(thief, self.now + 1);
         self.tiles[thief].enqueue(exec);
     }
 
@@ -1807,7 +1967,7 @@ impl RunState {
         }
         // a lazily skipped tile replays its idle stretch before the
         // queue stops being empty (the closed-form replay requires it)
-        self.wake_tile(tile, self.now);
+        self.touch_tile(tile, self.now);
         self.tiles[tile].enqueue(exec);
         self.task_tile.insert(id, tile);
         self.picker.on_dispatch(tile, work);

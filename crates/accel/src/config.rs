@@ -122,6 +122,19 @@ pub struct DeltaConfig {
     /// equivalence can be regression-tested, and it composes with
     /// `idle_skip` in any combination.
     pub active_set: bool,
+    /// Simulator fast path (not a modelled mechanism): event-driven
+    /// tile execution. After each dense tile tick, compute the tile's
+    /// next *interesting* cycle in closed form — a task provably
+    /// blocked on stream/pipe arrivals, a staging front coming due, a
+    /// stall-rotation boundary — and until then replay the tile's
+    /// cycles in bulk (budget refills, busy/stall accounting, slot
+    /// credit) instead of ticking it densely. Results are bit-identical
+    /// either way (the bulk replay mirrors the dense tick on a frozen
+    /// queue exactly, and external events force an eager catch-up);
+    /// the toggle exists so equivalence can be regression-tested, and
+    /// it composes with `idle_skip` and `active_set` in any
+    /// combination.
+    pub tile_events: bool,
     /// Record a structured event trace of the run (task lifecycle,
     /// steals, pipe resolution, multicast windows, sampled queue
     /// depths) into [`RunReport::trace`](crate::RunReport::trace).
@@ -182,6 +195,7 @@ impl DeltaConfig {
             work_stealing: false,
             idle_skip: true,
             active_set: true,
+            tile_events: true,
             trace: false,
             faults: FaultsConfig::none(),
             seed: 0xDE17A,
@@ -486,6 +500,13 @@ impl DeltaConfigBuilder {
     /// Simulator fast path: tick only components reporting activity.
     pub fn active_set(mut self, on: bool) -> Self {
         self.cfg.active_set = on;
+        self
+    }
+
+    /// Simulator fast path: event-driven tile execution (closed-form
+    /// bulk advance between a tile's interesting cycles).
+    pub fn tile_events(mut self, on: bool) -> Self {
+        self.cfg.tile_events = on;
         self
     }
 

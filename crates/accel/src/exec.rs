@@ -23,13 +23,13 @@ use crate::memctrl::{MemCtrl, ReadReq};
 use crate::msg::Msg;
 use crate::pipes::{PipeMode, PipeTable};
 use crate::trace::{TraceEvent, TraceSink};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use taskstream_model::{PipeId, TaskId, TaskInstance, TaskTypeId, Value};
 use ts_cgra::KernelTiming;
 use ts_mem::{Spad, WriteMode};
 use ts_noc::Mesh;
 use ts_sim::stats::Stats;
-use ts_sim::TokenBucket;
+use ts_sim::{Activity, FxHashMap, TokenBucket};
 use ts_stream::Addr;
 
 /// A task's observable metering progress (firings, native advance,
@@ -330,9 +330,9 @@ pub(crate) struct Tile {
     phase: Phase,
     pub queue: VecDeque<TaskExec>,
     /// DRAM read job → (task, port) routes at this tile.
-    pub job_routes: HashMap<u64, Vec<(TaskId, usize)>>,
+    pub job_routes: FxHashMap<u64, Vec<(TaskId, usize)>>,
     /// Pipe → (consumer task, port) for direct pipes ending here.
-    pub pipe_routes: HashMap<PipeId, (TaskId, usize)>,
+    pub pipe_routes: FxHashMap<PipeId, (TaskId, usize)>,
     engine: TokenBucket,
     /// Cycles the current queue head has made no observable progress.
     head_stall: u64,
@@ -359,8 +359,8 @@ impl Tile {
             configured: None,
             phase: Phase::Idle,
             queue: VecDeque::new(),
-            job_routes: HashMap::new(),
-            pipe_routes: HashMap::new(),
+            job_routes: FxHashMap::default(),
+            pipe_routes: FxHashMap::default(),
             engine: TokenBucket::per_cycle(cfg.engine_rate),
             head_stall: 0,
             head_sig: (0, 0, 0, 0),
@@ -384,11 +384,124 @@ impl Tile {
     /// none of it closed-form); an empty queue has no pending event at
     /// all — [`on_msg`](Tile::on_msg) only touches queued-task state,
     /// so only a dispatch or a steal can wake the tile.
-    pub(crate) fn activity(&self) -> ts_sim::Activity {
+    pub(crate) fn activity(&self) -> Activity {
         if self.queue.is_empty() {
-            ts_sim::Activity::Idle
+            Activity::Idle
         } else {
-            ts_sim::Activity::Now
+            Activity::Now
+        }
+    }
+
+    /// Event-driven refinement of [`activity`](Tile::activity): computes
+    /// the next cycle at which a [`tick`](Tile::tick) could do anything a
+    /// [`bulk_advance`](Tile::bulk_advance) cannot reproduce in closed
+    /// form.
+    ///
+    /// The contract is **post-tick**: callers evaluate this immediately
+    /// after a dense tick, and the answer stays valid until either the
+    /// returned cycle arrives or external state the tile observes changes
+    /// (an arriving flit, a dispatch or steal, a producer completing, a
+    /// recovery eviction) — every such mutation must be preceded by a
+    /// catch-up (`touch`) so the deferred stretch replays against the
+    /// state the tile actually saw.
+    ///
+    /// Returns [`Activity::Now`] whenever the resident tasks are outside
+    /// a provably inert regime:
+    ///
+    /// * a queued task inside the prefetch window still holds an unissued
+    ///   DRAM stream, or an unissued spill read whose producer has
+    ///   completed — next tick issues a memory job;
+    /// * the tile is mid-reconfiguration or start-up — the phase machine
+    ///   advances every cycle;
+    /// * the head still owes instant/scratchpad feed words, can fire
+    ///   (inputs available), holds drained words in an output buffer, or
+    ///   has a pipe sink whose transport mode is still unresolved.
+    ///
+    /// Otherwise the head is blocked waiting on stream data and the only
+    /// intrinsic future events are staged emissions maturing and the
+    /// head-of-line rotation deadline, both known in closed form:
+    /// [`Activity::At`] their minimum, or [`Activity::Idle`] when the
+    /// blocked head has neither (it can only be woken externally).
+    pub(crate) fn next_event(
+        &self,
+        now: u64,
+        pipes: &PipeTable,
+        prefetch_depth: usize,
+    ) -> Activity {
+        if self.queue.is_empty() {
+            return Activity::Idle;
+        }
+        if self.phase != Phase::Running {
+            return Activity::Now;
+        }
+        let depth = prefetch_depth.max(1).min(self.queue.len());
+        for (qi, task) in self.queue.iter().enumerate() {
+            for feed in &task.feeds {
+                match &feed.kind {
+                    FeedKind::Dram { spec: Some(_) } if qi < depth => return Activity::Now,
+                    FeedKind::PipeSpill {
+                        pipe,
+                        issued: false,
+                    } if pipes.get(*pipe).producer_completed => {
+                        return Activity::Now;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let head = &self.queue[0];
+        for feed in &head.feeds {
+            if matches!(feed.kind, FeedKind::Instant | FeedKind::Spad { .. }) && feed.remaining > 0
+            {
+                return Activity::Now;
+            }
+        }
+        if !head.compute_done() {
+            let blocked = match head.native_cycles {
+                None => (0..head.ports_in()).any(|p| head.in_total[p] > 0 && head.in_avail[p] == 0),
+                Some(c) => {
+                    let p1 = head.native_progress + 1;
+                    (0..head.ports_in()).any(|port| {
+                        let need = (head.in_total[port] * p1).div_ceil(c);
+                        head.in_avail[port] < need.saturating_sub(head.native_consumed[port])
+                    })
+                }
+            };
+            if !blocked {
+                return Activity::Now;
+            }
+        }
+        if head.out_buf.iter().any(|b| !b.is_empty()) {
+            return Activity::Now;
+        }
+        for sink in &head.sinks {
+            if let SinkKind::Pipe { pipe } = &sink.kind {
+                if sink.sent < sink.total && pipes.get(*pipe).mode.is_none() {
+                    return Activity::Now;
+                }
+            }
+        }
+        let mut event: Option<u64> = None;
+        for staged in &head.staging {
+            if let Some(&(ready, _)) = staged.front() {
+                if ready <= now {
+                    return Activity::Now;
+                }
+                event = Some(event.map_or(ready, |e| e.min(ready)));
+            }
+        }
+        if self.queue.len() > 1 {
+            if self.head_stall > STALL_ROTATE {
+                return Activity::Now;
+            }
+            // `head_stall` increments each blocked tick the signature
+            // holds still, so the rotation lands at a known cycle.
+            let rotate = now + (STALL_ROTATE + 1 - self.head_stall);
+            event = Some(event.map_or(rotate, |e| e.min(rotate)));
+        }
+        match event {
+            Some(t) => Activity::At(t),
+            None => Activity::Idle,
         }
     }
 
@@ -403,6 +516,64 @@ impl Tile {
         self.engine.refill_n(n);
         self.stats.bump_by("idle_cycles", n);
         self.phase = Phase::Idle;
+    }
+
+    /// Fast-forwards `k` cycles of a *blocked* running head — the regime
+    /// [`next_event`](Tile::next_event) vouched for. Reproduces exactly
+    /// what `k` dense ticks would have done to a head that cannot feed,
+    /// fire, drain, or complete:
+    ///
+    /// * scratchpad and engine budget refills (saturating closed form);
+    /// * the `busy_cycles` statistic;
+    /// * the fire-stall statistic the no-progress path records each tick,
+    ///   keyed off the head's (frozen) starvation state;
+    /// * the dataflow fire-credit accumulator, whose per-tick saturating
+    ///   add collapses to one saturating multiply-add;
+    /// * the head-of-line stall counter, which grows one per tick while
+    ///   the head signature holds still — `next_event` bounded the
+    ///   stretch so it never crosses the rotation deadline.
+    pub(crate) fn bulk_advance(&mut self, k: u64) {
+        debug_assert!(!self.queue.is_empty(), "bulk advance with an empty queue");
+        debug_assert_eq!(self.phase, Phase::Running, "bulk advance outside Running");
+        self.spad.skip_cycles(k);
+        self.engine.refill_n(k);
+        self.stats.bump_by("busy_cycles", k);
+        let stall_key = {
+            let head = &self.queue[0];
+            if head.compute_done() {
+                None
+            } else if (0..head.ports_in()).any(|p| head.in_total[p] > 0 && head.in_avail[p] == 0) {
+                Some("fire_stall_input")
+            } else {
+                Some("fire_stall_other")
+            }
+        };
+        if let Some(key) = stall_key {
+            self.stats.bump_by(key, k);
+        }
+        let head = self.queue.front_mut().expect("nonempty queue");
+        if head.native_cycles.is_none() {
+            head.fire_credit =
+                (head.fire_credit + head.lanes * k).min(2 * head.lanes.max(head.timing.ii as u64));
+        }
+        if self.queue.len() > 1 {
+            let head = &self.queue[0];
+            debug_assert_eq!(
+                (
+                    head.firings_done,
+                    head.native_progress,
+                    head.sinks.iter().map(|s| s.sent).sum::<u64>(),
+                    0
+                ),
+                self.head_sig,
+                "bulk advance with an unsettled head signature"
+            );
+            self.head_stall += k;
+            debug_assert!(
+                self.head_stall <= STALL_ROTATE,
+                "bulk advance across a rotation deadline"
+            );
+        }
     }
 
     /// Accepts a dispatched task.

@@ -336,6 +336,38 @@ impl FaultSchedule {
         self.tile_failed(t, now) || self.tile_stalled(t, now)
     }
 
+    /// Earliest cycle strictly after `now` at which tile `t`'s
+    /// up/down status *could* change, or `None` when no transition is
+    /// pending. Used by the event-driven scheduler to bound how far a
+    /// tile (or a machine-level jump) may fast-forward without risking
+    /// skipping a fail-stop or a stall-window edge.
+    ///
+    /// Deliberately conservative: for transient stalls it returns the
+    /// next window boundary (window end inside a window, next epoch
+    /// start outside one) regardless of whether the per-epoch draw will
+    /// actually stall the tile — an earlier bound only forces an extra
+    /// dense evaluation, never an incorrect skip.
+    pub(crate) fn next_tile_transition(&self, t: usize, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        if let Some(c) = self.fail_at[t] {
+            if c > now {
+                next = Some(c);
+            }
+        }
+        if self.cfg.tile_stall_rate > 0.0 && self.stall_dur > 0 {
+            let epoch_len = self.cfg.tile_stall_epoch.max(1);
+            let epoch = now / epoch_len;
+            let window_end = epoch * epoch_len + self.stall_dur;
+            let boundary = if now < window_end {
+                window_end
+            } else {
+                (epoch + 1) * epoch_len
+            };
+            next = Some(next.map_or(boundary, |n| n.min(boundary)));
+        }
+        next
+    }
+
     /// Fate of the `seq`-th flit ever ejected at mesh node `node`.
     pub(crate) fn flit_fault(&self, node: usize, seq: u64) -> Option<FlitFault> {
         if self.cfg.noc_drop_rate <= 0.0 {

@@ -82,7 +82,7 @@ mod trace;
 pub use accelerator::{Accelerator, RunError};
 pub use config::{DeltaConfig, DeltaConfigBuilder, Features};
 pub use faults::{FaultReport, FaultsConfig};
-pub use report::{RunReport, SimProfile};
+pub use report::{stretch_bucket, RunReport, SimProfile, STRETCH_BUCKETS, STRETCH_BUCKET_LABELS};
 // TraceSink stays crate-internal: consumers read the recorded stream
 // off `RunReport::trace`, they never hold the sink itself.
 pub use trace::{TraceEvent, TraceRecord};

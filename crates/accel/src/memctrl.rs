@@ -1,10 +1,10 @@
 //! Memory-controller nodes: the bridge between the mesh and the DRAM.
 
 use crate::msg::{Msg, StreamKey};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use ts_mem::{Dram, DramConfig, JobKind, WriteMode};
 use ts_noc::Mesh;
-use ts_sim::Activity;
+use ts_sim::{Activity, FxHashMap, FxHashSet};
 use ts_stream::{Addr, Value};
 
 /// A DRAM read request as the dispatcher/stream engines see it.
@@ -49,18 +49,18 @@ pub(crate) struct MemCtrl {
     /// Requests admitted but gated on `after` jobs.
     gated: Vec<ReadReq>,
     /// Read job → destination mesh nodes.
-    job_dsts: HashMap<u64, Vec<usize>>,
+    job_dsts: FxHashMap<u64, Vec<usize>>,
     /// Read job → injecting controller node.
-    job_node: HashMap<u64, usize>,
+    job_node: FxHashMap<u64, usize>,
     /// Read jobs fully served (for `after` gating).
-    done_jobs: HashSet<u64>,
+    done_jobs: FxHashSet<u64>,
     /// Write bookkeeping per stream.
-    writes: HashMap<StreamKey, WriteTrack>,
+    writes: FxHashMap<StreamKey, WriteTrack>,
     /// Write-job tag → (stream, word was last).
-    wtags: HashMap<u64, (StreamKey, bool)>,
+    wtags: FxHashMap<u64, (StreamKey, bool)>,
     next_wtag: u64,
     /// Responses waiting for injection: per controller node.
-    backlog: HashMap<usize, VecDeque<(Vec<usize>, Msg)>>,
+    backlog: FxHashMap<usize, VecDeque<(Vec<usize>, Msg)>>,
     /// Total staged responses across all controller nodes (O(1)
     /// idleness checks; burst coalescing mutates entries in place and
     /// leaves the count unchanged).
@@ -81,13 +81,13 @@ impl MemCtrl {
             mesh_width,
             admit: VecDeque::new(),
             gated: Vec::new(),
-            job_dsts: HashMap::new(),
-            job_node: HashMap::new(),
-            done_jobs: HashSet::new(),
-            writes: HashMap::new(),
-            wtags: HashMap::new(),
+            job_dsts: FxHashMap::default(),
+            job_node: FxHashMap::default(),
+            done_jobs: FxHashSet::default(),
+            writes: FxHashMap::default(),
+            wtags: FxHashMap::default(),
             next_wtag: 0,
-            backlog: HashMap::new(),
+            backlog: FxHashMap::default(),
             backlog_len: 0,
             rr: 0,
         }
@@ -355,8 +355,9 @@ impl MemCtrl {
         at
     }
 
-    /// DRAM statistics scope.
-    pub(crate) fn dram_stats(&self) -> &ts_sim::stats::Stats {
+    /// DRAM statistics scope (materialized from the DRAM's integer
+    /// counters).
+    pub(crate) fn dram_stats(&self) -> ts_sim::stats::Stats {
         self.dram.stats()
     }
 

@@ -7,22 +7,48 @@ use ts_mem::Storage;
 use ts_sim::stats::Report;
 use ts_stream::Addr;
 
+/// Number of buckets in the per-component stretch-length histograms.
+pub const STRETCH_BUCKETS: usize = 5;
+
+/// Human-readable labels for the stretch-length histogram buckets.
+pub const STRETCH_BUCKET_LABELS: [&str; STRETCH_BUCKETS] =
+    ["1-4", "5-16", "17-64", "65-256", "257+"];
+
+/// Bucket index for a skipped/bulk-advanced stretch of `len` cycles.
+pub fn stretch_bucket(len: u64) -> usize {
+    match len {
+        0..=4 => 0,
+        5..=16 => 1,
+        17..=64 => 2,
+        65..=256 => 3,
+        _ => 4,
+    }
+}
+
 /// Cycle-attribution profile of one run: how many cycles each component
 /// was actually ticked versus replayed in closed form, and how often it
 /// was woken from a skipped stretch. Simulator bookkeeping, not a
 /// modelled quantity — like [`RunReport::skipped_cycles`] it is kept
 /// out of [`RunReport::stats`] so reports stay bit-identical whichever
 /// scheduler fast paths are enabled. The invariant `ticks + skipped ==
-/// cycles` holds per component (tile counters sum over all tiles, so
-/// theirs is `cycles × tiles`).
+/// cycles` holds per component (tile counters additionally fold in
+/// `tile_bulk_cycles` and sum over all tiles, so theirs is
+/// `ticks + skipped + bulk == cycles × tiles`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimProfile {
     /// Densely ticked tile-cycles, summed over all tiles.
     pub tile_ticks: u64,
-    /// Tile-cycles replayed in closed form, summed over all tiles.
+    /// Idle (empty-queue) tile-cycles replayed in closed form, summed
+    /// over all tiles.
     pub tile_skipped: u64,
+    /// Blocked busy tile-cycles replayed in closed form by the
+    /// event-driven scheduler (`tile_events`), summed over all tiles.
+    pub tile_bulk_cycles: u64,
     /// Times a tile was woken out of a skipped stretch.
     pub tile_wakes: u64,
+    /// `Tile::next_event` evaluations performed by the event-driven
+    /// scheduler.
+    pub tile_next_event_calls: u64,
     /// Densely ticked memory-controller cycles.
     pub mem_ticks: u64,
     /// Memory-controller cycles replayed in closed form.
@@ -39,17 +65,29 @@ pub struct SimProfile {
     pub jump_cycles: u64,
     /// Main-loop iterations actually executed (densely ticked cycles).
     pub loop_cycles: u64,
+    /// Histogram of whole-loop jump lengths, bucketed by
+    /// [`stretch_bucket`].
+    pub jump_hist: [u64; STRETCH_BUCKETS],
+    /// Histogram of per-tile replayed stretch lengths (idle skips and
+    /// bulk advances), bucketed by [`stretch_bucket`].
+    pub tile_stretch_hist: [u64; STRETCH_BUCKETS],
+    /// Histogram of memory-controller replayed stretch lengths,
+    /// bucketed by [`stretch_bucket`].
+    pub mem_stretch_hist: [u64; STRETCH_BUCKETS],
+    /// Histogram of mesh replayed stretch lengths, bucketed by
+    /// [`stretch_bucket`].
+    pub noc_stretch_hist: [u64; STRETCH_BUCKETS],
 }
 
 impl SimProfile {
     /// Fraction of tile-cycles that were skipped rather than ticked
     /// (0.0 when the run had no cycles).
     pub fn tile_skip_ratio(&self) -> f64 {
-        let total = self.tile_ticks + self.tile_skipped;
+        let total = self.tile_ticks + self.tile_skipped + self.tile_bulk_cycles;
         if total == 0 {
             0.0
         } else {
-            self.tile_skipped as f64 / total as f64
+            (self.tile_skipped + self.tile_bulk_cycles) as f64 / total as f64
         }
     }
 
@@ -58,7 +96,9 @@ impl SimProfile {
     pub fn add(&mut self, other: &SimProfile) {
         self.tile_ticks += other.tile_ticks;
         self.tile_skipped += other.tile_skipped;
+        self.tile_bulk_cycles += other.tile_bulk_cycles;
         self.tile_wakes += other.tile_wakes;
+        self.tile_next_event_calls += other.tile_next_event_calls;
         self.mem_ticks += other.mem_ticks;
         self.mem_skipped += other.mem_skipped;
         self.mem_wakes += other.mem_wakes;
@@ -67,6 +107,12 @@ impl SimProfile {
         self.noc_wakes += other.noc_wakes;
         self.jump_cycles += other.jump_cycles;
         self.loop_cycles += other.loop_cycles;
+        for b in 0..STRETCH_BUCKETS {
+            self.jump_hist[b] += other.jump_hist[b];
+            self.tile_stretch_hist[b] += other.tile_stretch_hist[b];
+            self.mem_stretch_hist[b] += other.mem_stretch_hist[b];
+            self.noc_stretch_hist[b] += other.noc_stretch_hist[b];
+        }
     }
 }
 
@@ -303,8 +349,8 @@ impl RunReport {
             "==",
         );
         check(
-            "tile ticks + skips = cycles x tiles",
-            (p.tile_ticks + p.tile_skipped) as f64,
+            "tile ticks + skips + bulk = cycles x tiles",
+            (p.tile_ticks + p.tile_skipped + p.tile_bulk_cycles) as f64,
             cycles * tiles as f64,
             "==",
         );

@@ -154,8 +154,9 @@ fn assert_observables_match(a: &RunReport, b: &RunReport, dram_words: usize, wha
     );
 }
 
-/// `ticks + skipped == cycles` per component; loop iterations plus
-/// jumped cycles must cover the whole run.
+/// `ticks + skipped == cycles` per component (tiles additionally fold
+/// in bulk-advanced blocked cycles); loop iterations plus jumped
+/// cycles must cover the whole run.
 fn assert_profile_consistent(r: &RunReport, tiles: u64, what: &str) {
     let p = &r.profile;
     assert_eq!(
@@ -164,7 +165,7 @@ fn assert_profile_consistent(r: &RunReport, tiles: u64, what: &str) {
         "{what}: loop + jump != cycles"
     );
     assert_eq!(
-        p.tile_ticks + p.tile_skipped,
+        p.tile_ticks + p.tile_skipped + p.tile_bulk_cycles,
         r.cycles * tiles,
         "{what}: tile cycle attribution leaked"
     );
@@ -328,7 +329,10 @@ proptest! {
             prop_assert_eq!(r.dram_range(0, 64), dense.dram_range(0, 64));
             let p = &r.profile;
             prop_assert_eq!(p.loop_cycles + p.jump_cycles, r.cycles);
-            prop_assert_eq!(p.tile_ticks + p.tile_skipped, r.cycles * tiles as u64);
+            prop_assert_eq!(
+                p.tile_ticks + p.tile_skipped + p.tile_bulk_cycles,
+                r.cycles * tiles as u64
+            );
             prop_assert_eq!(p.mem_ticks + p.mem_skipped, r.cycles);
             prop_assert_eq!(p.noc_ticks + p.noc_skipped, r.cycles);
         }

@@ -1,0 +1,322 @@
+//! Equivalence tests for event-driven tile scheduling: with
+//! `tile_events` on, blocked tiles are deferred and caught up with
+//! closed-form bulk advances, and the run must stay bit-identical to
+//! dense per-cycle ticking — cycles, stats, DRAM image, trace stream
+//! and fault report — in every `active_set` × `idle_skip` combination
+//! and under fault injection.
+
+use proptest::prelude::*;
+use taskstream_model::{
+    CompletedTask, MemoryImage, Program, Spawner, TaskInstance, TaskKernel, TaskType, TaskTypeId,
+};
+use ts_delta::{Accelerator, DeltaConfig, DeltaConfigBuilder, FaultsConfig, RunReport};
+use ts_dfg::DfgBuilder;
+use ts_mem::WriteMode;
+use ts_stream::StreamDesc;
+
+fn reduce_type(name: &str) -> TaskType {
+    let mut b = DfgBuilder::new(name);
+    let x = b.input();
+    let s = b.acc(x);
+    b.output_on_last(s);
+    TaskType::new(name, TaskKernel::dfg(b.finish().unwrap()))
+}
+
+/// Waves of parameterized width over a shared input stream (multicast
+/// groups form inside the batching window), optionally writing each
+/// task's reduction to a distinct DRAM word (exercising sink drains
+/// and the write/ack path the bulk advance must model exactly).
+#[derive(Clone)]
+struct Waves {
+    widths: Vec<usize>,
+    stream_len: usize,
+    write_out: bool,
+    wave: usize,
+    outstanding: usize,
+    spawned: u64,
+}
+
+impl Waves {
+    fn new(widths: Vec<usize>, stream_len: usize, write_out: bool) -> Self {
+        Waves {
+            widths,
+            stream_len,
+            write_out,
+            wave: 0,
+            outstanding: 0,
+            spawned: 0,
+        }
+    }
+
+    /// Base of the per-task one-word output region (past the input
+    /// image, far from anything the kernels read).
+    const OUT_BASE: u64 = 4096;
+
+    fn spawn_wave(&mut self, s: &mut Spawner) {
+        let width = self.widths[self.wave];
+        self.wave += 1;
+        self.outstanding = width;
+        for i in 0..width {
+            let mut inst = TaskInstance::new(TaskTypeId(0))
+                .input_stream(StreamDesc::dram(0, self.stream_len as u64))
+                .affinity(i as u64);
+            inst = if self.write_out {
+                let addr = Self::OUT_BASE + self.spawned;
+                inst.output_memory(StreamDesc::dram(addr, 1), WriteMode::Overwrite)
+            } else {
+                inst.output_discard()
+            };
+            self.spawned += 1;
+            s.spawn(inst);
+        }
+    }
+}
+
+impl Program for Waves {
+    fn name(&self) -> &str {
+        "waves"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![reduce_type("wave")]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=64i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.spawn_wave(s);
+    }
+
+    fn on_complete(&mut self, _done: &CompletedTask, s: &mut Spawner) {
+        self.outstanding -= 1;
+        if self.outstanding == 0 && self.wave < self.widths.len() {
+            self.spawn_wave(s);
+        }
+    }
+}
+
+/// Every observable on the two reports must match bit-for-bit; only
+/// the scheduler-bookkeeping profile may differ.
+fn assert_reports_identical(on: &RunReport, off: &RunReport, what: &str) {
+    assert_eq!(on.cycles, off.cycles, "{what}: cycles diverged");
+    assert_eq!(
+        on.tasks_completed, off.tasks_completed,
+        "{what}: task count diverged"
+    );
+    assert_eq!(on.timeline, off.timeline, "{what}: timeline diverged");
+    assert_eq!(on.stats, off.stats, "{what}: stats diverged");
+    assert_eq!(
+        on.dram_range(0, 64),
+        off.dram_range(0, 64),
+        "{what}: DRAM input image diverged"
+    );
+    assert_eq!(
+        on.dram_range(Waves::OUT_BASE, 64),
+        off.dram_range(Waves::OUT_BASE, 64),
+        "{what}: DRAM output region diverged"
+    );
+    assert_eq!(on.trace, off.trace, "{what}: trace stream diverged");
+    assert_eq!(
+        on.trace_dropped, off.trace_dropped,
+        "{what}: trace drop count diverged"
+    );
+    assert_eq!(on.faults, off.faults, "{what}: fault report diverged");
+    // `skipped_cycles` is deliberately NOT compared: event-driven tiles
+    // report `At(t)` where dense ticking pessimistically reports `Now`,
+    // so the event-driven run jumps more — that is the optimization,
+    // and it is bookkeeping, not an observable.
+}
+
+fn run_one<P: Program>(
+    base: &DeltaConfigBuilder,
+    active_set: bool,
+    idle_skip: bool,
+    tile_events: bool,
+    mut prog: P,
+) -> RunReport {
+    let cfg = base
+        .clone()
+        .active_set(active_set)
+        .idle_skip(idle_skip)
+        .tile_events(tile_events)
+        .build();
+    let tiles = cfg.tiles as u64;
+    let r = Accelerator::new(cfg).run(&mut prog).unwrap();
+    let p = &r.profile;
+    assert_eq!(p.loop_cycles + p.jump_cycles, r.cycles);
+    assert_eq!(
+        p.tile_ticks + p.tile_skipped + p.tile_bulk_cycles,
+        r.cycles * tiles,
+        "tile cycle attribution leaked"
+    );
+    if !tile_events {
+        assert_eq!(p.tile_bulk_cycles, 0, "bulk advance without tile_events");
+        assert_eq!(p.tile_next_event_calls, 0);
+    }
+    r
+}
+
+/// Runs the program with `tile_events` on and off in all four
+/// `active_set` × `idle_skip` combinations and asserts bit-identical
+/// observables in each.
+fn assert_tile_events_equivalent<P, F>(make: F, base: DeltaConfigBuilder)
+where
+    P: Program,
+    F: Fn() -> P,
+{
+    for (active_set, idle_skip) in [(false, false), (true, false), (false, true), (true, true)] {
+        let off = run_one(&base, active_set, idle_skip, false, make());
+        let on = run_one(&base, active_set, idle_skip, true, make());
+        assert!(
+            on.profile.tile_next_event_calls > 0,
+            "tile_events on but next_event never consulted; the test is vacuous"
+        );
+        assert_reports_identical(
+            &on,
+            &off,
+            &format!("active_set={active_set}, idle_skip={idle_skip}"),
+        );
+    }
+}
+
+#[test]
+fn latency_bound_waves_bulk_advance_identically() {
+    // Long memory latency leaves running heads input-blocked for long
+    // known stretches: the bulk-advance regime must actually engage.
+    let base = DeltaConfig::builder(4)
+        .dram_latency(60)
+        .spawn_latency(120)
+        .host_latency(120);
+    assert_tile_events_equivalent(|| Waves::new(vec![3, 4, 2], 48, true), base.clone());
+    let on = run_one(&base, true, true, true, Waves::new(vec![3, 4, 2], 48, true));
+    assert!(
+        on.profile.tile_bulk_cycles > 0,
+        "latency-bound run never bulk-advanced a blocked tile"
+    );
+}
+
+#[test]
+fn traced_run_is_bit_identical() {
+    let base = DeltaConfig::builder(4)
+        .trace(true)
+        .spawn_latency(90)
+        .host_latency(90);
+    assert_tile_events_equivalent(|| Waves::new(vec![4, 3], 32, true), base);
+}
+
+#[test]
+fn work_stealing_waves_stay_identical() {
+    let base = DeltaConfig::builder(4)
+        .work_stealing(true)
+        .spawn_latency(250)
+        .host_latency(250);
+    assert_tile_events_equivalent(|| Waves::new(vec![6, 5, 6], 24, false), base);
+}
+
+/// Drain-boundary regression: a tiny output buffer forces sinks to
+/// drain word by word through the NoC, so the "drain at a known rate"
+/// regime crosses many ack boundaries per task.
+#[test]
+fn drain_boundary_regression() {
+    let base = DeltaConfig::builder(2)
+        .out_buf(2)
+        .noc_queue(2)
+        .spawn_latency(40)
+        .host_latency(40);
+    assert_tile_events_equivalent(|| Waves::new(vec![2, 2, 2, 2], 40, true), base);
+}
+
+/// Multicast-window regression: a one-cycle batching window splinters
+/// shared reads into many small multicast groups, so group formation
+/// and flit fan-out land on exact cycles the deferred tiles must
+/// reproduce.
+#[test]
+fn multicast_window_regression() {
+    let base = DeltaConfig::builder(4)
+        .mcast_batch_window(1)
+        .spawn_latency(30)
+        .host_latency(30);
+    assert_tile_events_equivalent(|| Waves::new(vec![4, 4, 4], 48, true), base);
+}
+
+#[test]
+fn chaos_faults_with_recovery_stay_identical() {
+    // Fault injection (fail-stops, stalls, flit drops, DRAM retries,
+    // recovery on) must draw per-(seed, site, time) identically when
+    // blocked tiles are deferred: watchdog strides and stall windows
+    // clamp the jumps.
+    let base = DeltaConfig::builder(4)
+        .faults(FaultsConfig::chaos())
+        .seed(7)
+        .spawn_latency(80)
+        .host_latency(80);
+    assert_tile_events_equivalent(|| Waves::new(vec![4, 3, 4], 32, true), base);
+}
+
+#[test]
+fn static_parallel_preset_stays_identical() {
+    let base = DeltaConfig::static_parallel(4)
+        .to_builder()
+        .spawn_latency(100)
+        .host_latency(100);
+    assert_tile_events_equivalent(|| Waves::new(vec![3, 2, 3], 24, true), base);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random wave programs × machine shapes × fault schedules: all
+    /// four scheduler-mode combinations must be unaffected by
+    /// `tile_events`, bit for bit.
+    #[test]
+    fn random_programs_unaffected_by_tile_events(
+        widths in prop::collection::vec(1usize..5, 1..4),
+        stream_len in 4usize..64,
+        tiles in 1usize..6,
+        latency in 1u64..260,
+        dram_latency in 1u64..80,
+        work_stealing in prop::bool::ANY,
+        write_out in prop::bool::ANY,
+        chaos in prop::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let mut base = DeltaConfig::builder(tiles)
+            .spawn_latency(latency)
+            .host_latency(latency)
+            .dram_latency(dram_latency)
+            .work_stealing(work_stealing)
+            .seed(seed);
+        if chaos {
+            base = base.faults(FaultsConfig::chaos());
+        }
+        for (active_set, idle_skip) in
+            [(false, false), (true, false), (false, true), (true, true)]
+        {
+            let off = run_one(
+                &base, active_set, idle_skip, false,
+                Waves::new(widths.clone(), stream_len, write_out),
+            );
+            let on = run_one(
+                &base, active_set, idle_skip, true,
+                Waves::new(widths.clone(), stream_len, write_out),
+            );
+            prop_assert_eq!(on.cycles, off.cycles,
+                "cycles diverged (active_set={}, idle_skip={}, chaos={})",
+                active_set, idle_skip, chaos);
+            prop_assert_eq!(on.tasks_completed, off.tasks_completed);
+            prop_assert_eq!(&on.timeline, &off.timeline);
+            prop_assert_eq!(&on.stats, &off.stats,
+                "stats diverged (active_set={}, idle_skip={}, chaos={})",
+                active_set, idle_skip, chaos);
+            prop_assert_eq!(on.dram_range(0, 64), off.dram_range(0, 64));
+            prop_assert_eq!(
+                on.dram_range(Waves::OUT_BASE, 64),
+                off.dram_range(Waves::OUT_BASE, 64)
+            );
+            prop_assert_eq!(&on.trace, &off.trace);
+            prop_assert_eq!(&on.faults, &off.faults);
+        }
+    }
+}

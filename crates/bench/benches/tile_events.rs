@@ -1,0 +1,162 @@
+//! Criterion comparison of event-driven tile scheduling against dense
+//! per-cycle ticking, on the two extremes the optimization must
+//! straddle: a busy gemm-like grid where every tile fires every cycle
+//! (measuring the `next_event` bookkeeping overhead on runs with
+//! nothing to skip) and a latency-bound spmv-like chain where running
+//! heads sit input-blocked on DRAM for long stretches (measuring the
+//! bulk-advance win). Results are bit-identical either way (see
+//! `crates/accel/tests/tile_events.rs` for the equivalence proof).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taskstream_model::{
+    CompletedTask, MemoryImage, Program, Spawner, TaskInstance, TaskKernel, TaskType, TaskTypeId,
+};
+use ts_delta::{Accelerator, DeltaConfig};
+use ts_dfg::DfgBuilder;
+use ts_stream::StreamDesc;
+
+fn reduce_type(name: &str) -> TaskType {
+    let mut b = DfgBuilder::new(name);
+    let x = b.input();
+    let s = b.acc(x);
+    b.output_on_last(s);
+    TaskType::new(name, TaskKernel::dfg(b.finish().unwrap()))
+}
+
+/// Busy grid: waves as wide as the machine keep every tile's head
+/// firing at its initiation interval — the worst case for event-driven
+/// scheduling, which pays `next_event` on every ticked cycle.
+struct GemmGrid {
+    waves: usize,
+    outstanding: usize,
+}
+
+const GRID_WIDTH: usize = 16;
+
+impl GemmGrid {
+    fn spawn_wave(&mut self, s: &mut Spawner) {
+        self.waves -= 1;
+        self.outstanding = GRID_WIDTH;
+        for i in 0..GRID_WIDTH {
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(0, 256))
+                    .output_discard()
+                    .affinity(i as u64),
+            );
+        }
+    }
+}
+
+impl Program for GemmGrid {
+    fn name(&self) -> &str {
+        "gemm-grid"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![reduce_type("tile-mm")]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=256i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.spawn_wave(s);
+    }
+
+    fn on_complete(&mut self, _done: &CompletedTask, s: &mut Spawner) {
+        self.outstanding -= 1;
+        if self.outstanding == 0 && self.waves > 0 {
+            self.spawn_wave(s);
+        }
+    }
+}
+
+/// Latency-bound chain: one task at a time streams a long row through
+/// a slow DRAM, so the resident head spends most cycles provably
+/// blocked on stream arrivals — the regime the bulk advance converts
+/// from dense ticks into closed-form jumps.
+struct SpmvChain {
+    remaining: usize,
+}
+
+impl Program for SpmvChain {
+    fn name(&self) -> &str {
+        "spmv-chain"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![reduce_type("row-dot")]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        MemoryImage::new().dram_segment(0, (1..=128i64).collect::<Vec<_>>())
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        self.remaining -= 1;
+        s.spawn(
+            TaskInstance::new(TaskTypeId(0))
+                .input_stream(StreamDesc::dram(0, 128))
+                .output_discard(),
+        );
+    }
+
+    fn on_complete(&mut self, _done: &CompletedTask, s: &mut Spawner) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(0, 128))
+                    .output_discard(),
+            );
+        }
+    }
+}
+
+fn run_gemm(tile_events: bool) -> u64 {
+    let cfg = DeltaConfig::builder(GRID_WIDTH)
+        .tile_events(tile_events)
+        .spawn_latency(40)
+        .host_latency(40)
+        .build();
+    let mut p = GemmGrid {
+        waves: 12,
+        outstanding: 0,
+    };
+    Accelerator::new(cfg).run(&mut p).unwrap().cycles
+}
+
+fn run_spmv(tile_events: bool) -> u64 {
+    let cfg = DeltaConfig::builder(4)
+        .tile_events(tile_events)
+        .dram_latency(80)
+        .spawn_latency(60)
+        .host_latency(60)
+        .build();
+    let mut p = SpmvChain { remaining: 40 };
+    Accelerator::new(cfg).run(&mut p).unwrap().cycles
+}
+
+fn tile_events_vs_dense(c: &mut Criterion) {
+    c.bench_function("gemm_grid_tile_events", |bench| {
+        bench.iter(|| run_gemm(true))
+    });
+    c.bench_function("gemm_grid_dense_tiles", |bench| {
+        bench.iter(|| run_gemm(false))
+    });
+    c.bench_function("spmv_chain_tile_events", |bench| {
+        bench.iter(|| run_spmv(true))
+    });
+    c.bench_function("spmv_chain_dense_tiles", |bench| {
+        bench.iter(|| run_spmv(false))
+    });
+}
+
+criterion_group!(
+    name = tile_events;
+    config = Criterion::default().sample_size(20);
+    targets = tile_events_vs_dense
+);
+criterion_main!(tile_events);

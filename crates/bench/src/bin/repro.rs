@@ -80,6 +80,7 @@ common flags (sweep and goldens):
   --bench-json <path>    write machine-readable timings
   --no-active-set        disable active-set scheduling (A/B reference)
   --no-idle-skip         disable the next-event jump (A/B reference)
+  --no-tile-events       disable event-driven tiles (A/B reference)
 
 `repro <command> --help` prints each command's usage. The
 pre-subcommand spellings still work: `repro [experiment ...] [flags]`
@@ -90,6 +91,7 @@ experiments: omit to run all; known ids are listed in ts_bench::experiments::ALL
 const SWEEP_USAGE: &str = "\
 usage: repro sweep [experiment ...] [--tiny] [--jobs <n>] [--profile]
                    [--bench-json <path>] [--no-active-set] [--no-idle-skip]
+                   [--no-tile-events]
 
 Runs the named experiments (all of them when none are named) and
 prints their tables.";
@@ -97,7 +99,7 @@ prints their tables.";
 const GOLDENS_USAGE: &str = "\
 usage: repro goldens <check|bless> [experiment ...] [--tiny] [--jobs <n>]
                      [--profile] [--bench-json <path>]
-                     [--no-active-set] [--no-idle-skip]
+                     [--no-active-set] [--no-idle-skip] [--no-tile-events]
 
 check: re-runs the experiments and diffs them cell by cell against the
 committed goldens/<scale>/ snapshots plus the shape claims; violations
@@ -136,6 +138,7 @@ struct Common {
     bench_json: Option<String>,
     no_active_set: bool,
     no_idle_skip: bool,
+    no_tile_events: bool,
 }
 
 impl Common {
@@ -149,7 +152,7 @@ impl Common {
 
     /// Applies the process-wide knobs (fast-path overrides, pool size).
     fn apply(&self) {
-        ts_bench::disable_fast_paths(self.no_active_set, self.no_idle_skip);
+        ts_bench::disable_fast_paths(self.no_active_set, self.no_idle_skip, self.no_tile_events);
         if let Some(n) = self.jobs {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
@@ -165,6 +168,7 @@ impl Common {
             "--tiny" => self.tiny = true,
             "--no-active-set" => self.no_active_set = true,
             "--no-idle-skip" => self.no_idle_skip = true,
+            "--no-tile-events" => self.no_tile_events = true,
             "--profile" => self.show_profile = true,
             "--jobs" => {
                 let v = take_value(it, "--jobs", usage);
@@ -559,16 +563,27 @@ fn goldens_root() -> PathBuf {
 }
 
 /// Renders one profile as a JSON object (the repo has no serde; the
-/// fields are flat integers so hand-rolling is exact).
+/// fields are flat integers and fixed-size histograms so hand-rolling
+/// is exact). Histogram arrays are bucketed by stretch length; the
+/// bucket boundaries are `ts_delta::STRETCH_BUCKET_LABELS`.
 fn profile_json(p: &SimProfile) -> String {
+    let hist = |h: &[u64]| {
+        let cells: Vec<String> = h.iter().map(u64::to_string).collect();
+        format!("[{}]", cells.join(", "))
+    };
     format!(
-        "{{\"tile_ticks\": {}, \"tile_skipped\": {}, \"tile_wakes\": {}, \
+        "{{\"tile_ticks\": {}, \"tile_skipped\": {}, \"tile_bulk_cycles\": {}, \
+         \"tile_wakes\": {}, \"tile_next_event_calls\": {}, \
          \"mem_ticks\": {}, \"mem_skipped\": {}, \"mem_wakes\": {}, \
          \"noc_ticks\": {}, \"noc_skipped\": {}, \"noc_wakes\": {}, \
-         \"jump_cycles\": {}, \"loop_cycles\": {}}}",
+         \"jump_cycles\": {}, \"loop_cycles\": {}, \
+         \"jump_hist\": {}, \"tile_stretch_hist\": {}, \
+         \"mem_stretch_hist\": {}, \"noc_stretch_hist\": {}}}",
         p.tile_ticks,
         p.tile_skipped,
+        p.tile_bulk_cycles,
         p.tile_wakes,
+        p.tile_next_event_calls,
         p.mem_ticks,
         p.mem_skipped,
         p.mem_wakes,
@@ -577,5 +592,9 @@ fn profile_json(p: &SimProfile) -> String {
         p.noc_wakes,
         p.jump_cycles,
         p.loop_cycles,
+        hist(&p.jump_hist),
+        hist(&p.tile_stretch_hist),
+        hist(&p.mem_stretch_hist),
+        hist(&p.noc_stretch_hist),
     )
 }

@@ -57,12 +57,27 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// *measure* that and the wall-clock difference.
 static FORCE_NO_ACTIVE_SET: AtomicBool = AtomicBool::new(false);
 static FORCE_NO_IDLE_SKIP: AtomicBool = AtomicBool::new(false);
+static FORCE_NO_TILE_EVENTS: AtomicBool = AtomicBool::new(false);
 
 /// Disables simulator fast paths for every subsequent run in this
-/// process (`active_set` and/or `idle_skip`).
-pub fn disable_fast_paths(active_set: bool, idle_skip: bool) {
+/// process (`active_set`, `idle_skip`, and/or `tile_events`).
+pub fn disable_fast_paths(active_set: bool, idle_skip: bool, tile_events: bool) {
     FORCE_NO_ACTIVE_SET.store(active_set, Ordering::Relaxed);
     FORCE_NO_IDLE_SKIP.store(idle_skip, Ordering::Relaxed);
+    FORCE_NO_TILE_EVENTS.store(tile_events, Ordering::Relaxed);
+}
+
+/// Applies the process-wide fast-path overrides to one run's config.
+fn apply_forces(cfg: &mut DeltaConfig) {
+    if FORCE_NO_ACTIVE_SET.load(Ordering::Relaxed) {
+        cfg.active_set = false;
+    }
+    if FORCE_NO_IDLE_SKIP.load(Ordering::Relaxed) {
+        cfg.idle_skip = false;
+    }
+    if FORCE_NO_TILE_EVENTS.load(Ordering::Relaxed) {
+        cfg.tile_events = false;
+    }
 }
 
 /// Runs one workload on one configuration and validates the result.
@@ -74,12 +89,7 @@ pub fn disable_fast_paths(active_set: bool, idle_skip: bool) {
 /// ([`RunReport::check_conservation`]) — a harness that silently
 /// benchmarks wrong answers would be worthless.
 pub fn run_validated(wl: &dyn Workload, mut cfg: DeltaConfig, baseline_program: bool) -> RunReport {
-    if FORCE_NO_ACTIVE_SET.load(Ordering::Relaxed) {
-        cfg.active_set = false;
-    }
-    if FORCE_NO_IDLE_SKIP.load(Ordering::Relaxed) {
-        cfg.idle_skip = false;
-    }
+    apply_forces(&mut cfg);
     let tiles = cfg.tiles;
     let mut program: Box<dyn Program> = if baseline_program {
         wl.make_baseline_program()
@@ -143,12 +153,7 @@ pub fn run_faulted(
     mut cfg: DeltaConfig,
     baseline_program: bool,
 ) -> FaultOutcome {
-    if FORCE_NO_ACTIVE_SET.load(Ordering::Relaxed) {
-        cfg.active_set = false;
-    }
-    if FORCE_NO_IDLE_SKIP.load(Ordering::Relaxed) {
-        cfg.idle_skip = false;
-    }
+    apply_forces(&mut cfg);
     let tiles = cfg.tiles;
     let make = || -> Box<dyn Program> {
         if baseline_program {

@@ -7,11 +7,13 @@
 //! and at the end of the whole run (`repro --profile`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use ts_delta::SimProfile;
+use ts_delta::{SimProfile, STRETCH_BUCKETS};
 
 static TILE_TICKS: AtomicU64 = AtomicU64::new(0);
 static TILE_SKIPPED: AtomicU64 = AtomicU64::new(0);
+static TILE_BULK_CYCLES: AtomicU64 = AtomicU64::new(0);
 static TILE_WAKES: AtomicU64 = AtomicU64::new(0);
+static TILE_NEXT_EVENT_CALLS: AtomicU64 = AtomicU64::new(0);
 static MEM_TICKS: AtomicU64 = AtomicU64::new(0);
 static MEM_SKIPPED: AtomicU64 = AtomicU64::new(0);
 static MEM_WAKES: AtomicU64 = AtomicU64::new(0);
@@ -20,13 +22,22 @@ static NOC_SKIPPED: AtomicU64 = AtomicU64::new(0);
 static NOC_WAKES: AtomicU64 = AtomicU64::new(0);
 static JUMP_CYCLES: AtomicU64 = AtomicU64::new(0);
 static LOOP_CYCLES: AtomicU64 = AtomicU64::new(0);
+static JUMP_HIST: [AtomicU64; STRETCH_BUCKETS] = [const { AtomicU64::new(0) }; STRETCH_BUCKETS];
+static TILE_STRETCH_HIST: [AtomicU64; STRETCH_BUCKETS] =
+    [const { AtomicU64::new(0) }; STRETCH_BUCKETS];
+static MEM_STRETCH_HIST: [AtomicU64; STRETCH_BUCKETS] =
+    [const { AtomicU64::new(0) }; STRETCH_BUCKETS];
+static NOC_STRETCH_HIST: [AtomicU64; STRETCH_BUCKETS] =
+    [const { AtomicU64::new(0) }; STRETCH_BUCKETS];
 static RUNS: AtomicU64 = AtomicU64::new(0);
 
 /// Adds one run's counters to the global tally.
 pub fn record(p: &SimProfile) {
     TILE_TICKS.fetch_add(p.tile_ticks, Ordering::Relaxed);
     TILE_SKIPPED.fetch_add(p.tile_skipped, Ordering::Relaxed);
+    TILE_BULK_CYCLES.fetch_add(p.tile_bulk_cycles, Ordering::Relaxed);
     TILE_WAKES.fetch_add(p.tile_wakes, Ordering::Relaxed);
+    TILE_NEXT_EVENT_CALLS.fetch_add(p.tile_next_event_calls, Ordering::Relaxed);
     MEM_TICKS.fetch_add(p.mem_ticks, Ordering::Relaxed);
     MEM_SKIPPED.fetch_add(p.mem_skipped, Ordering::Relaxed);
     MEM_WAKES.fetch_add(p.mem_wakes, Ordering::Relaxed);
@@ -35,7 +46,17 @@ pub fn record(p: &SimProfile) {
     NOC_WAKES.fetch_add(p.noc_wakes, Ordering::Relaxed);
     JUMP_CYCLES.fetch_add(p.jump_cycles, Ordering::Relaxed);
     LOOP_CYCLES.fetch_add(p.loop_cycles, Ordering::Relaxed);
+    for b in 0..STRETCH_BUCKETS {
+        JUMP_HIST[b].fetch_add(p.jump_hist[b], Ordering::Relaxed);
+        TILE_STRETCH_HIST[b].fetch_add(p.tile_stretch_hist[b], Ordering::Relaxed);
+        MEM_STRETCH_HIST[b].fetch_add(p.mem_stretch_hist[b], Ordering::Relaxed);
+        NOC_STRETCH_HIST[b].fetch_add(p.noc_stretch_hist[b], Ordering::Relaxed);
+    }
     RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+fn load_hist(h: &[AtomicU64; STRETCH_BUCKETS]) -> [u64; STRETCH_BUCKETS] {
+    std::array::from_fn(|b| h[b].load(Ordering::Relaxed))
 }
 
 /// Current tally plus the number of runs that contributed to it.
@@ -44,7 +65,9 @@ pub fn snapshot() -> (SimProfile, u64) {
         SimProfile {
             tile_ticks: TILE_TICKS.load(Ordering::Relaxed),
             tile_skipped: TILE_SKIPPED.load(Ordering::Relaxed),
+            tile_bulk_cycles: TILE_BULK_CYCLES.load(Ordering::Relaxed),
             tile_wakes: TILE_WAKES.load(Ordering::Relaxed),
+            tile_next_event_calls: TILE_NEXT_EVENT_CALLS.load(Ordering::Relaxed),
             mem_ticks: MEM_TICKS.load(Ordering::Relaxed),
             mem_skipped: MEM_SKIPPED.load(Ordering::Relaxed),
             mem_wakes: MEM_WAKES.load(Ordering::Relaxed),
@@ -53,6 +76,10 @@ pub fn snapshot() -> (SimProfile, u64) {
             noc_wakes: NOC_WAKES.load(Ordering::Relaxed),
             jump_cycles: JUMP_CYCLES.load(Ordering::Relaxed),
             loop_cycles: LOOP_CYCLES.load(Ordering::Relaxed),
+            jump_hist: load_hist(&JUMP_HIST),
+            tile_stretch_hist: load_hist(&TILE_STRETCH_HIST),
+            mem_stretch_hist: load_hist(&MEM_STRETCH_HIST),
+            noc_stretch_hist: load_hist(&NOC_STRETCH_HIST),
         },
         RUNS.load(Ordering::Relaxed),
     )
@@ -61,10 +88,15 @@ pub fn snapshot() -> (SimProfile, u64) {
 /// Counter-wise `after - before`, for attributing one experiment's
 /// share of the tally from two snapshots.
 pub fn delta(before: &SimProfile, after: &SimProfile) -> SimProfile {
+    let hist_delta = |b: &[u64; STRETCH_BUCKETS], a: &[u64; STRETCH_BUCKETS]| {
+        std::array::from_fn(|i| a[i] - b[i])
+    };
     SimProfile {
         tile_ticks: after.tile_ticks - before.tile_ticks,
         tile_skipped: after.tile_skipped - before.tile_skipped,
+        tile_bulk_cycles: after.tile_bulk_cycles - before.tile_bulk_cycles,
         tile_wakes: after.tile_wakes - before.tile_wakes,
+        tile_next_event_calls: after.tile_next_event_calls - before.tile_next_event_calls,
         mem_ticks: after.mem_ticks - before.mem_ticks,
         mem_skipped: after.mem_skipped - before.mem_skipped,
         mem_wakes: after.mem_wakes - before.mem_wakes,
@@ -73,11 +105,17 @@ pub fn delta(before: &SimProfile, after: &SimProfile) -> SimProfile {
         noc_wakes: after.noc_wakes - before.noc_wakes,
         jump_cycles: after.jump_cycles - before.jump_cycles,
         loop_cycles: after.loop_cycles - before.loop_cycles,
+        jump_hist: hist_delta(&before.jump_hist, &after.jump_hist),
+        tile_stretch_hist: hist_delta(&before.tile_stretch_hist, &after.tile_stretch_hist),
+        mem_stretch_hist: hist_delta(&before.mem_stretch_hist, &after.mem_stretch_hist),
+        noc_stretch_hist: hist_delta(&before.noc_stretch_hist, &after.noc_stretch_hist),
     }
 }
 
 /// One-line human rendering: what fraction of each component's cycles
 /// were densely ticked, and how much of the run was jumped outright.
+/// Tile cycles replayed as blocked bulk advances count as skipped (they
+/// never ran the dense tick) and are broken out separately when present.
 pub fn summarize(p: &SimProfile) -> String {
     let pct = |ticks: u64, skipped: u64| {
         let total = ticks + skipped;
@@ -88,10 +126,16 @@ pub fn summarize(p: &SimProfile) -> String {
         }
     };
     let cycles = p.loop_cycles + p.jump_cycles;
+    let bulk = if p.tile_bulk_cycles > 0 {
+        format!(" [{} bulk]", p.tile_bulk_cycles)
+    } else {
+        String::new()
+    };
     format!(
-        "tiles {:.1}% ticked ({} wakes), mem {:.1}% ({} wakes), noc {:.1}% ({} wakes), {:.1}% of {} cycles jumped",
-        pct(p.tile_ticks, p.tile_skipped),
+        "tiles {:.1}% ticked ({} wakes){}, mem {:.1}% ({} wakes), noc {:.1}% ({} wakes), {:.1}% of {} cycles jumped",
+        pct(p.tile_ticks, p.tile_skipped + p.tile_bulk_cycles),
         p.tile_wakes,
+        bulk,
         pct(p.mem_ticks, p.mem_skipped),
         p.mem_wakes,
         pct(p.noc_ticks, p.noc_skipped),
@@ -111,7 +155,9 @@ mod tests {
         let p = SimProfile {
             tile_ticks: 3,
             tile_skipped: 5,
+            tile_bulk_cycles: 0,
             tile_wakes: 1,
+            tile_next_event_calls: 2,
             mem_ticks: 2,
             mem_skipped: 6,
             mem_wakes: 1,
@@ -120,6 +166,10 @@ mod tests {
             noc_wakes: 1,
             jump_cycles: 4,
             loop_cycles: 4,
+            jump_hist: [1, 0, 0, 0, 0],
+            tile_stretch_hist: [0, 1, 0, 0, 0],
+            mem_stretch_hist: [0, 0, 1, 0, 0],
+            noc_stretch_hist: [0, 0, 0, 1, 0],
         };
         record(&p);
         let (after, runs_after) = snapshot();
@@ -128,5 +178,18 @@ mod tests {
         let s = summarize(&p);
         assert!(s.contains("tiles 37.5% ticked"), "{s}");
         assert!(s.contains("50.0% of 8 cycles jumped"), "{s}");
+    }
+
+    #[test]
+    fn summarize_breaks_out_bulk_advances() {
+        let p = SimProfile {
+            tile_ticks: 2,
+            tile_skipped: 2,
+            tile_bulk_cycles: 4,
+            ..Default::default()
+        };
+        let s = summarize(&p);
+        assert!(s.contains("tiles 25.0% ticked"), "{s}");
+        assert!(s.contains("[4 bulk]"), "{s}");
     }
 }

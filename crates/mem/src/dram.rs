@@ -2,7 +2,7 @@
 
 use crate::storage::Storage;
 use crate::{Addr, Value};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use ts_sim::stats::Stats;
 use ts_sim::TokenBucket;
 
@@ -128,11 +128,13 @@ pub struct Dram {
     /// in-order return channel blocked behind the retry.
     inflight: VecDeque<(u64, DramOut)>,
     next_job: JobId,
-    /// Addresses read at least once, for the `read_words_unique`
-    /// counter: the conservation invariant `read_words >=
-    /// read_words_unique` and the multicast traffic claims both lean on
-    /// distinguishing total from first-touch reads.
-    seen_reads: HashSet<Addr>,
+    /// Bit per word: addresses read at least once, for the
+    /// `read_words_unique` counter. The conservation invariant
+    /// `read_words >= read_words_unique` and the multicast traffic
+    /// claims both lean on distinguishing total from first-touch reads.
+    /// A flat bitmap (addresses are bounded by capacity) keeps the
+    /// first-touch test off the hot path's hash machinery.
+    seen_reads: Vec<u64>,
     /// Per-served-word probability of a detected transient error; the
     /// word is retried, adding `fault_retry` cycles to its latency.
     fault_rate: f64,
@@ -142,7 +144,15 @@ pub struct Dram {
     /// for fault injection (serve order is itself deterministic).
     fault_served: u64,
     fault_retries: u64,
-    stats: Stats,
+    /// Traffic counters kept as plain integers — served words are the
+    /// hottest loop in the memory system, so the generic [`Stats`]
+    /// scope is materialized on demand (see [`Dram::stats`]) instead of
+    /// bumped per word.
+    jobs: u64,
+    job_words: u64,
+    read_words: u64,
+    read_words_unique: u64,
+    write_words: u64,
 }
 
 /// splitmix64-style draw in `[0, 1)` for transient-error injection.
@@ -173,13 +183,17 @@ impl Dram {
             active: VecDeque::new(),
             inflight: VecDeque::new(),
             next_job: 0,
-            seen_reads: HashSet::new(),
+            seen_reads: vec![0u64; config.words.div_ceil(64)],
             fault_rate: 0.0,
             fault_retry: 0,
             fault_seed: 0,
             fault_served: 0,
             fault_retries: 0,
-            stats: Stats::new(),
+            jobs: 0,
+            job_words: 0,
+            read_words: 0,
+            read_words_unique: 0,
+            write_words: 0,
             config,
         }
     }
@@ -211,6 +225,14 @@ impl Dram {
         &mut self.storage
     }
 
+    /// Moves the backing store out, leaving an empty one behind. Used
+    /// when the final report takes ownership of memory contents — the
+    /// store can be tens of MiB, and the DRAM is dropped right after,
+    /// so a clone would be pure memcpy waste.
+    pub fn take_storage(&mut self) -> Storage {
+        std::mem::replace(&mut self.storage, Storage::new(0))
+    }
+
     /// Submits a job with an opaque `tag` the submitter uses to route
     /// outputs. Returns the job id.
     ///
@@ -224,8 +246,8 @@ impl Dram {
         }
         let id = self.next_job;
         self.next_job += 1;
-        self.stats.bump("jobs");
-        self.stats.bump_by("job_words", kind.words() as u64);
+        self.jobs += 1;
+        self.job_words += kind.words() as u64;
         self.waiting.push_back(ActiveJob {
             id,
             tag,
@@ -288,9 +310,23 @@ impl Dram {
         self.bw.refill_n(n);
     }
 
-    /// Statistics scope.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// Statistics scope, materialized from the integer counters. Only
+    /// nonzero counters are emitted, matching what a per-event `bump`
+    /// scope would have accumulated (absent keys stay absent).
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::new();
+        for (key, v) in [
+            ("jobs", self.jobs),
+            ("job_words", self.job_words),
+            ("read_words", self.read_words),
+            ("read_words_unique", self.read_words_unique),
+            ("write_words", self.write_words),
+        ] {
+            if v > 0 {
+                s.bump_by(key, v);
+            }
+        }
+        s
     }
 
     /// Advances one cycle: admits jobs, spends bandwidth round-robin
@@ -352,9 +388,12 @@ impl Dram {
                     match &job.kind {
                         JobKind::Read { addrs, .. } => {
                             let value = self.storage.read(addrs[w]);
-                            self.stats.bump("read_words");
-                            if self.seen_reads.insert(addrs[w]) {
-                                self.stats.bump("read_words_unique");
+                            self.read_words += 1;
+                            let a = addrs[w] as usize;
+                            let (slot, bit) = (a / 64, 1u64 << (a % 64));
+                            if self.seen_reads[slot] & bit == 0 {
+                                self.seen_reads[slot] |= bit;
+                                self.read_words_unique += 1;
                             }
                             self.inflight.push_back((
                                 ready,
@@ -378,7 +417,7 @@ impl Dram {
                             if *apply {
                                 self.storage.update(addrs[w], data[w], *mode);
                             }
-                            self.stats.bump("write_words");
+                            self.write_words += 1;
                             if last {
                                 self.inflight.push_back((
                                     ready,

@@ -130,6 +130,9 @@ pub struct Mesh<P> {
     eject: Vec<Fifo<P>>,
     /// Flits currently sitting in router queues (O(1) idleness checks).
     queued: usize,
+    /// Per-node share of `queued`, so the tick sweep skips routers with
+    /// nothing buffered without probing all five port queues.
+    node_queued: Vec<u32>,
     /// Payloads currently sitting in ejection buffers.
     ejected: usize,
     /// Payloads ever ejected per node, in ejection order. Gives every
@@ -140,6 +143,9 @@ pub struct Mesh<P> {
     /// Per-node output-link occupancy scratch, reused across ticks so
     /// the hot loop does not allocate.
     link_used: Vec<[bool; 5]>,
+    /// Staging area for flits that advanced this cycle, reused across
+    /// ticks so the hot loop does not allocate.
+    moved: Vec<(NodeId, usize, Flit<P>)>,
     stats: Stats,
 }
 
@@ -166,10 +172,12 @@ impl<P: Clone> Mesh<P> {
                 .collect(),
             eject: (0..n).map(|_| Fifo::new(queue_cap)).collect(),
             queued: 0,
+            node_queued: vec![0; n],
             ejected: 0,
             ejected_seq: vec![0; n],
             rotate: 0,
             link_used: vec![[false; 5]; n],
+            moved: Vec::new(),
             stats: Stats::new(),
         }
     }
@@ -231,6 +239,7 @@ impl<P: Clone> Mesh<P> {
         match self.queues[src][INJECT_PORT].push(flit) {
             Ok(()) => {
                 self.queued += 1;
+                self.node_queued[src] += 1;
                 self.stats.bump("injected");
                 // one branch per (deduplicated) destination: the
                 // conservation invariant `delivered == injected_branches`
@@ -382,16 +391,71 @@ impl<P: Clone> Mesh<P> {
             *used = [false; 5];
         }
         // flits that moved this cycle are appended after the sweep so a
-        // flit cannot traverse two hops in one cycle
-        let mut moved: Vec<(NodeId, usize, Flit<P>)> = Vec::new();
+        // flit cannot traverse two hops in one cycle; the buffer lives
+        // on the mesh so steady-state ticks reuse its capacity
+        let mut moved = std::mem::take(&mut self.moved);
 
         for i in 0..n {
             let node = (i + self.rotate) % n;
+            if self.node_queued[node] == 0 {
+                continue;
+            }
             for p in 0..PORTS {
                 let port = (p + self.rotate) % PORTS;
                 let Some(head) = self.queues[node][port].front() else {
                     continue;
                 };
+
+                // unicast fast path: one destination means one output
+                // direction, so the flit either claims that link whole
+                // (moving with its destination vector intact) or stalls
+                // in place — no destination grouping, no payload
+                // sharing, no allocation
+                if let [dst] = head.dsts[..] {
+                    let dir = self.xy_next(node, dst);
+                    let di = dir_index(dir);
+                    if self.link_used[node][di] {
+                        self.stats.bump("stall_cycles");
+                        continue;
+                    }
+                    match dir {
+                        Dir::Eject => {
+                            if self.eject[node].is_full() {
+                                self.stats.bump("stall_cycles");
+                                continue;
+                            }
+                            self.link_used[node][di] = true;
+                            let flit = self.queues[node][port].pop().expect("head exists");
+                            self.queued -= 1;
+                            self.node_queued[node] -= 1;
+                            if self.eject[node].push(flit.payload.into_inner()).is_err() {
+                                unreachable!("ejection space was checked");
+                            }
+                            self.ejected += 1;
+                            self.stats.bump("delivered");
+                        }
+                        _ => {
+                            let next = self.neighbour(node, dir);
+                            let in_port = opposite(dir);
+                            let pending_here = moved
+                                .iter()
+                                .filter(|(t, ip, _)| *t == next && *ip == in_port)
+                                .count();
+                            if self.queues[next][in_port].free_space() <= pending_here {
+                                self.stats.bump("stall_cycles");
+                                continue;
+                            }
+                            self.link_used[node][di] = true;
+                            let flit = self.queues[node][port].pop().expect("head exists");
+                            self.queued -= 1;
+                            self.node_queued[node] -= 1;
+                            moved.push((next, in_port, flit));
+                            self.stats.bump("flit_hops");
+                        }
+                    }
+                    continue;
+                }
+                let head = self.queues[node][port].front().expect("head exists");
 
                 // group destinations by required output direction
                 let mut groups: [Vec<NodeId>; 5] = Default::default();
@@ -443,6 +507,7 @@ impl<P: Clone> Mesh<P> {
                 let mut owned: Option<Load<P>> = if remaining.is_empty() {
                     // fully consumed: take the flit and own its payload
                     self.queued -= 1;
+                    self.node_queued[node] -= 1;
                     Some(self.queues[node][port].pop().expect("head exists").payload)
                 } else {
                     if sends.is_empty() {
@@ -490,12 +555,14 @@ impl<P: Clone> Mesh<P> {
             }
         }
 
-        for (node, port, flit) in moved {
+        for (node, port, flit) in moved.drain(..) {
             if self.queues[node][port].push(flit).is_err() {
                 unreachable!("queue space was reserved");
             }
             self.queued += 1;
+            self.node_queued[node] += 1;
         }
+        self.moved = moved;
         self.rotate = (self.rotate + 1) % n.max(1);
     }
 }

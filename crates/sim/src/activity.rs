@@ -32,6 +32,20 @@ impl Activity {
         }
     }
 
+    /// Bounds the wake-up to no later than `bound`: `Now` stays `Now`,
+    /// a later `At` moves up to `bound`, and `Idle` becomes
+    /// `At(bound)`. For schedulers that must observe an external
+    /// deadline (a scheduled fault transition, a watchdog stride) even
+    /// on a component that reports nothing of its own.
+    #[must_use]
+    pub fn clamp_to(self, bound: u64) -> Activity {
+        match self {
+            Activity::Now => Activity::Now,
+            Activity::At(t) => Activity::At(t.min(bound)),
+            Activity::Idle => Activity::At(bound),
+        }
+    }
+
     /// Combines two components' needs: the more urgent wins
     /// (`Now` > earlier `At` > later `At` > `Idle`).
     #[must_use]
@@ -58,6 +72,14 @@ mod tests {
         assert_eq!(Activity::At(4).merge(Activity::At(7)), Activity::At(4));
         assert_eq!(Activity::At(4).merge(Activity::Now), Activity::Now);
         assert_eq!(Activity::Now.merge(Activity::Idle), Activity::Now);
+    }
+
+    #[test]
+    fn clamp_to_bounds_the_wakeup() {
+        assert_eq!(Activity::Now.clamp_to(5), Activity::Now);
+        assert_eq!(Activity::At(3).clamp_to(5), Activity::At(3));
+        assert_eq!(Activity::At(9).clamp_to(5), Activity::At(5));
+        assert_eq!(Activity::Idle.clamp_to(5), Activity::At(5));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Fast non-cryptographic hashing for simulator-internal maps.
+//!
+//! The simulator keys hot maps by small integers (job ids, task ids,
+//! mesh nodes). The standard library's default SipHash is DoS-resistant
+//! but shows up in profiles; these tables never hold attacker-chosen
+//! keys, so a multiply-xor hash in the style of rustc's FxHash is both
+//! safe and markedly faster. Iteration order is still arbitrary — all
+//! simulator behavior must (and does) depend only on lookups, never on
+//! map iteration order.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the 64-bit variant of Fx/FireFox hashing — a single
+/// odd constant with good bit dispersion under `wrapping_mul`.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast multiply-xor hasher for trusted, simulator-internal keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]. Construct with `FxHashMap::default()`.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`]. Construct with `FxHashSet::default()`.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrips() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "a");
+        m.insert(1 << 40, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.get(&(1 << 40)), Some(&"b"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn set_distinguishes_values() {
+        let mut s: FxHashSet<usize> = FxHashSet::default();
+        for i in 0..1000 {
+            assert!(s.insert(i * 64));
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&640));
+        assert!(!s.contains(&1));
+    }
+
+    #[test]
+    fn hasher_disperses_small_integers() {
+        // small sequential keys must not collide in the low bits the
+        // table actually indexes with
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        let mut low: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..256 {
+            low.insert(h(i) & 0xff);
+        }
+        assert!(low.len() > 100, "only {} distinct low bytes", low.len());
+    }
+}

@@ -15,6 +15,8 @@
 //!   event-driven schedulers (tick me now / wake me at cycle t / idle).
 //! * [`stats`] — hierarchical counter/histogram collection that every
 //!   component reports into, and that the benchmark harness reads back out.
+//! * [`hash`] — fast non-cryptographic hashing for simulator-internal
+//!   maps keyed by trusted ids.
 //! * [`rng`] — deterministic seeded random-number helpers so every
 //!   experiment is reproducible from a single seed.
 //!
@@ -41,6 +43,7 @@
 mod activity;
 mod cycle;
 mod fifo;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 mod token;
@@ -48,4 +51,5 @@ mod token;
 pub use activity::Activity;
 pub use cycle::Cycle;
 pub use fifo::{Fifo, PushError};
+pub use hash::{FxHashMap, FxHashSet};
 pub use token::TokenBucket;

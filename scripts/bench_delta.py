@@ -5,20 +5,48 @@ Usage: bench_delta.py <reference.json> <current.json>
 
 Both inputs are `repro --bench-json` outputs. Prints the per-experiment
 and total wall-clock delta of the current run against the committed
-reference. Always exits 0: CI runner speed varies too much for a hard
-gate, this exists so a simulator-performance regression is visible in
-the job log, not to block the merge (correctness is gated separately by
-`repro --check-goldens`).
+reference, then the per-component dense-tick deltas (tile/mem/noc ticks
+from the embedded profiles). Wall clock varies with runner speed, but
+tick counts are deterministic: a tick delta means the scheduler's
+work-avoidance actually changed, not that the machine was slow. Always
+exits 0: this exists so a simulator-performance regression is visible
+in the job log, not to block the merge (correctness is gated separately
+by `repro --check-goldens`).
 """
 
 import json
 import sys
+
+COMPONENT_TICKS = ("tile_ticks", "mem_ticks", "noc_ticks")
 
 
 def load(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     return doc, {e["id"]: e["seconds"] for e in doc.get("experiments", [])}
+
+
+def tick_table(ref_doc, cur_doc):
+    """Per-experiment component-tick comparison from embedded profiles."""
+    ref = {e["id"]: e.get("profile", {}) for e in ref_doc.get("experiments", [])}
+    cur = {e["id"]: e.get("profile", {}) for e in cur_doc.get("experiments", [])}
+    shared = [i for i in ref if i in cur]
+    if not any(ref[i] and cur[i] for i in shared):
+        return
+    print("component dense ticks vs reference (deterministic):")
+    header = " ".join(f"{c.split('_')[0] + ' ref':>12} {'cur':>12} {'delta':>7}"
+                      for c in COMPONENT_TICKS)
+    print(f"  {'experiment':<16} {header}")
+    for exp_id in shared:
+        cells = []
+        for comp in COMPONENT_TICKS:
+            r, c = ref[exp_id].get(comp), cur[exp_id].get(comp)
+            if r is None or c is None:
+                cells.append(f"{'-':>12} {'-':>12} {'n/a':>7}")
+                continue
+            delta = f"{100.0 * (c - r) / r:+.0f}%" if r > 0 else "n/a"
+            cells.append(f"{r:>12} {c:>12} {delta:>7}")
+        print(f"  {exp_id:<16} {' '.join(cells)}")
 
 
 def main(argv):
@@ -49,6 +77,7 @@ def main(argv):
     ct = cur_doc.get("total_seconds", 0.0)
     total_delta = f"{100.0 * (ct - rt) / rt:+.0f}%" if rt > 0 else "n/a"
     print(f"  {'total':<16} {rt:>8.3f} {ct:>8.3f} {total_delta:>8}")
+    tick_table(ref_doc, cur_doc)
     print("(informational only; this step never fails the build)")
     return 0
 
