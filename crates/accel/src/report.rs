@@ -125,8 +125,11 @@ pub struct RunReport {
     /// Merged statistics from every component (`tileN.*`, `noc.*`,
     /// `dram.*`, `dispatch.*`).
     pub stats: Report,
-    /// Final DRAM contents.
-    dram: Storage,
+    /// Final DRAM contents — materialized eagerly by the simulator,
+    /// lazily for cache-loaded reports (the sweep pipeline reads only
+    /// `stats`, so a warm cache hit should not pay for an image it
+    /// never looks at).
+    dram: LazyDram,
     /// Tasks completed over the run.
     pub tasks_completed: u64,
     /// Sampled occupancy: `(cycle, busy tiles)` every
@@ -155,6 +158,55 @@ pub struct RunReport {
     pub faults: FaultReport,
 }
 
+/// DRAM image that is either dense (fresh simulation) or a run-length
+/// encoding expanded on first read (cache-loaded report). Expansion
+/// writes only the non-zero runs into a zero-initialized [`Storage`],
+/// so a report whose image is never inspected costs a few hundred
+/// bytes instead of the full word count.
+#[derive(Debug, Clone)]
+struct LazyDram {
+    dense: std::sync::OnceLock<Storage>,
+    /// `(total words, runs as (length, value))`; present only for
+    /// cache-loaded reports.
+    runs: Option<(usize, Vec<(usize, Value)>)>,
+}
+
+impl LazyDram {
+    fn dense(storage: Storage) -> Self {
+        let cell = std::sync::OnceLock::new();
+        let _ = cell.set(storage);
+        LazyDram {
+            dense: cell,
+            runs: None,
+        }
+    }
+
+    fn rle(len: usize, runs: Vec<(usize, Value)>) -> Self {
+        LazyDram {
+            dense: std::sync::OnceLock::new(),
+            runs: Some((len, runs)),
+        }
+    }
+
+    fn get(&self) -> &Storage {
+        self.dense.get_or_init(|| {
+            let (len, runs) = self
+                .runs
+                .as_ref()
+                .expect("report holds either a dense image or RLE runs");
+            let mut s = Storage::new(*len);
+            let mut pos: Addr = 0;
+            for &(n, v) in runs {
+                if v != 0 {
+                    s.fill(pos, n, v);
+                }
+                pos += n as Addr;
+            }
+            s
+        })
+    }
+}
+
 impl RunReport {
     /// Cycles between occupancy samples in [`RunReport::timeline`].
     pub const TIMELINE_STRIDE: u64 = 256;
@@ -175,7 +227,7 @@ impl RunReport {
         RunReport {
             cycles,
             stats,
-            dram,
+            dram: LazyDram::dense(dram),
             tasks_completed,
             timeline,
             skipped_cycles,
@@ -212,7 +264,7 @@ impl RunReport {
     ///
     /// Panics if the address is out of range.
     pub fn dram(&self, addr: Addr) -> Value {
-        self.dram.read(addr)
+        self.dram.get().read(addr)
     }
 
     /// Reads a contiguous range of the final DRAM image.
@@ -221,7 +273,52 @@ impl RunReport {
     ///
     /// Panics if the range is out of bounds.
     pub fn dram_range(&self, base: Addr, len: usize) -> &[Value] {
-        self.dram.read_range(base, len)
+        self.dram.get().read_range(base, len)
+    }
+
+    /// Size of the final DRAM image, in words. Together with
+    /// [`RunReport::dram_range`] this lets external serializers (the
+    /// bench harness's persistent result cache) capture the whole
+    /// image without the report exposing its private [`Storage`].
+    pub fn dram_len(&self) -> usize {
+        match self.dram.dense.get() {
+            Some(s) => s.len(),
+            None => self.dram.runs.as_ref().expect("RLE runs present").0,
+        }
+    }
+
+    /// Reassembles a report from externally persisted parts — the
+    /// constructor behind the bench harness's content-addressed result
+    /// cache. The DRAM image arrives run-length encoded
+    /// (`dram_len` total words, runs as `(length, value)` pairs) and is
+    /// expanded only if something reads it — the sweep pipeline never
+    /// does, so a warm cache hit skips the multi-megabyte materialize.
+    /// Carries no event trace (`trace` is observability output, never
+    /// persisted; cached runs come back with an empty one).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_cached_parts(
+        cycles: u64,
+        stats: Report,
+        dram_len: usize,
+        dram_runs: Vec<(usize, Value)>,
+        tasks_completed: u64,
+        timeline: Vec<(u64, u32)>,
+        skipped_cycles: u64,
+        profile: SimProfile,
+        faults: FaultReport,
+    ) -> Self {
+        RunReport {
+            cycles,
+            stats,
+            dram: LazyDram::rle(dram_len, dram_runs),
+            tasks_completed,
+            timeline,
+            skipped_cycles,
+            profile,
+            trace: Vec::new(),
+            trace_dropped: 0,
+            faults,
+        }
     }
 
     /// Per-tile busy cycles, in tile order.

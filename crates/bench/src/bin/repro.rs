@@ -3,14 +3,18 @@
 //! ```text
 //! repro sweep                    # run everything at the default (small) scale
 //! repro sweep fig_overall        # one experiment
+//! repro sweep --only fig_noc,fig_batch  # comma-separated selection
 //! repro sweep --tiny             # everything, test-sized instances
-//! repro sweep --jobs 8           # run each experiment's sweep on 8 threads
+//! repro sweep --jobs 8           # run the flattened sweep on 8 threads
 //! repro sweep --profile          # also print per-experiment cycle attribution
 //! repro sweep --bench-json out.json  # also write machine-readable timings
+//! repro sweep --no-cache         # ignore the persistent result cache
 //! repro sweep --no-active-set    # disable active-set scheduling (A/B reference)
 //! repro sweep --no-idle-skip     # disable the next-event jump (A/B reference)
 //! repro goldens check            # diff results against goldens/, exit 1 on drift
 //! repro goldens bless            # regenerate the committed goldens/ files
+//! repro cache stats              # show the result cache's location and size
+//! repro cache clear              # drop every cached result
 //! repro trace fig_noc            # trace one run, write TRACE_fig_noc.json
 //! repro faults fig_overall       # chaos-preset fault run, write FAULTS_*.txt
 //! ```
@@ -20,9 +24,22 @@
 //! and `--trace <experiment>` behave exactly as they used to. Unknown
 //! flags and unknown experiment ids exit with status 2.
 //!
+//! A sweep is **flattened**: every experiment is planned first, then
+//! every (experiment × grid-cell × fault-rate) simulation runs as one
+//! stealable task in a single global work-stealing pool, and the
+//! tables are assembled afterwards from the order-preserved outcomes.
 //! `--jobs 1` reproduces the fully serial behavior; any `--jobs N`
 //! prints byte-identical tables (per-job seeds are derived from the
-//! job key, never from sweep iteration order).
+//! job key, never from sweep iteration order). Tables and profiles go
+//! to stdout; timings, host counters, and file notices go to stderr,
+//! so sweep stdout is byte-for-byte reproducible.
+//!
+//! Sweeps also consult the **persistent result cache** (default
+//! `./.ts-cache`, override with `TS_CACHE_DIR`): each simulation is
+//! keyed by the hash of its full configuration, program content, and a
+//! build salt, so a warm re-run answers from disk with byte-identical
+//! output. `--no-cache` opts a run out; `repro cache stats|clear`
+//! inspects and empties the store.
 //!
 //! `--profile` reports, per experiment, how the simulator spent its
 //! cycles: the fraction of each component's cycles that were densely
@@ -70,14 +87,17 @@ commands:
   sweep [experiment ...]            run experiments and print their tables
   goldens check [experiment ...]    diff results against goldens/, exit 1 on drift
   goldens bless [experiment ...]    regenerate the committed goldens/ files
+  cache <stats|clear>               inspect or empty the persistent result cache
   trace <experiment>                trace one run, write TRACE_<experiment>.json
   faults <experiment>               chaos fault run, write FAULTS_<experiment>.txt
 
 common flags (sweep and goldens):
   --tiny                 run test-sized instances (default: small)
-  --jobs <n>             worker threads for each experiment's sweep
+  --jobs <n>             worker threads for the flattened sweep pool
+  --only <id>[,<id>...]  comma-separated experiment selection
   --profile              print per-experiment cycle attribution
   --bench-json <path>    write machine-readable timings
+  --no-cache             ignore the persistent result cache
   --no-active-set        disable active-set scheduling (A/B reference)
   --no-idle-skip         disable the next-event jump (A/B reference)
   --no-tile-events       disable event-driven tiles (A/B reference)
@@ -89,22 +109,38 @@ with --check-goldens / --bless / --trace <experiment>.
 experiments: omit to run all; known ids are listed in ts_bench::experiments::ALL";
 
 const SWEEP_USAGE: &str = "\
-usage: repro sweep [experiment ...] [--tiny] [--jobs <n>] [--profile]
-                   [--bench-json <path>] [--no-active-set] [--no-idle-skip]
+usage: repro sweep [experiment ...] [--only <id>[,<id>...]] [--tiny]
+                   [--jobs <n>] [--profile] [--bench-json <path>]
+                   [--no-cache] [--no-active-set] [--no-idle-skip]
                    [--no-tile-events]
 
 Runs the named experiments (all of them when none are named) and
-prints their tables.";
+prints their tables. All selected experiments share one flattened
+work-stealing job pool and the persistent result cache (disable with
+--no-cache).";
 
 const GOLDENS_USAGE: &str = "\
-usage: repro goldens <check|bless> [experiment ...] [--tiny] [--jobs <n>]
-                     [--profile] [--bench-json <path>]
-                     [--no-active-set] [--no-idle-skip] [--no-tile-events]
+usage: repro goldens <check|bless> [experiment ...] [--only <id>[,<id>...]]
+                     [--tiny] [--jobs <n>] [--profile] [--bench-json <path>]
+                     [--no-cache] [--no-active-set] [--no-idle-skip]
+                     [--no-tile-events]
 
 check: re-runs the experiments and diffs them cell by cell against the
 committed goldens/<scale>/ snapshots plus the shape claims; violations
 land in GOLDEN_diff.txt and the exit status is 1.
 bless: rewrites the snapshots after an intentional model change.";
+
+const CACHE_USAGE: &str = "\
+usage: repro cache <stats|clear>
+
+stats: print the persistent result cache's location, entry count, and
+size on disk.
+clear: delete every cached result (the directory itself stays).
+
+The cache lives in ./.ts-cache unless TS_CACHE_DIR points elsewhere.
+Entries are keyed by configuration, program content, and build salt,
+so a stale entry can only be read back by the build that wrote it —
+clearing is about disk space, not correctness.";
 
 const TRACE_USAGE: &str = "\
 usage: repro trace <experiment> [--tiny]
@@ -136,6 +172,7 @@ struct Common {
     jobs: Option<usize>,
     show_profile: bool,
     bench_json: Option<String>,
+    no_cache: bool,
     no_active_set: bool,
     no_idle_skip: bool,
     no_tile_events: bool,
@@ -150,9 +187,11 @@ impl Common {
         }
     }
 
-    /// Applies the process-wide knobs (fast-path overrides, pool size).
+    /// Applies the process-wide knobs (fast-path overrides, pool size,
+    /// result cache).
     fn apply(&self) {
         ts_bench::disable_fast_paths(self.no_active_set, self.no_idle_skip, self.no_tile_events);
+        ts_bench::cache::set_enabled(!self.no_cache);
         if let Some(n) = self.jobs {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
@@ -166,6 +205,7 @@ impl Common {
     fn eat(&mut self, arg: &str, it: &mut std::vec::IntoIter<String>, usage: &str) -> bool {
         match arg {
             "--tiny" => self.tiny = true,
+            "--no-cache" => self.no_cache = true,
             "--no-active-set" => self.no_active_set = true,
             "--no-idle-skip" => self.no_idle_skip = true,
             "--no-tile-events" => self.no_tile_events = true,
@@ -192,6 +232,31 @@ fn die(msg: &str, usage: &str) -> ! {
 fn take_value(it: &mut std::vec::IntoIter<String>, flag: &str, usage: &str) -> String {
     it.next()
         .unwrap_or_else(|| die(&format!("{flag} needs a value"), usage))
+}
+
+/// Tries to consume `arg` as the `--only <id>[,<id>...]` selection
+/// flag, splitting the comma-separated value into `wanted`.
+fn eat_only(
+    arg: &str,
+    it: &mut std::vec::IntoIter<String>,
+    wanted: &mut Vec<String>,
+    usage: &str,
+) -> bool {
+    if arg != "--only" {
+        return false;
+    }
+    let v = take_value(it, "--only", usage);
+    let ids: Vec<String> = v
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if ids.is_empty() {
+        die("--only needs at least one experiment id", usage);
+    }
+    wanted.extend(ids);
+    true
 }
 
 /// Expands a possibly-empty id selection to the run list, rejecting
@@ -222,6 +287,10 @@ fn main() {
             args.remove(0);
             cmd_goldens(args);
         }
+        Some("cache") => {
+            args.remove(0);
+            cmd_cache(args);
+        }
         Some("trace") => {
             args.remove(0);
             cmd_trace(args);
@@ -244,7 +313,7 @@ fn cmd_sweep(args: Vec<String>) {
             println!("{SWEEP_USAGE}");
             return;
         }
-        if common.eat(&a, &mut it, SWEEP_USAGE) {
+        if common.eat(&a, &mut it, SWEEP_USAGE) || eat_only(&a, &mut it, &mut wanted, SWEEP_USAGE) {
             continue;
         }
         if a.starts_with("--") {
@@ -279,7 +348,9 @@ fn cmd_goldens(args: Vec<String>) {
             println!("{GOLDENS_USAGE}");
             return;
         }
-        if common.eat(&a, &mut it, GOLDENS_USAGE) {
+        if common.eat(&a, &mut it, GOLDENS_USAGE)
+            || eat_only(&a, &mut it, &mut wanted, GOLDENS_USAGE)
+        {
             continue;
         }
         if a.starts_with("--") {
@@ -290,6 +361,39 @@ fn cmd_goldens(args: Vec<String>) {
     let ids = resolve_ids(&wanted, GOLDENS_USAGE);
     common.apply();
     run_experiments(&ids, &common, mode);
+}
+
+fn cmd_cache(args: Vec<String>) {
+    use ts_bench::cache;
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let dir = cache::dir();
+            match cache::disk_stats() {
+                Ok((entries, bytes)) => {
+                    println!("cache dir: {}", dir.display());
+                    println!("entries:   {entries}");
+                    println!("size:      {} KiB", bytes.div_ceil(1024));
+                }
+                Err(e) => die(&format!("reading {}: {e}", dir.display()), CACHE_USAGE),
+            }
+        }
+        Some("clear") => match cache::clear() {
+            Ok(removed) => println!(
+                "removed {removed} cached result(s) from {}",
+                cache::dir().display()
+            ),
+            Err(e) => die(
+                &format!("clearing {}: {e}", cache::dir().display()),
+                CACHE_USAGE,
+            ),
+        },
+        Some("--help" | "-h") => println!("{CACHE_USAGE}"),
+        Some(other) => die(
+            &format!("expected 'stats' or 'clear', got '{other}'"),
+            CACHE_USAGE,
+        ),
+        None => die("expected 'stats' or 'clear'", CACHE_USAGE),
+    }
 }
 
 fn cmd_trace(args: Vec<String>) {
@@ -359,7 +463,7 @@ fn legacy(args: Vec<String>) {
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if common.eat(&a, &mut it, USAGE) {
+        if common.eat(&a, &mut it, USAGE) || eat_only(&a, &mut it, &mut wanted, USAGE) {
             continue;
         }
         match a.as_str() {
@@ -384,8 +488,10 @@ fn legacy(args: Vec<String>) {
     run_experiments(&ids, &common, mode);
 }
 
-/// Runs the selected experiments, printing each table and handling
-/// goldens, profiles, and the bench-json output per `common`/`mode`.
+/// Runs the selected experiments as **one flattened sweep** — every
+/// experiment's grid cells pooled into a single work-stealing run —
+/// then assembles and prints each table and handles goldens,
+/// profiles, and the bench-json output per `common`/`mode`.
 fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
     let scale = common.scale();
     let golden_dir = goldens_root().join(experiments::scale_name(scale));
@@ -394,23 +500,46 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
     }
 
     let t_all = Instant::now();
-    let mut timings: Vec<(String, f64, SimProfile)> = Vec::new();
+    // Plan first: materialize every experiment's job grid without
+    // simulating, and pool all of it so a straggler cell in one
+    // experiment never idles workers that could run another's cells.
+    let mut plans: Vec<experiments::Plan> =
+        ids.iter().map(|id| experiments::plan(id, scale)).collect();
+    let mut all_jobs = Vec::new();
+    let mut counts = Vec::with_capacity(plans.len());
+    for p in &mut plans {
+        counts.push(p.jobs.len());
+        all_jobs.append(&mut p.jobs);
+    }
+    let t_sweep = Instant::now();
+    let outcomes = ts_bench::run_jobs(&all_jobs);
+    let sweep_secs = t_sweep.elapsed().as_secs_f64();
+
+    // Per-experiment cycle attribution now comes from each outcome's
+    // embedded profile (summed per plan slice) rather than global
+    // snapshots around a serial loop — identical totals, but valid
+    // when the experiments' simulations interleave.
+    let mut results: Vec<(String, usize, SimProfile)> = Vec::new();
     let mut violations: Vec<String> = Vec::new();
-    for id in ids {
-        let (before, _) = profile::snapshot();
-        let t0 = Instant::now();
-        let doc = experiments::run_doc(id, scale);
+    let mut offset = 0;
+    for (p, n) in plans.into_iter().zip(counts) {
+        let slice = &outcomes[offset..offset + n];
+        offset += n;
+        let id = p.id.to_string();
+        let mut prof = SimProfile::default();
+        for o in slice {
+            if let Some(r) = o.report() {
+                prof.add(&r.profile);
+            }
+        }
+        let doc = p.finish(slice);
         let out = experiments::render_doc(&doc);
-        let secs = t0.elapsed().as_secs_f64();
-        let (after, _) = profile::snapshot();
-        let prof = profile::delta(&before, &after);
-        timings.push((id.to_string(), secs, prof));
         println!("=== {id} ===");
         println!("{out}");
-        if common.show_profile {
+        if common.show_profile && n > 0 {
             println!("  profile: {}", profile::summarize(&prof));
         }
-        println!("  ({:.1?})\n", t0.elapsed());
+        println!();
 
         let golden_path = golden_dir.join(format!("{id}.json"));
         match mode {
@@ -439,6 +568,7 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
             }
             GoldenMode::Off => {}
         }
+        results.push((id, n, prof));
     }
     let total = t_all.elapsed().as_secs_f64();
     if common.show_profile {
@@ -446,6 +576,22 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
         println!("=== profile (whole run, {runs} simulations) ===");
         println!("  {}\n", profile::summarize(&tally));
     }
+
+    // Host-side counters: what the pool and the cache actually did.
+    // Stderr, not stdout — steal/park counts are timing-dependent and
+    // sweep stdout stays byte-for-byte reproducible.
+    let pool = ts_pool::pool_stats();
+    let cache_stats = ts_bench::cache::stats();
+    eprintln!(
+        "{} simulation job(s) in {sweep_secs:.3}s ({total:.3}s total): \
+         {} steal(s), {} park(s); cache {} hit(s) / {} miss(es) / {} stored",
+        all_jobs.len(),
+        pool.steals,
+        pool.parks,
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.stores
+    );
 
     if let Some(path) = &common.bench_json {
         let (tally, runs) = profile::snapshot();
@@ -456,13 +602,19 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
         ));
         json.push_str(&format!("  \"jobs\": {},\n", rayon::current_num_threads()));
         json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+        json.push_str(&format!("  \"sweep_seconds\": {sweep_secs:.3},\n"));
         json.push_str(&format!("  \"simulations\": {runs},\n"));
+        json.push_str(&format!(
+            "  \"host\": {{\"steals\": {}, \"parks\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"cache_stores\": {}}},\n",
+            pool.steals, pool.parks, cache_stats.hits, cache_stats.misses, cache_stats.stores
+        ));
         json.push_str(&format!("  \"profile\": {},\n", profile_json(&tally)));
         json.push_str("  \"experiments\": [\n");
-        for (i, (id, secs, prof)) in timings.iter().enumerate() {
-            let comma = if i + 1 < timings.len() { "," } else { "" };
+        for (i, (id, sims, prof)) in results.iter().enumerate() {
+            let comma = if i + 1 < results.len() { "," } else { "" };
             json.push_str(&format!(
-                "    {{\"id\": \"{id}\", \"seconds\": {secs:.3}, \"profile\": {}}}{comma}\n",
+                "    {{\"id\": \"{id}\", \"sims\": {sims}, \"profile\": {}}}{comma}\n",
                 profile_json(prof)
             ));
         }
@@ -478,7 +630,7 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
             let _ = std::fs::remove_file("GOLDEN_diff.txt");
             eprintln!(
                 "goldens OK: {} experiment(s) match goldens/{} and satisfy the shape claims",
-                timings.len(),
+                results.len(),
                 experiments::scale_name(scale)
             );
         } else {

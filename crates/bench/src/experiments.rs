@@ -1,14 +1,25 @@
-//! The experiments: one function per table/figure.
+//! The experiments: one planner per table/figure.
 //!
-//! Every experiment follows the same two-phase shape: *materialize*
-//! the full (workload × config × policy) grid into a job list, then
-//! *execute* it with [`run_grid`] on the global rayon pool and
-//! assemble the table from the order-preserved results. Per-job RNG
-//! seeds derive from [`SEED`] plus a stable job key ([`derive_seed`]),
-//! so `repro --jobs N` output is byte-identical to `--jobs 1`.
+//! Every experiment is split into two pure halves: **plan** —
+//! materialize the full (workload × config × policy) grid into a
+//! [`SweepJob`] list — and **assemble** — turn the order-preserved
+//! outcomes back into the printable table. Between the halves sits one
+//! call to [`crate::run_jobs`], so a whole-sweep driver
+//! ([`run_docs`]) can concatenate *every* experiment's jobs into a
+//! single global work-stealing pool: a long `fig_faults` grid cell no
+//! longer holds an entire experiment batch hostage while finished
+//! workers idle — they steal cells from whatever experiment still has
+//! work.
+//!
+//! Per-job RNG seeds derive from [`SEED`] plus a stable job key
+//! ([`derive_seed`]), never from execution order, so `repro --jobs N`
+//! output is byte-identical to `--jobs 1` — and, with the result cache
+//! on, to a warm re-run answered from disk.
 
 use crate::golden::GoldenDoc;
-use crate::{fmt_x, run_faulted, run_grid, run_grid_faulted, FaultOutcome, Job, Table};
+use crate::{fmt_x, run_faulted, run_jobs, FaultOutcome, SweepJob, Table};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 use taskstream_model::Policy;
 use ts_delta::{area, DeltaConfig, FaultsConfig, Features, RunReport};
 use ts_sim::stats::geomean;
@@ -47,86 +58,174 @@ fn seeded(cfg: DeltaConfig, wl: &dyn Workload) -> DeltaConfig {
     cfg.to_builder().seed(derive_seed(SEED, wl.name())).build()
 }
 
-/// Result of the headline experiment.
-#[derive(Debug)]
-pub struct Overall {
-    /// The printable table.
-    pub table: Table,
-    /// Geomean speedup over the whole suite.
-    pub geomean: f64,
-    /// Geomean over the irregular (task-parallel-native) subset.
-    pub irregular_geomean: f64,
+/// The assembly half of an experiment: outcomes (in job order) to
+/// (table, golden extras).
+type Assemble = Box<dyn FnOnce(&[FaultOutcome]) -> (Table, Vec<(String, String)>) + Send>;
+
+/// A planned experiment: its flattened job list plus the assembly that
+/// rebuilds the table from order-preserved outcomes. Planning runs no
+/// simulations; a driver is free to concatenate many plans' jobs into
+/// one [`run_jobs`] pool and hand each plan back its slice.
+pub struct Plan {
+    /// Experiment id (`fig_overall`, ...).
+    pub id: &'static str,
+    /// Scale the plan was built for.
+    pub scale: Scale,
+    /// The materialized grid, one stealable simulation per entry.
+    pub jobs: Vec<SweepJob>,
+    planned: usize,
+    assemble: Assemble,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("id", &self.id)
+            .field("scale", &self.scale)
+            .field("jobs", &self.jobs.len())
+            .finish()
+    }
+}
+
+impl Plan {
+    fn new(
+        id: &'static str,
+        scale: Scale,
+        jobs: Vec<SweepJob>,
+        assemble: impl FnOnce(&[FaultOutcome]) -> (Table, Vec<(String, String)>) + Send + 'static,
+    ) -> Self {
+        Plan {
+            id,
+            scale,
+            planned: jobs.len(),
+            jobs,
+            assemble: Box::new(assemble),
+        }
+    }
+
+    /// A plan with no simulations (the analytical tables).
+    fn immediate(id: &'static str, scale: Scale, table: Table) -> Self {
+        Plan::new(id, scale, Vec::new(), move |_| (table, Vec::new()))
+    }
+
+    /// Assembles the experiment's golden document from its outcomes —
+    /// exactly `self.jobs.len()` of them, in job order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome count disagrees with the plan, or if a
+    /// validated job came back wedged (impossible through
+    /// [`run_jobs`]).
+    pub fn finish(self, outcomes: &[FaultOutcome]) -> GoldenDoc {
+        assert_eq!(
+            outcomes.len(),
+            self.planned,
+            "{}: plan/outcome length mismatch",
+            self.id
+        );
+        let (table, extras) = (self.assemble)(outcomes);
+        GoldenDoc::new(self.id, scale_name(self.scale), &table, extras)
+    }
+}
+
+/// Unwraps validated outcomes (every job of a fault-free experiment).
+fn completed(outcomes: &[FaultOutcome]) -> Vec<&RunReport> {
+    outcomes
+        .iter()
+        .map(|o| o.report().expect("validated sweep jobs always complete"))
+        .collect()
+}
+
+/// The workload suite as shareable handles (jobs and the assembly
+/// closure both need them). Memoized per scale: every plan in a sweep
+/// asks for the same suite, and handing them the *same* `Arc`s lets
+/// the sweep runner compute each workload's cache fingerprint once for
+/// the whole sweep instead of once per experiment. (Construction is
+/// seeded, so sharing instances cannot change any result.)
+fn arc_suite(scale: Scale) -> Vec<Arc<dyn Workload>> {
+    type SuiteMemo = Mutex<HashMap<&'static str, Vec<Arc<dyn Workload>>>>;
+    static SUITES: OnceLock<SuiteMemo> = OnceLock::new();
+    let mut suites = SUITES
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("suite memo lock poisoned");
+    suites
+        .entry(scale_name(scale))
+        .or_insert_with(|| suite(scale, SEED).into_iter().map(Arc::from).collect())
+        .clone()
 }
 
 /// `fig_overall` — the headline: Delta vs. the equivalent
-/// static-parallel design, per workload.
-pub fn fig_overall(scale: Scale) -> Overall {
-    let wls = suite(scale, SEED);
+/// static-parallel design, per workload. Extras carry the suite and
+/// irregular-subset geomeans.
+fn plan_overall(scale: Scale) -> Plan {
+    let wls = arc_suite(scale);
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(
-            wl.as_ref(),
+        jobs.push(SweepJob::new(
+            wl.clone(),
             seeded(DeltaConfig::delta(TILES), wl.as_ref()),
         ));
-        jobs.push(Job::baseline(
-            wl.as_ref(),
+        jobs.push(SweepJob::baseline(
+            wl.clone(),
             seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
         ));
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&[
-        "workload",
-        "delta cyc",
-        "static cyc",
-        "speedup",
-        "delta imb",
-        "static imb",
-    ]);
-    let mut speedups = Vec::new();
-    let mut irregular = Vec::new();
-    for (wl, pair) in wls.iter().zip(results.chunks(2)) {
-        let (d, s) = (&pair[0], &pair[1]);
-        let sp = s.cycles as f64 / d.cycles as f64;
-        speedups.push(sp);
-        if matches!(
-            wl.name(),
-            "bfs" | "sssp" | "dtree" | "merge_sort" | "spmv" | "hash_join" | "tri_count"
-        ) {
-            irregular.push(sp);
-        }
-        table.row(vec![
-            wl.name().into(),
-            d.cycles.to_string(),
-            s.cycles.to_string(),
-            fmt_x(sp),
-            format!("{:.2}", d.load_imbalance()),
-            format!("{:.2}", s.load_imbalance()),
+    Plan::new("fig_overall", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&[
+            "workload",
+            "delta cyc",
+            "static cyc",
+            "speedup",
+            "delta imb",
+            "static imb",
         ]);
-    }
-    let g = geomean(&speedups);
-    let gi = geomean(&irregular);
-    table.row(vec![
-        "geomean".into(),
-        "-".into(),
-        "-".into(),
-        fmt_x(g),
-        "-".into(),
-        "-".into(),
-    ]);
-    table.row(vec![
-        "geomean (irregular)".into(),
-        "-".into(),
-        "-".into(),
-        fmt_x(gi),
-        "-".into(),
-        "-".into(),
-    ]);
-    Overall {
-        table,
-        geomean: g,
-        irregular_geomean: gi,
-    }
+        let mut speedups = Vec::new();
+        let mut irregular = Vec::new();
+        for (wl, pair) in wls.iter().zip(results.chunks(2)) {
+            let (d, s) = (pair[0], pair[1]);
+            let sp = s.cycles as f64 / d.cycles as f64;
+            speedups.push(sp);
+            if matches!(
+                wl.name(),
+                "bfs" | "sssp" | "dtree" | "merge_sort" | "spmv" | "hash_join" | "tri_count"
+            ) {
+                irregular.push(sp);
+            }
+            table.row(vec![
+                wl.name().into(),
+                d.cycles.to_string(),
+                s.cycles.to_string(),
+                fmt_x(sp),
+                format!("{:.2}", d.load_imbalance()),
+                format!("{:.2}", s.load_imbalance()),
+            ]);
+        }
+        let g = geomean(&speedups);
+        let gi = geomean(&irregular);
+        table.row(vec![
+            "geomean".into(),
+            "-".into(),
+            "-".into(),
+            fmt_x(g),
+            "-".into(),
+            "-".into(),
+        ]);
+        table.row(vec![
+            "geomean (irregular)".into(),
+            "-".into(),
+            "-".into(),
+            fmt_x(gi),
+            "-".into(),
+            "-".into(),
+        ]);
+        let extras = vec![
+            ("geomean".to_string(), fmt_x(g)),
+            ("irregular_geomean".to_string(), fmt_x(gi)),
+        ];
+        (table, extras)
+    })
 }
 
 /// `fig_ablation` — cumulative mechanism breakdown. Speedups are
@@ -135,7 +234,7 @@ pub fn fig_overall(scale: Scale) -> Overall {
 /// `+tasks` = task-parallel program on static placement;
 /// `+balance` = work-aware placement; `+pipeline` = direct pipes;
 /// `+multicast` = shared-read recovery (= Delta).
-pub fn fig_ablation(scale: Scale) -> Table {
+fn plan_ablation(scale: Scale) -> Plan {
     let steps: [(&str, Features, Policy); 4] = [
         ("+tasks", Features::none(), Policy::StaticHash),
         (
@@ -158,180 +257,191 @@ pub fn fig_ablation(scale: Scale) -> Table {
         ),
         ("+multicast", Features::all(), Policy::WorkAware),
     ];
-    let wls = suite(scale, SEED);
+    let wls = arc_suite(scale);
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::baseline(
-            wl.as_ref(),
+        jobs.push(SweepJob::baseline(
+            wl.clone(),
             seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
         ));
         for (_, features, policy) in steps {
             let cfg = DeltaConfig::static_parallel(TILES)
                 .with_policy(policy)
                 .with_features(features);
-            jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
+            jobs.push(SweepJob::new(wl.clone(), seeded(cfg, wl.as_ref())));
         }
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&[
-        "workload",
-        "static",
-        "+tasks",
-        "+balance",
-        "+pipeline",
-        "+multicast",
-    ]);
-    for (wl, group) in wls.iter().zip(results.chunks(1 + steps.len())) {
-        let base = &group[0];
-        let mut cells = vec![wl.name().to_string(), "1.00x".to_string()];
-        for r in &group[1..] {
-            cells.push(fmt_x(base.cycles as f64 / r.cycles as f64));
+    let group_len = 1 + steps.len();
+    Plan::new("fig_ablation", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&[
+            "workload",
+            "static",
+            "+tasks",
+            "+balance",
+            "+pipeline",
+            "+multicast",
+        ]);
+        for (wl, group) in wls.iter().zip(results.chunks(group_len)) {
+            let base = group[0];
+            let mut cells = vec![wl.name().to_string(), "1.00x".to_string()];
+            for r in &group[1..] {
+                cells.push(fmt_x(base.cycles as f64 / r.cycles as f64));
+            }
+            table.row(cells);
         }
-        table.row(cells);
-    }
-    table
+        (table, Vec::new())
+    })
 }
 
 /// `fig_tiles` — tile-count scaling, Delta vs static-parallel.
-pub fn fig_tiles(scale: Scale, tile_counts: &[usize]) -> Table {
-    let wls: Vec<Box<dyn Workload>> = match scale {
+fn plan_tiles(scale: Scale, tile_counts: &[usize]) -> Plan {
+    let tile_counts = tile_counts.to_vec();
+    let wls: Vec<Arc<dyn Workload>> = match scale {
         Scale::Tiny => vec![
-            Box::new(Spmv::tiny(SEED)),
-            Box::new(Bfs::tiny(SEED)),
-            Box::new(DTree::tiny(SEED)),
-            Box::new(Gemm::tiny(SEED)),
+            Arc::new(Spmv::tiny(SEED)),
+            Arc::new(Bfs::tiny(SEED)),
+            Arc::new(DTree::tiny(SEED)),
+            Arc::new(Gemm::tiny(SEED)),
         ],
         Scale::Small => vec![
-            Box::new(Spmv::small(SEED)),
-            Box::new(Bfs::small(SEED)),
-            Box::new(DTree::small(SEED)),
-            Box::new(Gemm::small(SEED)),
+            Arc::new(Spmv::small(SEED)),
+            Arc::new(Bfs::small(SEED)),
+            Arc::new(DTree::small(SEED)),
+            Arc::new(Gemm::small(SEED)),
         ],
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        for &t in tile_counts {
-            jobs.push(Job::new(
-                wl.as_ref(),
+        for &t in &tile_counts {
+            jobs.push(SweepJob::new(
+                wl.clone(),
                 seeded(DeltaConfig::delta(t), wl.as_ref()),
             ));
-            jobs.push(Job::baseline(
-                wl.as_ref(),
+            jobs.push(SweepJob::baseline(
+                wl.clone(),
                 seeded(DeltaConfig::static_parallel(t), wl.as_ref()),
             ));
         }
     }
-    let results = run_grid(&jobs);
+    Plan::new("fig_tiles", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&["workload", "tiles", "delta cyc", "static cyc", "speedup"]);
+        let mut res = results.iter();
+        for wl in &wls {
+            for &t in &tile_counts {
+                let d = res.next().unwrap();
+                let s = res.next().unwrap();
+                table.row(vec![
+                    wl.name().into(),
+                    t.to_string(),
+                    d.cycles.to_string(),
+                    s.cycles.to_string(),
+                    fmt_x(s.cycles as f64 / d.cycles as f64),
+                ]);
+            }
+        }
+        (table, Vec::new())
+    })
+}
 
-    let mut table = Table::new(&["workload", "tiles", "delta cyc", "static cyc", "speedup"]);
-    let mut res = results.iter();
+/// `fig_grain` — task-granularity sweep (SpMV rows per task).
+fn plan_grain(scale: Scale) -> Plan {
+    let grains: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
+    let (n, max_row) = match scale {
+        Scale::Tiny => (256, 64),
+        Scale::Small => (2048, 2048),
+    };
+    let wls: Vec<Arc<dyn Workload>> = grains
+        .iter()
+        .map(|&g| Arc::new(Spmv::new(n, max_row, g, SEED)) as Arc<dyn Workload>)
+        .collect();
+    let tasks: Vec<u64> = wls.iter().map(|wl| wl.info().tasks).collect();
+    let grains: Vec<usize> = grains.to_vec();
+    let mut jobs = Vec::new();
     for wl in &wls {
-        for &t in tile_counts {
-            let d = res.next().unwrap();
-            let s = res.next().unwrap();
+        jobs.push(SweepJob::new(
+            wl.clone(),
+            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
+        ));
+        jobs.push(SweepJob::baseline(
+            wl.clone(),
+            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
+        ));
+    }
+    Plan::new("fig_grain", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&["rows/task", "tasks", "delta cyc", "static cyc", "speedup"]);
+        for ((&g, &t), pair) in grains.iter().zip(&tasks).zip(results.chunks(2)) {
+            let (d, s) = (pair[0], pair[1]);
             table.row(vec![
-                wl.name().into(),
+                g.to_string(),
                 t.to_string(),
                 d.cycles.to_string(),
                 s.cycles.to_string(),
                 fmt_x(s.cycles as f64 / d.cycles as f64),
             ]);
         }
-    }
-    table
-}
-
-/// `fig_grain` — task-granularity sweep (SpMV rows per task).
-pub fn fig_grain(scale: Scale) -> Table {
-    let grains: &[usize] = &[1, 2, 4, 8, 16, 32, 64];
-    let (n, max_row) = match scale {
-        Scale::Tiny => (256, 64),
-        Scale::Small => (2048, 2048),
-    };
-    let wls: Vec<Spmv> = grains
-        .iter()
-        .map(|&g| Spmv::new(n, max_row, g, SEED))
-        .collect();
-    let mut jobs = Vec::new();
-    for wl in &wls {
-        jobs.push(Job::new(wl, seeded(DeltaConfig::delta(TILES), wl)));
-        jobs.push(Job::baseline(
-            wl,
-            seeded(DeltaConfig::static_parallel(TILES), wl),
-        ));
-    }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["rows/task", "tasks", "delta cyc", "static cyc", "speedup"]);
-    for ((&g, wl), pair) in grains.iter().zip(&wls).zip(results.chunks(2)) {
-        let (d, s) = (&pair[0], &pair[1]);
-        table.row(vec![
-            g.to_string(),
-            wl.info().tasks.to_string(),
-            d.cycles.to_string(),
-            s.cycles.to_string(),
-            fmt_x(s.cycles as f64 / d.cycles as f64),
-        ]);
-    }
-    table
+        (table, Vec::new())
+    })
 }
 
 /// `fig_imbalance` — per-tile busy cycles under both designs.
-pub fn fig_imbalance(scale: Scale) -> Table {
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+fn plan_imbalance(scale: Scale) -> Plan {
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Arc::new(Spmv::tiny(SEED)), Arc::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Arc::new(Spmv::small(SEED)), Arc::new(Bfs::small(SEED))],
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(
-            wl.as_ref(),
+        jobs.push(SweepJob::new(
+            wl.clone(),
             seeded(DeltaConfig::delta(TILES), wl.as_ref()),
         ));
-        jobs.push(Job::baseline(
-            wl.as_ref(),
+        jobs.push(SweepJob::baseline(
+            wl.clone(),
             seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
         ));
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&[
-        "workload",
-        "design",
-        "per-tile busy (max/mean)",
-        "imbalance",
-    ]);
-    let mut res = results.iter();
-    for wl in &wls {
-        for design in ["delta", "static"] {
-            let r = res.next().unwrap();
-            let busy = r.tile_busy();
-            let max = busy.iter().cloned().fold(0.0f64, f64::max);
-            let mean = busy.iter().sum::<f64>() / busy.len() as f64;
-            table.row(vec![
-                wl.name().into(),
-                design.into(),
-                format!("{max:.0}/{mean:.0}"),
-                format!("{:.2}", r.load_imbalance()),
-            ]);
+    Plan::new("fig_imbalance", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&[
+            "workload",
+            "design",
+            "per-tile busy (max/mean)",
+            "imbalance",
+        ]);
+        let mut res = results.iter();
+        for wl in &wls {
+            for design in ["delta", "static"] {
+                let r = res.next().unwrap();
+                let busy = r.tile_busy();
+                let max = busy.iter().cloned().fold(0.0f64, f64::max);
+                let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+                table.row(vec![
+                    wl.name().into(),
+                    design.into(),
+                    format!("{max:.0}/{mean:.0}"),
+                    format!("{:.2}", r.load_imbalance()),
+                ]);
+            }
         }
-    }
-    table
+        (table, Vec::new())
+    })
 }
 
 /// `fig_noc` — DRAM words and NoC flit-hops with and without multicast.
-pub fn fig_noc(scale: Scale) -> Table {
-    let wls: Vec<Box<dyn Workload>> = match scale {
+fn plan_noc(scale: Scale) -> Plan {
+    let wls: Vec<Arc<dyn Workload>> = match scale {
         Scale::Tiny => vec![
-            Box::new(DTree::tiny(SEED)),
-            Box::new(KMeans::tiny(SEED)),
-            Box::new(HashJoin::tiny(SEED)),
+            Arc::new(DTree::tiny(SEED)),
+            Arc::new(KMeans::tiny(SEED)),
+            Arc::new(HashJoin::tiny(SEED)),
         ],
         Scale::Small => vec![
-            Box::new(DTree::small(SEED)),
-            Box::new(KMeans::small(SEED)),
-            Box::new(HashJoin::small(SEED)),
+            Arc::new(DTree::small(SEED)),
+            Arc::new(KMeans::small(SEED)),
+            Arc::new(HashJoin::small(SEED)),
         ],
     };
     let unicast = Features {
@@ -341,214 +451,236 @@ pub fn fig_noc(scale: Scale) -> Table {
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(
-            wl.as_ref(),
+        jobs.push(SweepJob::new(
+            wl.clone(),
             seeded(DeltaConfig::delta(TILES), wl.as_ref()),
         ));
-        jobs.push(Job::new(
-            wl.as_ref(),
+        jobs.push(SweepJob::new(
+            wl.clone(),
             seeded(
                 DeltaConfig::delta(TILES).with_features(unicast),
                 wl.as_ref(),
             ),
         ));
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&[
-        "workload",
-        "dram rd (mc)",
-        "dram rd (uni)",
-        "saved",
-        "hops (mc)",
-        "hops (uni)",
-    ]);
-    for (wl, pair) in wls.iter().zip(results.chunks(2)) {
-        let (with, without) = (&pair[0], &pair[1]);
-        let rd_mc = with.stats.get_or_zero("dram.read_words");
-        let rd_uni = without.stats.get_or_zero("dram.read_words");
-        table.row(vec![
-            wl.name().into(),
-            format!("{rd_mc:.0}"),
-            format!("{rd_uni:.0}"),
-            format!("{:.0}%", 100.0 * (1.0 - rd_mc / rd_uni.max(1.0))),
-            format!("{:.0}", with.noc_hops()),
-            format!("{:.0}", without.noc_hops()),
+    Plan::new("fig_noc", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&[
+            "workload",
+            "dram rd (mc)",
+            "dram rd (uni)",
+            "saved",
+            "hops (mc)",
+            "hops (uni)",
         ]);
-    }
-    table
+        for (wl, pair) in wls.iter().zip(results.chunks(2)) {
+            let (with, without) = (pair[0], pair[1]);
+            let rd_mc = with.stats.get_or_zero("dram.read_words");
+            let rd_uni = without.stats.get_or_zero("dram.read_words");
+            table.row(vec![
+                wl.name().into(),
+                format!("{rd_mc:.0}"),
+                format!("{rd_uni:.0}"),
+                format!("{:.0}%", 100.0 * (1.0 - rd_mc / rd_uni.max(1.0))),
+                format!("{:.0}", with.noc_hops()),
+                format!("{:.0}", without.noc_hops()),
+            ]);
+        }
+        (table, Vec::new())
+    })
 }
 
 /// `fig_policy` — placement-policy comparison on skewed workloads
 /// (other mechanisms held on). Cells are slowdown relative to
 /// work-aware; `least-queued` isolates the value of the *work* hint
 /// (it balances task counts but not task sizes).
-pub fn fig_policy(scale: Scale) -> Table {
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+fn plan_policy(scale: Scale) -> Plan {
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Arc::new(Spmv::tiny(SEED)), Arc::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Arc::new(Spmv::small(SEED)), Arc::new(Bfs::small(SEED))],
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        jobs.push(Job::new(
-            wl.as_ref(),
+        jobs.push(SweepJob::new(
+            wl.clone(),
             seeded(
                 DeltaConfig::delta(TILES).with_policy(Policy::WorkAware),
                 wl.as_ref(),
             ),
         ));
         for pol in Policy::ALL {
-            jobs.push(Job::new(
-                wl.as_ref(),
+            jobs.push(SweepJob::new(
+                wl.clone(),
                 seeded(DeltaConfig::delta(TILES).with_policy(pol), wl.as_ref()),
             ));
         }
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&[
-        "workload",
-        "work-aware",
-        "least-queued",
-        "round-robin",
-        "random",
-        "static-hash",
-    ]);
-    for (wl, group) in wls.iter().zip(results.chunks(1 + Policy::ALL.len())) {
-        let base = &group[0];
-        let mut cells = vec![wl.name().to_string()];
-        for r in &group[1..] {
-            cells.push(fmt_x(r.cycles as f64 / base.cycles as f64));
+    Plan::new("fig_policy", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&[
+            "workload",
+            "work-aware",
+            "least-queued",
+            "round-robin",
+            "random",
+            "static-hash",
+        ]);
+        for (wl, group) in wls.iter().zip(results.chunks(1 + Policy::ALL.len())) {
+            let base = group[0];
+            let mut cells = vec![wl.name().to_string()];
+            for r in &group[1..] {
+                cells.push(fmt_x(r.cycles as f64 / base.cycles as f64));
+            }
+            table.row(cells);
         }
-        table.row(cells);
+        (table, Vec::new())
+    })
+}
+
+/// Shared shape of the four base-point-relative single-knob ablations
+/// (`fig_window` / `fig_prefetch` / `fig_batch` / `fig_queue`-style):
+/// for each workload, one job at the default setting (the divisor),
+/// then one per swept value.
+fn plan_knob<K: Copy + ToString + Send + 'static>(
+    id: &'static str,
+    scale: Scale,
+    wls: Vec<Arc<dyn Workload>>,
+    default: K,
+    values: Vec<K>,
+    make_cfg: impl Fn(usize, K) -> DeltaConfig,
+    headers: [&'static str; 4],
+) -> Plan {
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        for &v in std::iter::once(&default).chain(values.iter()) {
+            jobs.push(SweepJob::new(
+                wl.clone(),
+                seeded(make_cfg(TILES, v), wl.as_ref()),
+            ));
+        }
     }
-    table
+    Plan::new(id, scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&headers);
+        for (wl, group) in wls.iter().zip(results.chunks(1 + values.len())) {
+            let base = group[0];
+            for (&v, r) in values.iter().zip(&group[1..]) {
+                table.row(vec![
+                    wl.name().into(),
+                    v.to_string(),
+                    r.cycles.to_string(),
+                    fmt_x(base.cycles as f64 / r.cycles as f64),
+                ]);
+            }
+        }
+        (table, Vec::new())
+    })
 }
 
 /// `fig_window` — dispatcher lookahead-window ablation (a design
 /// choice of this implementation: how far into the pending queue the
 /// dispatcher searches for ready/placeable tasks, multicast sharers and
 /// pipe chains).
-pub fn fig_window(scale: Scale) -> Table {
-    let windows: &[usize] = &[1, 4, 16, 32, 64];
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(DTree::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
-        Scale::Small => vec![Box::new(DTree::small(SEED)), Box::new(Bfs::small(SEED))],
+fn plan_window(scale: Scale) -> Plan {
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Arc::new(DTree::tiny(SEED)), Arc::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Arc::new(DTree::small(SEED)), Arc::new(Bfs::small(SEED))],
     };
-    let mut jobs = Vec::new();
-    for wl in &wls {
-        for &w in std::iter::once(&32usize).chain(windows) {
-            jobs.push(Job::new(
-                wl.as_ref(),
-                seeded(
-                    DeltaConfig::builder(TILES).dispatch_window(w).build(),
-                    wl.as_ref(),
-                ),
-            ));
-        }
-    }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["workload", "window", "cycles", "vs 32"]);
-    for (wl, group) in wls.iter().zip(results.chunks(1 + windows.len())) {
-        let base = &group[0];
-        for (&w, r) in windows.iter().zip(&group[1..]) {
-            table.row(vec![
-                wl.name().into(),
-                w.to_string(),
-                r.cycles.to_string(),
-                fmt_x(base.cycles as f64 / r.cycles as f64),
-            ]);
-        }
-    }
-    table
+    plan_knob(
+        "fig_window",
+        scale,
+        wls,
+        32usize,
+        vec![1, 4, 16, 32, 64],
+        |tiles, w| DeltaConfig::builder(tiles).dispatch_window(w).build(),
+        ["workload", "window", "cycles", "vs 32"],
+    )
 }
 
 /// `fig_prefetch` — stream prefetch-depth ablation (how many queue
 /// positions may issue DRAM streams; deep prefetch steals bandwidth
 /// from the running task).
-pub fn fig_prefetch(scale: Scale) -> Table {
-    let depths: &[usize] = &[1, 2, 4];
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Gemm::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Gemm::small(SEED))],
+fn plan_prefetch(scale: Scale) -> Plan {
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Arc::new(Spmv::tiny(SEED)), Arc::new(Gemm::tiny(SEED))],
+        Scale::Small => vec![Arc::new(Spmv::small(SEED)), Arc::new(Gemm::small(SEED))],
     };
-    let mut jobs = Vec::new();
-    for wl in &wls {
-        for &d in std::iter::once(&2usize).chain(depths) {
-            jobs.push(Job::new(
-                wl.as_ref(),
-                seeded(
-                    DeltaConfig::builder(TILES).prefetch_depth(d).build(),
-                    wl.as_ref(),
-                ),
-            ));
-        }
-    }
-    let results = run_grid(&jobs);
+    plan_knob(
+        "fig_prefetch",
+        scale,
+        wls,
+        2usize,
+        vec![1, 2, 4],
+        |tiles, d| DeltaConfig::builder(tiles).prefetch_depth(d).build(),
+        ["workload", "depth", "cycles", "vs 2"],
+    )
+}
 
-    let mut table = Table::new(&["workload", "depth", "cycles", "vs 2"]);
-    for (wl, group) in wls.iter().zip(results.chunks(1 + depths.len())) {
-        let base = &group[0];
-        for (&d, r) in depths.iter().zip(&group[1..]) {
-            table.row(vec![
-                wl.name().into(),
-                d.to_string(),
-                r.cycles.to_string(),
-                fmt_x(base.cycles as f64 / r.cycles as f64),
-            ]);
-        }
-    }
-    table
+/// `fig_queue` — tile task-queue depth sensitivity (Delta).
+fn plan_queue(scale: Scale) -> Plan {
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Arc::new(Spmv::tiny(SEED)), Arc::new(HashJoin::tiny(SEED))],
+        Scale::Small => vec![Arc::new(Spmv::small(SEED)), Arc::new(HashJoin::small(SEED))],
+    };
+    plan_knob(
+        "fig_queue",
+        scale,
+        wls,
+        4usize,
+        vec![1, 2, 4, 8],
+        |tiles, depth| DeltaConfig::builder(tiles).tile_queue(depth).build(),
+        ["workload", "depth", "cycles", "vs depth=4"],
+    )
 }
 
 /// `fig_batch` — multicast batching-window ablation (how long a shared
 /// read waits for sharers to join before it starts streaming).
-pub fn fig_batch(scale: Scale) -> Table {
-    let windows: &[u64] = &[0, 8, 24, 64, 256];
-    let wl: Box<dyn Workload> = match scale {
-        Scale::Tiny => Box::new(DTree::tiny(SEED)),
-        Scale::Small => Box::new(DTree::small(SEED)),
+fn plan_batch(scale: Scale) -> Plan {
+    let windows: Vec<u64> = vec![0, 8, 24, 64, 256];
+    let wl: Arc<dyn Workload> = match scale {
+        Scale::Tiny => Arc::new(DTree::tiny(SEED)),
+        Scale::Small => Arc::new(DTree::small(SEED)),
     };
     let mut jobs = Vec::new();
-    for &w in std::iter::once(&24u64).chain(windows) {
-        jobs.push(Job::new(
-            wl.as_ref(),
+    for &w in std::iter::once(&24u64).chain(windows.iter()) {
+        jobs.push(SweepJob::new(
+            wl.clone(),
             seeded(
                 DeltaConfig::builder(TILES).mcast_batch_window(w).build(),
                 wl.as_ref(),
             ),
         ));
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["window cyc", "cycles", "dram reads", "vs 24"]);
-    let base = &results[0];
-    for (&w, r) in windows.iter().zip(&results[1..]) {
-        table.row(vec![
-            w.to_string(),
-            r.cycles.to_string(),
-            format!("{:.0}", r.stats.get_or_zero("dram.read_words")),
-            fmt_x(base.cycles as f64 / r.cycles as f64),
-        ]);
-    }
-    table
+    Plan::new("fig_batch", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&["window cyc", "cycles", "dram reads", "vs 24"]);
+        let base = results[0];
+        for (&w, r) in windows.iter().zip(&results[1..]) {
+            table.row(vec![
+                w.to_string(),
+                r.cycles.to_string(),
+                format!("{:.0}", r.stats.get_or_zero("dram.read_words")),
+                fmt_x(base.cycles as f64 / r.cycles as f64),
+            ]);
+        }
+        (table, Vec::new())
+    })
 }
 
 /// `fig_spawn` — task-creation overhead sensitivity (spawn + host
 /// notification latency sweep). Dynamically spawning workloads feel
 /// this; statically spawned ones shrug it off.
-pub fn fig_spawn(scale: Scale) -> Table {
-    let latencies: &[u64] = &[0, 12, 48, 192, 768];
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Bfs::tiny(SEED)), Box::new(Spmv::tiny(SEED))],
-        Scale::Small => vec![Box::new(Bfs::small(SEED)), Box::new(Spmv::small(SEED))],
+fn plan_spawn(scale: Scale) -> Plan {
+    let latencies: Vec<u64> = vec![0, 12, 48, 192, 768];
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Arc::new(Bfs::tiny(SEED)), Arc::new(Spmv::tiny(SEED))],
+        Scale::Small => vec![Arc::new(Bfs::small(SEED)), Arc::new(Spmv::small(SEED))],
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        for &lat in latencies {
-            jobs.push(Job::new(
-                wl.as_ref(),
+        for &lat in &latencies {
+            jobs.push(SweepJob::new(
+                wl.clone(),
                 seeded(
                     DeltaConfig::builder(TILES)
                         .spawn_latency(lat)
@@ -559,110 +691,76 @@ pub fn fig_spawn(scale: Scale) -> Table {
             ));
         }
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["workload", "latency", "cycles", "slowdown"]);
-    for (wl, group) in wls.iter().zip(results.chunks(latencies.len())) {
-        let base = group[0].cycles;
-        for (&lat, r) in latencies.iter().zip(group) {
-            table.row(vec![
-                wl.name().into(),
-                lat.to_string(),
-                r.cycles.to_string(),
-                fmt_x(r.cycles as f64 / base as f64),
-            ]);
+    Plan::new("fig_spawn", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&["workload", "latency", "cycles", "slowdown"]);
+        for (wl, group) in wls.iter().zip(results.chunks(latencies.len())) {
+            let base = group[0].cycles;
+            for (&lat, r) in latencies.iter().zip(group) {
+                table.row(vec![
+                    wl.name().into(),
+                    lat.to_string(),
+                    r.cycles.to_string(),
+                    fmt_x(r.cycles as f64 / base as f64),
+                ]);
+            }
         }
-    }
-    table
-}
-
-/// `fig_queue` — tile task-queue depth sensitivity (Delta).
-pub fn fig_queue(scale: Scale) -> Table {
-    let depths: &[usize] = &[1, 2, 4, 8];
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(HashJoin::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(HashJoin::small(SEED))],
-    };
-    let mut jobs = Vec::new();
-    for wl in &wls {
-        for &depth in std::iter::once(&4usize).chain(depths) {
-            jobs.push(Job::new(
-                wl.as_ref(),
-                seeded(
-                    DeltaConfig::builder(TILES).tile_queue(depth).build(),
-                    wl.as_ref(),
-                ),
-            ));
-        }
-    }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["workload", "depth", "cycles", "vs depth=4"]);
-    for (wl, group) in wls.iter().zip(results.chunks(1 + depths.len())) {
-        let base = &group[0];
-        for (&depth, r) in depths.iter().zip(&group[1..]) {
-            table.row(vec![
-                wl.name().into(),
-                depth.to_string(),
-                r.cycles.to_string(),
-                fmt_x(base.cycles as f64 / r.cycles as f64),
-            ]);
-        }
-    }
-    table
+        (table, Vec::new())
+    })
 }
 
 /// `fig_reconfig` — reconfiguration-cost sensitivity (workloads with
 /// multiple task types sharing tiles).
-pub fn fig_reconfig(scale: Scale) -> Table {
-    let costs: &[u64] = &[0, 2, 8, 32, 128];
-    let wls: Vec<Box<dyn Workload>> = match scale {
+fn plan_reconfig(scale: Scale) -> Plan {
+    let costs: Vec<u64> = vec![0, 2, 8, 32, 128];
+    let wls: Vec<Arc<dyn Workload>> = match scale {
         Scale::Tiny => vec![
-            Box::new(HashJoin::tiny(SEED)),
-            Box::new(MergeSort::tiny(SEED)),
+            Arc::new(HashJoin::tiny(SEED)),
+            Arc::new(MergeSort::tiny(SEED)),
         ],
         Scale::Small => vec![
-            Box::new(HashJoin::small(SEED)),
-            Box::new(MergeSort::small(SEED)),
+            Arc::new(HashJoin::small(SEED)),
+            Arc::new(MergeSort::small(SEED)),
         ],
     };
     let mut jobs = Vec::new();
     for wl in &wls {
-        for &c in costs {
+        for &c in &costs {
             let cfg = DeltaConfig::builder(TILES).fabric_config_per_pe(c).build();
-            jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
+            jobs.push(SweepJob::new(wl.clone(), seeded(cfg, wl.as_ref())));
         }
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["workload", "cfg cyc/PE", "delta cyc", "slowdown"]);
-    for (wl, group) in wls.iter().zip(results.chunks(costs.len())) {
-        let base = group[0].cycles;
-        for (&c, r) in costs.iter().zip(group) {
-            table.row(vec![
-                wl.name().into(),
-                c.to_string(),
-                r.cycles.to_string(),
-                fmt_x(r.cycles as f64 / base as f64),
-            ]);
+    Plan::new("fig_reconfig", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&["workload", "cfg cyc/PE", "delta cyc", "slowdown"]);
+        for (wl, group) in wls.iter().zip(results.chunks(costs.len())) {
+            let base = group[0].cycles;
+            for (&c, r) in costs.iter().zip(group) {
+                table.row(vec![
+                    wl.name().into(),
+                    c.to_string(),
+                    r.cycles.to_string(),
+                    fmt_x(r.cycles as f64 / base as f64),
+                ]);
+            }
         }
-    }
-    table
+        (table, Vec::new())
+    })
 }
 
 /// `fig_steal` — extension study: can tile-side work stealing replace
 /// (or add to) work-aware dispatch? Columns are cycles under: static
 /// placement, static + stealing, work-aware, work-aware + stealing.
-pub fn fig_steal(scale: Scale) -> Table {
+fn plan_steal(scale: Scale) -> Plan {
     let combos = [
         (Policy::StaticHash, false),
         (Policy::StaticHash, true),
         (Policy::WorkAware, false),
         (Policy::WorkAware, true),
     ];
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Arc::new(Spmv::tiny(SEED)), Arc::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Arc::new(Spmv::small(SEED)), Arc::new(Bfs::small(SEED))],
     };
     let mut jobs = Vec::new();
     for wl in &wls {
@@ -671,30 +769,206 @@ pub fn fig_steal(scale: Scale) -> Table {
                 .policy(policy)
                 .work_stealing(steal)
                 .build();
-            jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
+            jobs.push(SweepJob::new(wl.clone(), seeded(cfg, wl.as_ref())));
         }
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&[
-        "workload",
-        "static",
-        "static+steal",
-        "work-aware",
-        "work-aware+steal",
-    ]);
-    for (wl, group) in wls.iter().zip(results.chunks(combos.len())) {
-        let mut cells = vec![wl.name().to_string()];
-        for r in group {
-            cells.push(r.cycles.to_string());
+    Plan::new("fig_steal", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&[
+            "workload",
+            "static",
+            "static+steal",
+            "work-aware",
+            "work-aware+steal",
+        ]);
+        for (wl, group) in wls.iter().zip(results.chunks(combos.len())) {
+            let mut cells = vec![wl.name().to_string()];
+            for r in group {
+                cells.push(r.cycles.to_string());
+            }
+            table.row(cells);
         }
-        table.row(cells);
-    }
-    table
+        (table, Vec::new())
+    })
 }
 
-/// `tbl_workloads` — workload characteristics.
-pub fn tbl_workloads(scale: Scale) -> Table {
+/// `fig_lanes` — vector-lane sweep (an extension of the fabric model:
+/// up to `lanes` firings retire per cycle). Compute-bound workloads
+/// scale until the memory system becomes the wall.
+fn plan_lanes(scale: Scale) -> Plan {
+    let lanes: Vec<u32> = vec![1, 2, 4, 8];
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![
+            Arc::new(Gemm::tiny(SEED)),
+            Arc::new(DTree::tiny(SEED)),
+            Arc::new(Spmv::tiny(SEED)),
+        ],
+        Scale::Small => vec![
+            Arc::new(Gemm::small(SEED)),
+            Arc::new(DTree::small(SEED)),
+            Arc::new(Spmv::small(SEED)),
+        ],
+    };
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        for &l in &lanes {
+            let cfg = DeltaConfig::builder(TILES).fabric_lanes(l).build();
+            jobs.push(SweepJob::new(wl.clone(), seeded(cfg, wl.as_ref())));
+        }
+    }
+    Plan::new("fig_lanes", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&["workload", "lanes", "cycles", "speedup vs 1"]);
+        for (wl, group) in wls.iter().zip(results.chunks(lanes.len())) {
+            let base = group[0].cycles;
+            for (&l, r) in lanes.iter().zip(group) {
+                table.row(vec![
+                    wl.name().into(),
+                    l.to_string(),
+                    r.cycles.to_string(),
+                    fmt_x(base as f64 / r.cycles as f64),
+                ]);
+            }
+        }
+        (table, Vec::new())
+    })
+}
+
+/// `fig_timeline` — tile-occupancy sparklines over the run (the classic
+/// utilization figure): Delta keeps tiles busy; static placement shows
+/// the straggler tail / sweep troughs.
+fn plan_timeline(scale: Scale) -> Plan {
+    let wls: Vec<Arc<dyn Workload>> = match scale {
+        Scale::Tiny => vec![Arc::new(Spmv::tiny(SEED)), Arc::new(Bfs::tiny(SEED))],
+        Scale::Small => vec![Arc::new(Spmv::small(SEED)), Arc::new(Bfs::small(SEED))],
+    };
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        jobs.push(SweepJob::new(
+            wl.clone(),
+            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
+        ));
+        jobs.push(SweepJob::baseline(
+            wl.clone(),
+            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
+        ));
+    }
+    Plan::new("fig_timeline", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&["workload", "design", "occupancy over time"]);
+        let mut res = results.iter();
+        for wl in &wls {
+            for design in ["delta", "static"] {
+                let r = res.next().unwrap();
+                table.row(vec![
+                    wl.name().into(),
+                    design.into(),
+                    r.sparkline(TILES, 64),
+                ]);
+            }
+        }
+        (table, Vec::new())
+    })
+}
+
+/// One `fig_faults` design point: the given preset with fault
+/// injection scaled off a single knob — `rate` of the tiles fail-stop,
+/// transient stalls hit each (tile, epoch) with the same probability,
+/// and DRAM retries arrive at a quarter of it. Recovery is what the
+/// experiment compares, so it is the one per-side difference.
+fn fault_point(cfg: DeltaConfig, rate: f64, recovery: bool, window: u64) -> DeltaConfig {
+    let faults = FaultsConfig {
+        tile_fail_rate: rate,
+        tile_fail_window: window,
+        tile_stall_rate: rate,
+        dram_retry_rate: rate / 4.0,
+        recovery,
+        watchdog_timeout: 8_000,
+        ..FaultsConfig::none()
+    };
+    // Tight enough that a wedged baseline gives up quickly, loose
+    // enough that recovery backoff (cap 4096) never trips it.
+    cfg.to_builder().faults(faults).stall_limit(80_000).build()
+}
+
+/// `fig_faults` — graceful degradation under injected faults: Delta
+/// with task-level recovery vs the static-parallel baseline, sweeping
+/// the fault rate (see [`fault_point`]). Both sides see the *same*
+/// seeded fault schedule; "lost" is the cycle cost relative to the
+/// same design at rate 0. Delta routes around dead tiles and finishes
+/// (every completed run also validates against the untimed oracle);
+/// the baseline keeps hashing tasks onto a fail-stopped tile and
+/// wedges, rendered as `wedged`.
+fn plan_faults(scale: Scale) -> Plan {
+    let rates: Vec<f64> = vec![0.0, 0.125, 0.25, 0.5];
+    // fail-stop cycles are drawn from 1..=window; keep the window
+    // inside the run so every swept rate actually injects
+    let (wl, window): (Arc<dyn Workload>, u64) = match scale {
+        Scale::Tiny => (Arc::new(Spmv::tiny(SEED)), 256),
+        Scale::Small => (Arc::new(Spmv::small(SEED)), 8192),
+    };
+    let mut jobs = Vec::new();
+    for &r in &rates {
+        jobs.push(SweepJob::faulted(
+            wl.clone(),
+            seeded(
+                fault_point(DeltaConfig::delta(TILES), r, true, window),
+                wl.as_ref(),
+            ),
+            false,
+        ));
+        jobs.push(SweepJob::faulted(
+            wl.clone(),
+            seeded(
+                fault_point(DeltaConfig::static_baseline(TILES), r, false, window),
+                wl.as_ref(),
+            ),
+            true,
+        ));
+    }
+    Plan::new("fig_faults", scale, jobs, move |outcomes| {
+        let delta_base = outcomes[0]
+            .report()
+            .expect("fault-free delta run cannot wedge")
+            .cycles;
+        let static_base = outcomes[1]
+            .report()
+            .expect("fault-free baseline run cannot wedge")
+            .cycles;
+        let mut table = Table::new(&[
+            "fail rate",
+            "delta cyc",
+            "delta lost",
+            "redispatched",
+            "static cyc",
+            "static lost",
+        ]);
+        for (&r, pair) in rates.iter().zip(outcomes.chunks(2)) {
+            let d = pair[0]
+                .report()
+                .expect("delta with recovery must not wedge");
+            let (s_cyc, s_lost) = match &pair[1] {
+                FaultOutcome::Completed(s) => (
+                    s.cycles.to_string(),
+                    s.cycles.saturating_sub(static_base).to_string(),
+                ),
+                FaultOutcome::Wedged { .. } => ("wedged".into(), "wedged".into()),
+            };
+            table.row(vec![
+                format!("{r:.3}"),
+                d.cycles.to_string(),
+                d.cycles.saturating_sub(delta_base).to_string(),
+                d.faults.tasks_redispatched.to_string(),
+                s_cyc,
+                s_lost,
+            ]);
+        }
+        (table, Vec::new())
+    })
+}
+
+/// `tbl_workloads` — workload characteristics (no simulations).
+fn plan_workloads(scale: Scale) -> Plan {
     let mut table = Table::new(&["workload", "tasks", "elements", "grain", "stresses"]);
     for wl in suite(scale, SEED) {
         let i = wl.info();
@@ -706,11 +980,12 @@ pub fn tbl_workloads(scale: Scale) -> Table {
             i.stresses.into(),
         ]);
     }
-    table
+    Plan::immediate("tbl_workloads", scale, table)
 }
 
-/// `tbl_config` — architecture parameters of the evaluated design.
-pub fn tbl_config() -> Table {
+/// `tbl_config` — architecture parameters of the evaluated design
+/// (no simulations).
+fn plan_config(scale: Scale) -> Plan {
     let c = DeltaConfig::delta(TILES);
     let (w, h) = c.mesh_dims();
     let mut table = Table::new(&["parameter", "value"]);
@@ -755,178 +1030,201 @@ pub fn tbl_config() -> Table {
         "multicast batch window",
         format!("{} cycles", c.mcast_batch_window),
     );
-    table
+    Plan::immediate("tbl_config", scale, table)
 }
 
-/// `fig_lanes` — vector-lane sweep (an extension of the fabric model:
-/// up to `lanes` firings retire per cycle). Compute-bound workloads
-/// scale until the memory system becomes the wall.
-pub fn fig_lanes(scale: Scale) -> Table {
-    let lanes: &[u32] = &[1, 2, 4, 8];
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![
-            Box::new(Gemm::tiny(SEED)),
-            Box::new(DTree::tiny(SEED)),
-            Box::new(Spmv::tiny(SEED)),
-        ],
-        Scale::Small => vec![
-            Box::new(Gemm::small(SEED)),
-            Box::new(DTree::small(SEED)),
-            Box::new(Spmv::small(SEED)),
-        ],
-    };
+/// `tbl_energy` — per-workload energy, Delta vs static-parallel
+/// (analytical event-energy model; see `ts_delta::energy`).
+fn plan_energy(scale: Scale) -> Plan {
+    let wls = arc_suite(scale);
     let mut jobs = Vec::new();
     for wl in &wls {
-        for &l in lanes {
-            let cfg = DeltaConfig::builder(TILES).fabric_lanes(l).build();
-            jobs.push(Job::new(wl.as_ref(), seeded(cfg, wl.as_ref())));
-        }
-    }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["workload", "lanes", "cycles", "speedup vs 1"]);
-    for (wl, group) in wls.iter().zip(results.chunks(lanes.len())) {
-        let base = group[0].cycles;
-        for (&l, r) in lanes.iter().zip(group) {
-            table.row(vec![
-                wl.name().into(),
-                l.to_string(),
-                r.cycles.to_string(),
-                fmt_x(base as f64 / r.cycles as f64),
-            ]);
-        }
-    }
-    table
-}
-
-/// `fig_timeline` — tile-occupancy sparklines over the run (the classic
-/// utilization figure): Delta keeps tiles busy; static placement shows
-/// the straggler tail / sweep troughs.
-pub fn fig_timeline(scale: Scale) -> Table {
-    let wls: Vec<Box<dyn Workload>> = match scale {
-        Scale::Tiny => vec![Box::new(Spmv::tiny(SEED)), Box::new(Bfs::tiny(SEED))],
-        Scale::Small => vec![Box::new(Spmv::small(SEED)), Box::new(Bfs::small(SEED))],
-    };
-    let mut jobs = Vec::new();
-    for wl in &wls {
-        jobs.push(Job::new(
-            wl.as_ref(),
+        jobs.push(SweepJob::new(
+            wl.clone(),
             seeded(DeltaConfig::delta(TILES), wl.as_ref()),
         ));
-        jobs.push(Job::baseline(
-            wl.as_ref(),
+        jobs.push(SweepJob::baseline(
+            wl.clone(),
             seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
         ));
     }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["workload", "design", "occupancy over time"]);
-    let mut res = results.iter();
-    for wl in &wls {
-        for design in ["delta", "static"] {
-            let r = res.next().unwrap();
+    Plan::new("tbl_energy", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&["workload", "delta uJ", "static uJ", "savings"]);
+        for (wl, pair) in wls.iter().zip(results.chunks(2)) {
+            let (d, s) = (pair[0], pair[1]);
+            let dcfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
+            let scfg = seeded(DeltaConfig::static_parallel(TILES), wl.as_ref());
+            let de = ts_delta::energy::breakdown(&dcfg, d).total_uj();
+            let se = ts_delta::energy::breakdown(&scfg, s).total_uj();
             table.row(vec![
                 wl.name().into(),
-                design.into(),
-                r.sparkline(TILES, 64),
+                format!("{de:.1}"),
+                format!("{se:.1}"),
+                format!("{:.0}%", 100.0 * (1.0 - de / se)),
             ]);
         }
-    }
-    table
+        (table, Vec::new())
+    })
 }
 
-/// One `fig_faults` design point: the given preset with fault
-/// injection scaled off a single knob — `rate` of the tiles fail-stop,
-/// transient stalls hit each (tile, epoch) with the same probability,
-/// and DRAM retries arrive at a quarter of it. Recovery is what the
-/// experiment compares, so it is the one per-side difference.
-fn fault_point(cfg: DeltaConfig, rate: f64, recovery: bool, window: u64) -> DeltaConfig {
-    let faults = FaultsConfig {
-        tile_fail_rate: rate,
-        tile_fail_window: window,
-        tile_stall_rate: rate,
-        dram_retry_rate: rate / 4.0,
-        recovery,
-        watchdog_timeout: 8_000,
-        ..FaultsConfig::none()
-    };
-    // Tight enough that a wedged baseline gives up quickly, loose
-    // enough that recovery backoff (cap 4096) never trips it.
-    cfg.to_builder().faults(faults).stall_limit(80_000).build()
-}
-
-/// `fig_faults` — graceful degradation under injected faults: Delta
-/// with task-level recovery vs the static-parallel baseline, sweeping
-/// the fault rate (see [`fault_point`]). Both sides see the *same*
-/// seeded fault schedule; "lost" is the cycle cost relative to the
-/// same design at rate 0. Delta routes around dead tiles and finishes
-/// (every completed run also validates against the untimed oracle);
-/// the baseline keeps hashing tasks onto a fail-stopped tile and
-/// wedges, rendered as `wedged`.
-pub fn fig_faults(scale: Scale) -> Table {
-    let rates: &[f64] = &[0.0, 0.125, 0.25, 0.5];
-    // fail-stop cycles are drawn from 1..=window; keep the window
-    // inside the run so every swept rate actually injects
-    let (wl, window): (Box<dyn Workload>, u64) = match scale {
-        Scale::Tiny => (Box::new(Spmv::tiny(SEED)), 256),
-        Scale::Small => (Box::new(Spmv::small(SEED)), 8192),
-    };
-    let mut jobs = Vec::new();
-    for &r in rates {
-        jobs.push(Job::new(
-            wl.as_ref(),
-            seeded(
-                fault_point(DeltaConfig::delta(TILES), r, true, window),
-                wl.as_ref(),
-            ),
-        ));
-        jobs.push(Job::baseline(
-            wl.as_ref(),
-            seeded(
-                fault_point(DeltaConfig::static_baseline(TILES), r, false, window),
-                wl.as_ref(),
-            ),
-        ));
-    }
-    let results = run_grid_faulted(&jobs);
-
-    let delta_base = results[0]
-        .report()
-        .expect("fault-free delta run cannot wedge")
-        .cycles;
-    let static_base = results[1]
-        .report()
-        .expect("fault-free baseline run cannot wedge")
-        .cycles;
-    let mut table = Table::new(&[
-        "fail rate",
-        "delta cyc",
-        "delta lost",
-        "redispatched",
-        "static cyc",
-        "static lost",
-    ]);
-    for (&r, pair) in rates.iter().zip(results.chunks(2)) {
-        let d = pair[0]
-            .report()
-            .expect("delta with recovery must not wedge");
-        let (s_cyc, s_lost) = match &pair[1] {
-            FaultOutcome::Completed(s) => (
-                s.cycles.to_string(),
-                s.cycles.saturating_sub(static_base).to_string(),
-            ),
-            FaultOutcome::Wedged { .. } => ("wedged".into(), "wedged".into()),
-        };
+/// `tbl_area` — analytical area breakdown and the TaskStream overhead
+/// (no simulations).
+fn plan_area(scale: Scale) -> Plan {
+    let b = area::breakdown(&DeltaConfig::delta(TILES));
+    let mut table = Table::new(&["component", "mm2", "taskstream"]);
+    for item in &b.items {
         table.row(vec![
-            format!("{r:.3}"),
-            d.cycles.to_string(),
-            d.cycles.saturating_sub(delta_base).to_string(),
-            d.faults.tasks_redispatched.to_string(),
-            s_cyc,
-            s_lost,
+            item.name.into(),
+            format!("{:.3}", item.mm2),
+            if item.taskstream { "yes" } else { "" }.into(),
         ]);
     }
-    table
+    table.row(vec![
+        "total".into(),
+        format!("{:.3}", b.total_mm2()),
+        "".into(),
+    ]);
+    table.row(vec![
+        "taskstream overhead".into(),
+        format!("{:.1}%", 100.0 * b.taskstream_overhead()),
+        "".into(),
+    ]);
+    Plan::immediate("tbl_area", scale, table)
+}
+
+/// All experiment ids, in report order.
+pub const ALL: &[&str] = &[
+    "tbl_config",
+    "tbl_workloads",
+    "fig_overall",
+    "fig_ablation",
+    "fig_tiles",
+    "fig_grain",
+    "fig_imbalance",
+    "fig_noc",
+    "fig_policy",
+    "fig_queue",
+    "fig_reconfig",
+    "fig_window",
+    "fig_prefetch",
+    "fig_batch",
+    "fig_spawn",
+    "fig_steal",
+    "fig_lanes",
+    "fig_timeline",
+    "fig_faults",
+    "tbl_energy",
+    "tbl_area",
+];
+
+/// The scale's name as recorded in golden documents.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+    }
+}
+
+/// Plans one experiment by id: materializes its job grid without
+/// running anything. [`run_doc`] executes a single plan; [`run_docs`]
+/// merges many plans into one flattened pool.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the caller lists [`ALL`]).
+pub fn plan(id: &str, scale: Scale) -> Plan {
+    match id {
+        "tbl_config" => plan_config(scale),
+        "tbl_workloads" => plan_workloads(scale),
+        "fig_overall" => plan_overall(scale),
+        "fig_ablation" => plan_ablation(scale),
+        "fig_tiles" => plan_tiles(scale, &[1, 2, 4, 8, 16]),
+        "fig_grain" => plan_grain(scale),
+        "fig_imbalance" => plan_imbalance(scale),
+        "fig_noc" => plan_noc(scale),
+        "fig_policy" => plan_policy(scale),
+        "fig_queue" => plan_queue(scale),
+        "fig_reconfig" => plan_reconfig(scale),
+        "fig_window" => plan_window(scale),
+        "fig_prefetch" => plan_prefetch(scale),
+        "fig_batch" => plan_batch(scale),
+        "fig_spawn" => plan_spawn(scale),
+        "fig_steal" => plan_steal(scale),
+        "fig_lanes" => plan_lanes(scale),
+        "fig_timeline" => plan_timeline(scale),
+        "fig_faults" => plan_faults(scale),
+        "tbl_energy" => plan_energy(scale),
+        "tbl_area" => plan_area(scale),
+        other => panic!("unknown experiment '{other}' (known: {ALL:?})"),
+    }
+}
+
+/// Runs one experiment by id and captures it as a diffable
+/// [`GoldenDoc`]: headers, every cell, and any trailer values.
+///
+/// This is the canonical entry point — [`run`] is a rendering of the
+/// returned document, and the golden regression gate serializes it.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the caller lists [`ALL`]).
+pub fn run_doc(id: &str, scale: Scale) -> GoldenDoc {
+    let p = plan(id, scale);
+    let outcomes = run_jobs(&p.jobs);
+    p.finish(&outcomes)
+}
+
+/// Runs a whole sweep as **one flattened job pool**: plans every id,
+/// concatenates all jobs, executes them in a single [`run_jobs`] call
+/// (every simulation an independently stealable task), then hands each
+/// plan its slice of the order-preserved outcomes. Output is
+/// identical to mapping [`run_doc`] over `ids` — the flattening
+/// changes wall-clock, never bytes.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the caller lists [`ALL`]).
+pub fn run_docs(ids: &[&str], scale: Scale) -> Vec<GoldenDoc> {
+    let mut plans: Vec<Plan> = ids.iter().map(|id| plan(id, scale)).collect();
+    let mut all_jobs: Vec<SweepJob> = Vec::new();
+    let mut counts = Vec::with_capacity(plans.len());
+    for p in &mut plans {
+        counts.push(p.jobs.len());
+        all_jobs.append(&mut p.jobs);
+    }
+    let outcomes = run_jobs(&all_jobs);
+    let mut docs = Vec::with_capacity(plans.len());
+    let mut offset = 0;
+    for (p, n) in plans.into_iter().zip(counts) {
+        docs.push(p.finish(&outcomes[offset..offset + n]));
+        offset += n;
+    }
+    docs
+}
+
+/// Renders a captured experiment exactly as [`run`] prints it.
+pub fn render_doc(doc: &GoldenDoc) -> String {
+    let table = doc.table();
+    if doc.id == "fig_overall" {
+        format!(
+            "{}\n  headline: {} overall, {} on the irregular subset\n",
+            table,
+            doc.extra("geomean").unwrap_or("?"),
+            doc.extra("irregular_geomean").unwrap_or("?")
+        )
+    } else {
+        table.to_string()
+    }
+}
+
+/// Runs one experiment by id and returns its rendered output.
+///
+/// # Panics
+///
+/// Panics on an unknown id (the caller lists [`ALL`]).
+pub fn run(id: &str, scale: Scale) -> String {
+    render_doc(&run_doc(id, scale))
 }
 
 /// Output of `repro faults <experiment>`: one chaos-preset run of the
@@ -1019,164 +1317,6 @@ pub fn fault_run(id: &str, scale: Scale, fail_rate: Option<f64>) -> FaultRun {
     }
 }
 
-/// `tbl_energy` — per-workload energy, Delta vs static-parallel
-/// (analytical event-energy model; see `ts_delta::energy`).
-pub fn tbl_energy(scale: Scale) -> Table {
-    let wls = suite(scale, SEED);
-    let mut jobs = Vec::new();
-    for wl in &wls {
-        jobs.push(Job::new(
-            wl.as_ref(),
-            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
-        ));
-        jobs.push(Job::baseline(
-            wl.as_ref(),
-            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
-        ));
-    }
-    let results = run_grid(&jobs);
-
-    let mut table = Table::new(&["workload", "delta uJ", "static uJ", "savings"]);
-    for (wl, pair) in wls.iter().zip(results.chunks(2)) {
-        let (d, s) = (&pair[0], &pair[1]);
-        let dcfg = seeded(DeltaConfig::delta(TILES), wl.as_ref());
-        let scfg = seeded(DeltaConfig::static_parallel(TILES), wl.as_ref());
-        let de = ts_delta::energy::breakdown(&dcfg, d).total_uj();
-        let se = ts_delta::energy::breakdown(&scfg, s).total_uj();
-        table.row(vec![
-            wl.name().into(),
-            format!("{de:.1}"),
-            format!("{se:.1}"),
-            format!("{:.0}%", 100.0 * (1.0 - de / se)),
-        ]);
-    }
-    table
-}
-
-/// `tbl_area` — analytical area breakdown and the TaskStream overhead.
-pub fn tbl_area() -> Table {
-    let b = area::breakdown(&DeltaConfig::delta(TILES));
-    let mut table = Table::new(&["component", "mm2", "taskstream"]);
-    for item in &b.items {
-        table.row(vec![
-            item.name.into(),
-            format!("{:.3}", item.mm2),
-            if item.taskstream { "yes" } else { "" }.into(),
-        ]);
-    }
-    table.row(vec![
-        "total".into(),
-        format!("{:.3}", b.total_mm2()),
-        "".into(),
-    ]);
-    table.row(vec![
-        "taskstream overhead".into(),
-        format!("{:.1}%", 100.0 * b.taskstream_overhead()),
-        "".into(),
-    ]);
-    table
-}
-
-/// All experiment ids, in report order.
-pub const ALL: &[&str] = &[
-    "tbl_config",
-    "tbl_workloads",
-    "fig_overall",
-    "fig_ablation",
-    "fig_tiles",
-    "fig_grain",
-    "fig_imbalance",
-    "fig_noc",
-    "fig_policy",
-    "fig_queue",
-    "fig_reconfig",
-    "fig_window",
-    "fig_prefetch",
-    "fig_batch",
-    "fig_spawn",
-    "fig_steal",
-    "fig_lanes",
-    "fig_timeline",
-    "fig_faults",
-    "tbl_energy",
-    "tbl_area",
-];
-
-/// The scale's name as recorded in golden documents.
-pub fn scale_name(scale: Scale) -> &'static str {
-    match scale {
-        Scale::Tiny => "tiny",
-        Scale::Small => "small",
-    }
-}
-
-/// Runs one experiment by id and captures it as a diffable
-/// [`GoldenDoc`]: headers, every cell, and any trailer values.
-///
-/// This is the canonical entry point — [`run`] is a rendering of the
-/// returned document, and the golden regression gate serializes it.
-///
-/// # Panics
-///
-/// Panics on an unknown id (the caller lists [`ALL`]).
-pub fn run_doc(id: &str, scale: Scale) -> GoldenDoc {
-    let mut extras = Vec::new();
-    let table = match id {
-        "tbl_config" => tbl_config(),
-        "tbl_workloads" => tbl_workloads(scale),
-        "fig_overall" => {
-            let o = fig_overall(scale);
-            extras.push(("geomean".to_string(), fmt_x(o.geomean)));
-            extras.push(("irregular_geomean".to_string(), fmt_x(o.irregular_geomean)));
-            o.table
-        }
-        "fig_ablation" => fig_ablation(scale),
-        "fig_tiles" => fig_tiles(scale, &[1, 2, 4, 8, 16]),
-        "fig_grain" => fig_grain(scale),
-        "fig_imbalance" => fig_imbalance(scale),
-        "fig_noc" => fig_noc(scale),
-        "fig_policy" => fig_policy(scale),
-        "fig_queue" => fig_queue(scale),
-        "fig_reconfig" => fig_reconfig(scale),
-        "fig_window" => fig_window(scale),
-        "fig_prefetch" => fig_prefetch(scale),
-        "fig_batch" => fig_batch(scale),
-        "fig_spawn" => fig_spawn(scale),
-        "fig_steal" => fig_steal(scale),
-        "fig_lanes" => fig_lanes(scale),
-        "fig_timeline" => fig_timeline(scale),
-        "fig_faults" => fig_faults(scale),
-        "tbl_energy" => tbl_energy(scale),
-        "tbl_area" => tbl_area(),
-        other => panic!("unknown experiment '{other}' (known: {ALL:?})"),
-    };
-    GoldenDoc::new(id, scale_name(scale), &table, extras)
-}
-
-/// Renders a captured experiment exactly as [`run`] prints it.
-pub fn render_doc(doc: &GoldenDoc) -> String {
-    let table = doc.table();
-    if doc.id == "fig_overall" {
-        format!(
-            "{}\n  headline: {} overall, {} on the irregular subset\n",
-            table,
-            doc.extra("geomean").unwrap_or("?"),
-            doc.extra("irregular_geomean").unwrap_or("?")
-        )
-    } else {
-        table.to_string()
-    }
-}
-
-/// Runs one experiment by id and returns its rendered output.
-///
-/// # Panics
-///
-/// Panics on an unknown id (the caller lists [`ALL`]).
-pub fn run(id: &str, scale: Scale) -> String {
-    render_doc(&run_doc(id, scale))
-}
-
 /// A single traced simulation of an experiment's representative
 /// workload (see [`trace_run`]).
 #[derive(Debug)]
@@ -1196,7 +1336,8 @@ pub struct TraceRun {
 /// so `repro --trace` records one simulation chosen to exercise what
 /// the experiment is about: the multicast-heavy experiments trace
 /// `dtree`, the stealing experiment traces `merge_sort` with stealing
-/// on, everything else traces `spmv`.
+/// on, everything else traces `spmv`. Traced runs never touch the
+/// result cache.
 ///
 /// # Panics
 ///
@@ -1237,20 +1378,33 @@ pub fn trace_run(id: &str, scale: Scale) -> TraceRun {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::golden::parse_x;
 
     #[test]
     fn static_tables_render() {
-        assert!(tbl_config().to_string().contains("tiles"));
-        assert!(tbl_area().to_string().contains("taskstream overhead"));
-        assert!(tbl_workloads(Scale::Tiny).len() == 9);
+        assert!(run("tbl_config", Scale::Tiny).contains("tiles"));
+        assert!(run("tbl_area", Scale::Tiny).contains("taskstream overhead"));
+        assert_eq!(run_doc("tbl_workloads", Scale::Tiny).rows.len(), 9);
     }
 
     #[test]
     fn overall_tiny_has_sane_shape() {
-        let o = fig_overall(Scale::Tiny);
-        assert!(o.geomean > 0.8, "geomean {} collapsed", o.geomean);
-        assert!(o.irregular_geomean >= o.geomean * 0.9);
-        assert_eq!(o.table.len(), 11); // 9 workloads + 2 geomean rows
+        let doc = run_doc("fig_overall", Scale::Tiny);
+        let g = parse_x(doc.extra("geomean").expect("geomean extra")).expect("parsable");
+        let gi = parse_x(doc.extra("irregular_geomean").expect("extra")).expect("parsable");
+        assert!(g > 0.8, "geomean {g} collapsed");
+        assert!(gi >= g * 0.9);
+        assert_eq!(doc.rows.len(), 11); // 9 workloads + 2 geomean rows
+    }
+
+    #[test]
+    fn flattened_sweep_matches_per_experiment_runs() {
+        // The global-pool path must change wall-clock, never bytes.
+        let ids = ["tbl_config", "fig_noc", "tbl_workloads"];
+        let merged = run_docs(&ids, Scale::Tiny);
+        for (id, doc) in ids.iter().zip(&merged) {
+            assert_eq!(doc, &run_doc(id, Scale::Tiny));
+        }
     }
 
     #[test]

@@ -258,11 +258,7 @@ impl GoldenDoc {
     /// Returns a message on malformed JSON or a missing/ill-typed
     /// field.
     pub fn from_json(text: &str) -> Result<GoldenDoc, String> {
-        let value = Parser {
-            chars: text.chars().collect(),
-            pos: 0,
-        }
-        .parse()?;
+        let value = Parser::new(text).parse()?;
         let obj = value.as_obj().ok_or("top level must be an object")?;
         let field = |name: &str| {
             obj.iter()
@@ -327,8 +323,9 @@ pub fn parse_pct(s: &str) -> Option<f64> {
 }
 
 /// Escapes and quotes one JSON string. Non-ASCII text (the timeline
-/// sparklines) passes through as raw UTF-8.
-fn json_str(s: &str) -> String {
+/// sparklines) passes through as raw UTF-8. Shared with the result
+/// cache's on-disk format (`crate::cache`).
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -347,29 +344,31 @@ fn json_str(s: &str) -> String {
 }
 
 /// The sliver of JSON the golden format uses: strings, arrays, and
-/// string-keyed objects.
-enum Json {
+/// string-keyed objects. Numbers are deliberately absent — everything
+/// numeric is encoded as a string by the writers. Shared with the
+/// result cache's on-disk format (`crate::cache`).
+pub(crate) enum Json {
     Str(String),
     Arr(Vec<Json>),
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_arr(&self) -> Option<&[Json]> {
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(a) => Some(a),
             _ => None,
         }
     }
 
-    fn as_obj(&self) -> Option<&[(String, Json)]> {
+    pub(crate) fn as_obj(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(o) => Some(o),
             _ => None,
@@ -377,43 +376,59 @@ impl Json {
     }
 }
 
-struct Parser {
-    chars: Vec<char>,
+/// Byte-indexed recursive-descent parser for the strings-only JSON
+/// subset. Operates directly on the UTF-8 bytes (goldens and cache
+/// entries are ASCII-heavy; multi-byte sequences only ever appear
+/// inside string literals, where their bytes are >= 0x80 and can never
+/// be mistaken for a quote or backslash), with a copy-free fast path
+/// for escape-free strings — the overwhelmingly common case.
+pub(crate) struct Parser<'a> {
+    bytes: &'a [u8],
     pos: usize,
 }
 
-impl Parser {
-    fn parse(mut self) -> Result<Json, String> {
+impl<'a> Parser<'a> {
+    pub(crate) fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    pub(crate) fn parse(mut self) -> Result<Json, String> {
         let v = self.value()?;
         self.skip_ws();
-        if self.pos != self.chars.len() {
-            return Err(format!("trailing input at char {}", self.pos));
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing input at byte {}", self.pos));
         }
         Ok(v)
     }
 
     fn skip_ws(&mut self) {
         while self
-            .chars
+            .bytes
             .get(self.pos)
-            .is_some_and(|c| c.is_ascii_whitespace())
+            .is_some_and(|b| b.is_ascii_whitespace())
         {
             self.pos += 1;
         }
     }
 
-    fn peek(&mut self) -> Result<char, String> {
+    fn peek(&mut self) -> Result<u8, String> {
         self.skip_ws();
-        self.chars
+        self.bytes
             .get(self.pos)
             .copied()
             .ok_or_else(|| "unexpected end of input".to_string())
     }
 
-    fn expect(&mut self, c: char) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), String> {
         let got = self.peek()?;
-        if got != c {
-            return Err(format!("expected '{c}' at char {}, got '{got}'", self.pos));
+        if got != b {
+            return Err(format!(
+                "expected '{}' at byte {}, got '{}'",
+                b as char, self.pos, got as char
+            ));
         }
         self.pos += 1;
         Ok(())
@@ -421,78 +436,96 @@ impl Parser {
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek()? {
-            '"' => self.string().map(Json::Str),
-            '[' => self.array(),
-            '{' => self.object(),
+            b'"' => self.string().map(Json::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
             c => Err(format!(
-                "unexpected '{c}' at char {} (goldens hold only strings, arrays, objects)",
-                self.pos
+                "unexpected '{}' at byte {} (goldens hold only strings, arrays, objects)",
+                c as char, self.pos
             )),
         }
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
+        self.expect(b'"')?;
+        let start = self.pos;
+        // Fast path: no escapes — the literal is a verbatim slice.
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string literal")?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => break,
+                _ => self.pos += 1,
+            }
+        }
+        // Slow path: unescape into a scratch buffer.
+        let mut out = self.bytes[start..self.pos].to_vec();
         loop {
-            let c = *self
-                .chars
+            let b = *self
+                .bytes
                 .get(self.pos)
                 .ok_or("unterminated string literal")?;
             self.pos += 1;
-            match c {
-                '"' => return Ok(out),
-                '\\' => {
+            match b {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into())
+                }
+                b'\\' => {
                     let esc = *self
-                        .chars
+                        .bytes
                         .get(self.pos)
                         .ok_or("unterminated escape sequence")?;
                     self.pos += 1;
                     match esc {
-                        '"' | '\\' | '/' => out.push(esc),
-                        'n' => out.push('\n'),
-                        't' => out.push('\t'),
-                        'r' => out.push('\r'),
-                        'u' => {
+                        b'"' | b'\\' | b'/' => out.push(esc),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'u' => {
                             let end = self.pos + 4;
-                            let hex: String = self
-                                .chars
+                            let hex = self
+                                .bytes
                                 .get(self.pos..end)
-                                .ok_or("truncated \\u escape")?
-                                .iter()
-                                .collect();
+                                .and_then(|h| str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
                             self.pos = end;
                             let code =
-                                u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            let ch = char::from_u32(code).ok_or("bad \\u code point")?;
+                            out.extend_from_slice(ch.encode_utf8(&mut [0u8; 4]).as_bytes());
                         }
-                        other => return Err(format!("unknown escape '\\{other}'")),
+                        other => return Err(format!("unknown escape '\\{}'", other as char)),
                     }
                 }
-                c => out.push(c),
+                b => out.push(b),
             }
         }
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
+        self.expect(b'[')?;
         let mut items = Vec::new();
-        if self.peek()? == ']' {
+        if self.peek()? == b']' {
             self.pos += 1;
             return Ok(Json::Arr(items));
         }
         loop {
             items.push(self.value()?);
             match self.peek()? {
-                ',' => self.pos += 1,
-                ']' => {
+                b',' => self.pos += 1,
+                b']' => {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
                 c => {
                     return Err(format!(
-                        "expected ',' or ']' at char {}, got '{c}'",
-                        self.pos
+                        "expected ',' or ']' at byte {}, got '{}'",
+                        self.pos, c as char
                     ))
                 }
             }
@@ -500,27 +533,27 @@ impl Parser {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
+        self.expect(b'{')?;
         let mut fields = Vec::new();
-        if self.peek()? == '}' {
+        if self.peek()? == b'}' {
             self.pos += 1;
             return Ok(Json::Obj(fields));
         }
         loop {
             self.skip_ws();
             let key = self.string()?;
-            self.expect(':')?;
+            self.expect(b':')?;
             fields.push((key, self.value()?));
             match self.peek()? {
-                ',' => self.pos += 1,
-                '}' => {
+                b',' => self.pos += 1,
+                b'}' => {
                     self.pos += 1;
                     return Ok(Json::Obj(fields));
                 }
                 c => {
                     return Err(format!(
-                        "expected ',' or '}}' at char {}, got '{c}'",
-                        self.pos
+                        "expected ',' or '}}' at byte {}, got '{}'",
+                        self.pos, c as char
                     ))
                 }
             }

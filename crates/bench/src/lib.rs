@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiments;
 pub mod golden;
 pub mod profile;
@@ -47,7 +48,9 @@ use taskstream_model::Program;
 use ts_delta::{oracle, Accelerator, DeltaConfig, RunError, RunReport};
 use ts_workloads::Workload;
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Harness-wide scheduler fast-path overrides (set from `repro
 /// --no-active-set` / `--no-idle-skip`). Every run that goes through
@@ -90,6 +93,17 @@ fn apply_forces(cfg: &mut DeltaConfig) {
 /// benchmarks wrong answers would be worthless.
 pub fn run_validated(wl: &dyn Workload, mut cfg: DeltaConfig, baseline_program: bool) -> RunReport {
     apply_forces(&mut cfg);
+    run_validated_preforced(wl, cfg, baseline_program)
+}
+
+/// [`run_validated`] after the fast-path forces are already applied —
+/// the entry point the cache-aware sweep runner uses, so the config it
+/// hashes is byte-for-byte the config it simulates.
+fn run_validated_preforced(
+    wl: &dyn Workload,
+    cfg: DeltaConfig,
+    baseline_program: bool,
+) -> RunReport {
     let tiles = cfg.tiles;
     let mut program: Box<dyn Program> = if baseline_program {
         wl.make_baseline_program()
@@ -154,6 +168,16 @@ pub fn run_faulted(
     baseline_program: bool,
 ) -> FaultOutcome {
     apply_forces(&mut cfg);
+    run_faulted_preforced(wl, cfg, baseline_program)
+}
+
+/// [`run_faulted`] after the fast-path forces are already applied (see
+/// [`run_validated_preforced`]).
+fn run_faulted_preforced(
+    wl: &dyn Workload,
+    cfg: DeltaConfig,
+    baseline_program: bool,
+) -> FaultOutcome {
     let tiles = cfg.tiles;
     let make = || -> Box<dyn Program> {
         if baseline_program {
@@ -237,6 +261,130 @@ pub fn run_grid(jobs: &[Job<'_>]) -> Vec<RunReport> {
     jobs.par_iter()
         .map(|j| run_validated(j.wl, j.cfg.clone(), j.baseline))
         .collect()
+}
+
+/// One cell of the *flattened* sweep: an owned workload at one design
+/// point, in one run mode. Unlike [`Job`] this borrows nothing, so the
+/// jobs of every experiment in a sweep can be concatenated into one
+/// global pool and executed as independent stealable tasks — a slow
+/// `fig_faults` grid cell no longer serializes behind its own
+/// experiment's batch while workers idle.
+pub struct SweepJob {
+    /// The workload to simulate (shared with the experiment's assembly
+    /// closure, which still needs names/info afterwards).
+    pub wl: Arc<dyn Workload>,
+    /// The design point, including the job's derived RNG seed.
+    pub cfg: DeltaConfig,
+    /// Use the static-parallel program formulation.
+    pub baseline: bool,
+    /// Run under [`run_faulted`] semantics (a wedge is a result, plus
+    /// the untimed-oracle check) instead of [`run_validated`].
+    pub faulted: bool,
+}
+
+impl SweepJob {
+    /// A validated run of the workload's natural program.
+    pub fn new(wl: Arc<dyn Workload>, cfg: DeltaConfig) -> Self {
+        SweepJob {
+            wl,
+            cfg,
+            baseline: false,
+            faulted: false,
+        }
+    }
+
+    /// A validated run of the static-parallel formulation.
+    pub fn baseline(wl: Arc<dyn Workload>, cfg: DeltaConfig) -> Self {
+        SweepJob {
+            wl,
+            cfg,
+            baseline: true,
+            faulted: false,
+        }
+    }
+
+    /// A fault-injected run ([`run_faulted`] semantics).
+    pub fn faulted(wl: Arc<dyn Workload>, cfg: DeltaConfig, baseline: bool) -> Self {
+        SweepJob {
+            wl,
+            cfg,
+            baseline,
+            faulted: true,
+        }
+    }
+}
+
+/// Executes one flattened sweep job, consulting the persistent result
+/// cache when it is enabled (and the run is untraced): hash the
+/// post-force config + program content, return the disk entry on a
+/// hit, otherwise simulate and persist. Cached reports still feed the
+/// in-process [`profile`] tally so `--profile` reflects the original
+/// simulations' cycle attribution either way.
+fn run_sweep_job(j: &SweepJob, fingerprints: &HashMap<(usize, bool), u64>) -> FaultOutcome {
+    let mut cfg = j.cfg.clone();
+    apply_forces(&mut cfg);
+    let key = (cache::is_enabled() && !cfg.trace).then(|| {
+        let fp = fingerprints
+            .get(&fingerprint_id(j))
+            .copied()
+            .unwrap_or_else(|| cache::program_fingerprint(j.wl.as_ref(), j.baseline));
+        cache::key_from_fingerprint(fp, &cfg, j.baseline, j.faulted, cache::current_salt())
+    });
+    if let Some(k) = &key {
+        if let Some(out) = cache::load(k, j.faulted) {
+            if let Some(r) = out.report() {
+                profile::record(&r.profile);
+            }
+            return out;
+        }
+    }
+    let out = if j.faulted {
+        run_faulted_preforced(j.wl.as_ref(), cfg, j.baseline)
+    } else {
+        FaultOutcome::Completed(Box::new(run_validated_preforced(
+            j.wl.as_ref(),
+            cfg,
+            j.baseline,
+        )))
+    };
+    if let Some(k) = &key {
+        cache::store(k, &out);
+    }
+    out
+}
+
+/// Executes a flattened sweep — every job from every experiment as one
+/// stealable task in a single global pool — returning outcomes **in
+/// job order** (the same determinism argument as [`run_grid`]: seeds
+/// derive from configs, never from execution order, and the collect is
+/// order-preserving). Validated (non-`faulted`) jobs always come back
+/// [`FaultOutcome::Completed`].
+pub fn run_jobs(jobs: &[SweepJob]) -> Vec<FaultOutcome> {
+    // A sweep reuses each workload across many design points (every
+    // `Arc` appears in dozens of jobs), but the program fingerprint
+    // behind the cache key depends only on (workload, formulation) —
+    // so build and hash each distinct program once, up front, instead
+    // of once per job. This is what keeps a warm cache hit cheaper
+    // than the tiny-scale simulation it replaces.
+    let mut fingerprints: HashMap<(usize, bool), u64> = HashMap::new();
+    if cache::is_enabled() {
+        for j in jobs {
+            fingerprints
+                .entry(fingerprint_id(j))
+                .or_insert_with(|| cache::program_fingerprint(j.wl.as_ref(), j.baseline));
+        }
+    }
+    jobs.par_iter()
+        .map(|j| run_sweep_job(j, &fingerprints))
+        .collect()
+}
+
+/// Memo key for a job's program fingerprint: the workload's `Arc`
+/// identity plus the program formulation. Valid only while the jobs
+/// (and thus their `Arc`s) are alive, which [`run_jobs`] guarantees by
+/// scoping the memo to one sweep.
+fn fingerprint_id(j: &SweepJob) -> (usize, bool) {
+    (Arc::as_ptr(&j.wl) as *const () as usize, j.baseline)
 }
 
 /// Formats a ratio as `x.xx×`. Rendering detail of the experiment

@@ -1,0 +1,181 @@
+//! Integration tests of the persistent result cache: a warm re-run
+//! answers every job from disk with byte-identical output, and the
+//! content-addressed key misses whenever the configuration, the seed,
+//! or the build salt changes.
+//!
+//! The cache is process-global state (enabled flag, directory
+//! override, counters), so every test takes `LOCK` and scopes its
+//! enablement with [`CacheGuard`].
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+use ts_bench::{cache, experiments};
+use ts_delta::DeltaConfig;
+use ts_workloads::{spmv::Spmv, Scale};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Points the cache at a fresh scratch directory and enables it; on
+/// drop, disables the cache again and removes the directory, so tests
+/// can't see each other's entries (or litter the repo).
+struct CacheGuard {
+    dir: PathBuf,
+    _held: MutexGuard<'static, ()>,
+}
+
+impl CacheGuard {
+    fn new(tag: &str) -> Self {
+        let held = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("ts-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        cache::set_dir(dir.clone());
+        cache::set_enabled(true);
+        cache::reset_stats();
+        CacheGuard { dir, _held: held }
+    }
+}
+
+impl Drop for CacheGuard {
+    fn drop(&mut self) {
+        cache::set_enabled(false);
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn warm_rerun_is_byte_identical_and_served_from_disk() {
+    let _guard = CacheGuard::new("warm");
+
+    // Reference: what the experiment produces with no cache at all.
+    cache::set_enabled(false);
+    let reference = experiments::run_doc("fig_noc", Scale::Tiny);
+    cache::set_enabled(true);
+
+    // Cold: every job simulates and stores.
+    let cold = experiments::run_doc("fig_noc", Scale::Tiny);
+    let after_cold = cache::stats();
+    assert_eq!(cold, reference, "caching must never change results");
+    assert_eq!(after_cold.hits, 0, "scratch dir cannot produce hits");
+    assert!(after_cold.stores > 0, "cold run must populate the cache");
+    let sims = after_cold.stores;
+
+    // Warm: every job answers from disk, byte-identical.
+    cache::reset_stats();
+    let warm = experiments::run_doc("fig_noc", Scale::Tiny);
+    let after_warm = cache::stats();
+    assert_eq!(warm, reference, "warm run must be byte-identical");
+    assert_eq!(after_warm.hits, sims, "every job must hit");
+    assert_eq!(after_warm.misses, 0);
+    assert_eq!(after_warm.stores, 0);
+}
+
+#[test]
+fn faulted_outcomes_roundtrip_through_the_cache() {
+    let _guard = CacheGuard::new("faulted");
+
+    let cache_off = || {
+        cache::set_enabled(false);
+        let doc = experiments::run_doc("fig_faults", Scale::Tiny);
+        cache::set_enabled(true);
+        doc
+    };
+    let reference = cache_off();
+
+    let cold = experiments::run_doc("fig_faults", Scale::Tiny);
+    assert_eq!(cold, reference);
+    assert!(cache::stats().stores > 0);
+
+    cache::reset_stats();
+    let warm = experiments::run_doc("fig_faults", Scale::Tiny);
+    assert_eq!(warm, reference, "faulted outcomes must replay exactly");
+    assert!(cache::stats().hits > 0, "warm fault sweep must hit");
+    assert_eq!(cache::stats().misses, 0);
+}
+
+#[test]
+fn key_changes_with_config_seed_and_salt() {
+    let wl = Spmv::tiny(experiments::SEED);
+    let cfg = DeltaConfig::delta(8);
+    let base = cache::key_with_salt(&wl, &cfg, false, false, 1);
+
+    // Any config knob participates in the key.
+    let deeper = cfg.clone().to_builder().tile_queue(7).build();
+    assert_ne!(
+        base,
+        cache::key_with_salt(&wl, &deeper, false, false, 1),
+        "config change must miss"
+    );
+
+    // The RNG seed is a config field too.
+    let reseeded = cfg.clone().to_builder().seed(12345).build();
+    assert_ne!(
+        base,
+        cache::key_with_salt(&wl, &reseeded, false, false, 1),
+        "seed change must miss"
+    );
+
+    // A different build salt addresses a disjoint slice of the cache.
+    assert_ne!(
+        base,
+        cache::key_with_salt(&wl, &cfg, false, false, 2),
+        "salt change must miss"
+    );
+
+    // Different run modes never share entries.
+    assert_ne!(
+        base,
+        cache::key_with_salt(&wl, &cfg, false, true, 1),
+        "validated and faulted entries must not collide"
+    );
+
+    // The workload's program content is the workload identity: a
+    // different instance (different seed → different matrix) misses.
+    let other = Spmv::tiny(experiments::SEED + 1);
+    assert_ne!(
+        base,
+        cache::key_with_salt(&other, &cfg, false, false, 1),
+        "workload content change must miss"
+    );
+
+    // And the key is stable where it should be: same inputs, same key.
+    assert_eq!(base, cache::key_with_salt(&wl, &cfg, false, false, 1));
+    assert_eq!(base.len(), 64, "sha-256 hex");
+}
+
+#[test]
+fn clear_and_disk_stats_track_the_store() {
+    let _guard = CacheGuard::new("clear");
+
+    experiments::run_doc("fig_noc", Scale::Tiny);
+    let stored = cache::stats().stores;
+    assert!(stored > 0);
+
+    let (entries, bytes) = cache::disk_stats().expect("scratch dir readable");
+    assert_eq!(entries, stored, "one file per stored outcome");
+    assert!(bytes > 0);
+
+    let removed = cache::clear().expect("clear succeeds");
+    assert_eq!(removed, stored);
+    let (entries, bytes) = cache::disk_stats().expect("still readable");
+    assert_eq!((entries, bytes), (0, 0));
+
+    // A cleared cache is a cold cache, not an error.
+    cache::reset_stats();
+    experiments::run_doc("fig_noc", Scale::Tiny);
+    assert_eq!(cache::stats().hits, 0);
+    assert!(cache::stats().stores > 0);
+}
+
+#[test]
+fn disabled_cache_touches_nothing() {
+    let _guard = CacheGuard::new("disabled");
+    cache::set_enabled(false);
+
+    experiments::run_doc("fig_noc", Scale::Tiny);
+    let s = cache::stats();
+    assert_eq!((s.hits, s.misses, s.stores), (0, 0, 0));
+    assert!(
+        cache::disk_stats().map(|(n, _)| n).unwrap_or(0) == 0,
+        "no entries may be written while disabled"
+    );
+}

@@ -9,10 +9,17 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn repro(args: &[&str], cwd: Option<&PathBuf>) -> Output {
+    repro_env(args, cwd, &[])
+}
+
+fn repro_env(args: &[&str], cwd: Option<&PathBuf>, env: &[(&str, String)]) -> Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
     cmd.args(args);
     if let Some(dir) = cwd {
         cmd.current_dir(dir);
+    }
+    for (k, v) in env {
+        cmd.env(k, v);
     }
     cmd.output().expect("spawning repro")
 }
@@ -91,6 +98,76 @@ fn faults_subcommand_runs_chaos_and_writes_the_summary() {
     let report = std::fs::read_to_string(dir.join("FAULTS_tbl_config.txt"))
         .expect("the summary file next to the run");
     assert!(report.contains("faults injected"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn only_flag_selects_a_subset_and_rejects_unknown_ids() {
+    let out = repro(&["sweep", "--tiny", "--only", "tbl_config,tbl_area"], None);
+    assert!(out.status.success(), "--only failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("=== tbl_config ==="), "missing table: {text}");
+    assert!(text.contains("=== tbl_area ==="), "missing table: {text}");
+    assert!(
+        !text.contains("=== tbl_workloads ==="),
+        "--only must not run unselected experiments: {text}"
+    );
+
+    for args in [
+        &["sweep", "--tiny", "--only", "no_such_experiment"][..],
+        &["sweep", "--tiny", "--only", ""][..],
+        &["goldens", "check", "--tiny", "--only", "no_such_experiment"][..],
+    ] {
+        let out = repro(args, None);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} should exit 2, stderr: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn cache_subcommand_reports_and_clears_entries() {
+    let dir = scratch("cache");
+    let cache_dir = dir.join("cache");
+    let env = [("TS_CACHE_DIR", cache_dir.to_str().unwrap().to_string())];
+
+    // A sweep with simulations populates the cache...
+    let out = repro_env(&["sweep", "fig_noc", "--tiny"], Some(&dir), &env);
+    assert!(out.status.success(), "sweep failed: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("stored"),
+        "no cache counters on stderr: {}",
+        stderr(&out)
+    );
+
+    let out = repro_env(&["cache", "stats"], Some(&dir), &env);
+    assert!(out.status.success(), "stats failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("entries:"), "no entry count: {text}");
+    assert!(
+        !text.contains("entries:   0"),
+        "expected a populated cache: {text}"
+    );
+
+    let out = repro_env(&["cache", "clear"], Some(&dir), &env);
+    assert!(out.status.success(), "clear failed: {}", stderr(&out));
+
+    let out = repro_env(&["cache", "stats"], Some(&dir), &env);
+    assert!(stdout(&out).contains("entries:   0"), "{}", stdout(&out));
+
+    // ...and --no-cache leaves no trace at all.
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let out = repro_env(
+        &["sweep", "fig_noc", "--tiny", "--no-cache"],
+        Some(&dir),
+        &env,
+    );
+    assert!(out.status.success(), "--no-cache failed: {}", stderr(&out));
+    assert!(!cache_dir.exists(), "--no-cache must not write entries");
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 

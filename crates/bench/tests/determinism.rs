@@ -28,20 +28,52 @@ fn parallel_sweep_output_is_byte_identical_to_serial() {
         .unwrap();
     let serial = render_all(Scale::Tiny);
 
+    for jobs in [4, 8] {
+        ThreadPoolBuilder::new()
+            .num_threads(jobs)
+            .build_global()
+            .unwrap();
+        let parallel = render_all(Scale::Tiny);
+        for (id, (s, p)) in IDS.iter().zip(serial.iter().zip(&parallel)) {
+            assert_eq!(s, p, "{id} diverged between --jobs 1 and --jobs {jobs}");
+        }
+    }
+
+    ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .unwrap();
+}
+
+/// The flattened engine — all experiments' jobs pooled into one
+/// `run_jobs` call — must render the same documents at any width, too
+/// (this is the path `repro sweep` actually takes).
+#[test]
+fn flattened_sweep_is_byte_identical_across_widths() {
+    ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .unwrap();
+    let serial: Vec<String> = experiments::run_docs(IDS, Scale::Tiny)
+        .iter()
+        .map(experiments::render_doc)
+        .collect();
+
     ThreadPoolBuilder::new()
         .num_threads(8)
         .build_global()
         .unwrap();
-    let parallel = render_all(Scale::Tiny);
+    let parallel: Vec<String> = experiments::run_docs(IDS, Scale::Tiny)
+        .iter()
+        .map(experiments::render_doc)
+        .collect();
 
     ThreadPoolBuilder::new()
         .num_threads(0)
         .build_global()
         .unwrap();
 
-    for (id, (s, p)) in IDS.iter().zip(serial.iter().zip(&parallel)) {
-        assert_eq!(s, p, "{id} diverged between --jobs 1 and --jobs 8");
-    }
+    assert_eq!(serial, parallel);
 }
 
 /// The golden gate's reason to exist: a deliberately perturbed report

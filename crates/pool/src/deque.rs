@@ -1,0 +1,206 @@
+//! A lock-light Chase–Lev work-stealing deque in safe Rust.
+//!
+//! The owner pushes and pops at the *bottom* (LIFO, so a worker keeps
+//! riding its own cache-warm tail), thieves steal from the *top*
+//! (FIFO, so they take the oldest — and in a recursive decomposition
+//! the largest — work first). `top` and `bottom` are the classic
+//! monotonically increasing indices; an item with index `i` lives in
+//! slot `i % capacity` while `top <= i < bottom`.
+//!
+//! The textbook algorithm publishes items through a racy buffer and
+//! relies on data races being benign; the workspace forbids `unsafe`,
+//! so each slot here is a `Mutex<Option<T>>` instead. All cross-thread
+//! *arbitration* still happens on the atomic indices (one CAS per
+//! steal, uncontended owner push/pop take no CAS at all); the slot
+//! mutexes only serialize the final hand-off of a single item and are
+//! never held across any other operation, so they cannot deadlock.
+//! With every index access `SeqCst`, the usual Chase–Lev invariants
+//! hold:
+//!
+//! - a thief claims index `t` only after a successful CAS of `top`
+//!   from `t` to `t + 1`, so every index is claimed at most once;
+//! - the owner takes index `b - 1` without a CAS only when it observed
+//!   `top < b - 1` *after* lowering `bottom`, which (by the usual
+//!   total-order argument) no thief can still claim;
+//! - the last remaining item is arbitrated by the same CAS on `top`
+//!   that thieves use.
+//!
+//! One safe-variant wrinkle: a thief that won its CAS may not have
+//! taken its item out of the slot yet when the owner wraps around to
+//! the same physical slot. [`Deque::push`] treats an occupied slot
+//! like a full deque and reports [`PushError`]; callers (the pool)
+//! overflow to a shared injector queue instead of spinning.
+
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+/// Fixed-capacity work-stealing deque. See the module docs for the
+/// ownership discipline: exactly one thread may call [`push`](Self::push)
+/// and [`pop`](Self::pop); any thread may call [`steal`](Self::steal).
+#[derive(Debug)]
+pub struct Deque<T> {
+    /// Next index a thief will try to claim. Monotonic.
+    top: AtomicUsize,
+    /// Index one past the owner's most recent push. Lowered
+    /// transiently by `pop`, otherwise monotonic.
+    bottom: AtomicUsize,
+    slots: Box<[Mutex<Option<T>>]>,
+}
+
+/// Result of a [`Deque::steal`] attempt.
+#[derive(Debug)]
+pub enum Steal<T> {
+    /// The deque had nothing to steal.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Stole the oldest item.
+    Success(T),
+}
+
+/// The deque (or the target slot) is full; the item is handed back.
+#[derive(Debug)]
+pub struct PushError<T>(pub T);
+
+impl<T> Deque<T> {
+    /// An empty deque holding at most `capacity` items (rounded up to 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Deque {
+            top: AtomicUsize::new(0),
+            bottom: AtomicUsize::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// How many items the deque can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the deque currently looks empty (racy, advisory only).
+    pub fn is_empty(&self) -> bool {
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        t >= b
+    }
+
+    /// Takes the item claimed at `index` out of its slot.
+    fn take(&self, index: usize) -> T {
+        self.slots[index % self.slots.len()]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("claimed deque slot must hold an item")
+    }
+
+    /// Owner-only: pushes `item` at the bottom. Fails (handing the
+    /// item back) when the deque is full or the target slot is still
+    /// being drained by a thief that already claimed it.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let b = self.bottom.load(SeqCst);
+        let t = self.top.load(SeqCst);
+        if b.wrapping_sub(t) >= self.slots.len() {
+            return Err(PushError(item));
+        }
+        {
+            let mut slot = self.slots[b % self.slots.len()].lock().unwrap();
+            if slot.is_some() {
+                // A winning thief has claimed the index that last used
+                // this slot but has not taken the item yet.
+                return Err(PushError(item));
+            }
+            *slot = Some(item);
+        }
+        self.bottom.store(b + 1, SeqCst);
+        Ok(())
+    }
+
+    /// Owner-only: pops the most recently pushed item (LIFO).
+    pub fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(SeqCst);
+        let t = self.top.load(SeqCst);
+        if t >= b {
+            return None;
+        }
+        let b = b - 1;
+        self.bottom.store(b, SeqCst);
+        let t = self.top.load(SeqCst);
+        if t > b {
+            // A thief emptied the deque between the two loads.
+            self.bottom.store(b + 1, SeqCst);
+            return None;
+        }
+        if t == b {
+            // Last item: arbitrate against thieves with their own CAS.
+            let won = self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok();
+            self.bottom.store(b + 1, SeqCst);
+            return won.then(|| self.take(b));
+        }
+        Some(self.take(b))
+    }
+
+    /// Any thread: tries to steal the oldest item (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        if t >= b {
+            return Steal::Empty;
+        }
+        match self.top.compare_exchange(t, t + 1, SeqCst, SeqCst) {
+            Ok(_) => Steal::Success(self.take(t)),
+            Err(_) => Steal::Retry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_pop_is_lifo_steal_is_fifo() {
+        let d = Deque::new(8);
+        for i in 0..4 {
+            d.push(i).unwrap();
+        }
+        assert!(matches!(d.steal(), Steal::Success(0)));
+        assert_eq!(d.pop(), Some(3));
+        assert!(matches!(d.steal(), Steal::Success(1)));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn push_reports_full() {
+        let d = Deque::new(2);
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        let PushError(back) = d.push(3).unwrap_err();
+        assert_eq!(back, 3);
+        assert_eq!(d.pop(), Some(2));
+        d.push(4).unwrap();
+        assert_eq!(d.pop(), Some(4));
+    }
+
+    #[test]
+    fn wraps_around_capacity() {
+        let d = Deque::new(2);
+        for round in 0..10 {
+            d.push(round * 2).unwrap();
+            d.push(round * 2 + 1).unwrap();
+            assert!(matches!(d.steal(), Steal::Success(v) if v == round * 2));
+            assert_eq!(d.pop(), Some(round * 2 + 1));
+        }
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_one() {
+        let d = Deque::new(0);
+        assert_eq!(d.capacity(), 1);
+        d.push(7).unwrap();
+        assert_eq!(d.pop(), Some(7));
+    }
+}

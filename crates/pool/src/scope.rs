@@ -1,0 +1,386 @@
+//! Scoped work-stealing execution.
+//!
+//! [`scope`] stands up `threads` worker threads for the duration of
+//! one closure, each owning a Chase–Lev [`Deque`]; tasks spawned from
+//! inside a worker go to that worker's deque (LIFO locally), tasks
+//! spawned from outside land in a shared FIFO injector that workers
+//! drain in `len / threads` batches — pulling a batch into the local
+//! deque, where the rest of it is stealable, instead of taking one
+//! task per lock acquisition. An idle worker scans the other deques in
+//! a randomized order (so thieves don't convoy on one victim) and
+//! parks on a condvar when a full scan comes up empty.
+//!
+//! Tasks may borrow from the caller's stack: the worker threads are
+//! `std::thread::scope` threads, and the task type is parameterized
+//! over the caller's lifetime. A task panic is captured, the pool
+//! shuts down (abandoning not-yet-started tasks), and the panic
+//! resumes on the caller's thread once every worker has exited.
+
+use crate::deque::{Deque, Steal};
+use crate::stats;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+/// A unit of work: boxed so the scope can queue heterogeneous
+/// closures, handed a [`Worker`] so it can spawn follow-up tasks.
+type Task<'env> = Box<dyn FnOnce(&Worker<'_, 'env>) + Send + 'env>;
+
+/// Per-worker deque capacity. Overflow (and every spawn from outside
+/// the pool) goes to the shared injector, so this only bounds how much
+/// work a single worker can hoard locally.
+const LOCAL_CAP: usize = 256;
+
+/// Largest injector batch one worker will pull at a time.
+const BATCH_CAP: usize = 64;
+
+/// Everything the termination/parking protocol needs under one lock.
+#[derive(Debug)]
+struct State {
+    /// Tasks spawned but not yet finished. Incremented *before* a task
+    /// becomes runnable so the count can never under-report.
+    pending: usize,
+    /// Bumped after every spawn's push; a worker only parks if the
+    /// epoch is unchanged since its last failed search, which closes
+    /// the lost-wakeup window between "searched everything" and "wait".
+    epoch: u64,
+    /// The scope closure has returned; once `pending` drains to zero
+    /// the pool shuts down.
+    main_done: bool,
+    /// Workers must exit (all work done, or a task panicked).
+    shutdown: bool,
+    /// Workers currently blocked on the condvar.
+    parked: usize,
+    /// First captured task panic, resumed on the caller's thread.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// The shared heart of one [`scope`] invocation.
+pub struct Scope<'env> {
+    deques: Vec<Deque<Task<'env>>>,
+    injector: Mutex<VecDeque<Task<'env>>>,
+    state: Mutex<State>,
+    cv: Condvar,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A handle identifying *who* is spawning: worker `index` (tasks go to
+/// its own deque) or the caller's thread (`index: None`, tasks go to
+/// the injector). Every task and the scope closure receive one.
+#[derive(Debug)]
+pub struct Worker<'a, 'env> {
+    scope: &'a Scope<'env>,
+    index: Option<usize>,
+}
+
+impl<'env> Worker<'_, 'env> {
+    /// Spawns a task into the pool. Tasks run exactly once, on any
+    /// worker; there is no join handle — use the scope boundary (all
+    /// tasks finish before [`scope`] returns) or channel results
+    /// through caller-owned slots.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Worker<'_, 'env>) + Send + 'env,
+    {
+        let sc = self.scope;
+        sc.state.lock().unwrap().pending += 1;
+        let task: Task<'env> = Box::new(f);
+        let overflow = match self.index {
+            Some(w) => sc.deques[w].push(task).err().map(|e| e.0),
+            None => Some(task),
+        };
+        if let Some(task) = overflow {
+            sc.injector.lock().unwrap().push_back(task);
+        }
+        let mut st = sc.state.lock().unwrap();
+        st.epoch += 1;
+        if st.parked > 0 {
+            sc.cv.notify_one();
+        }
+    }
+
+    /// This worker's index in the pool, if it is a pool thread.
+    pub fn index(&self) -> Option<usize> {
+        self.index
+    }
+}
+
+impl<'env> Scope<'env> {
+    fn new(threads: usize) -> Self {
+        Scope {
+            deques: (0..threads).map(|_| Deque::new(LOCAL_CAP)).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            state: Mutex::new(State {
+                pending: 0,
+                epoch: 0,
+                main_done: false,
+                shutdown: false,
+                parked: 0,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+            threads,
+        }
+    }
+
+    /// Pulls a batch from the injector: runs the first task, parks the
+    /// rest in worker `w`'s deque where other workers can steal them.
+    fn pull_injected(&self, w: usize) -> Option<Task<'env>> {
+        let mut inj = self.injector.lock().unwrap();
+        let len = inj.len();
+        if len == 0 {
+            return None;
+        }
+        let batch = (len / self.threads).clamp(1, BATCH_CAP);
+        let first = inj.pop_front().expect("len checked above");
+        for _ in 1..batch {
+            let Some(task) = inj.pop_front() else { break };
+            if let Err(back) = self.deques[w].push(task) {
+                inj.push_front(back.0);
+                break;
+            }
+        }
+        let more = !inj.is_empty();
+        drop(inj);
+        if more {
+            // Cascade: there is work left for someone else.
+            self.cv.notify_one();
+        }
+        Some(first)
+    }
+
+    /// One full search for work: own deque, injector batch, then the
+    /// other deques in randomized order (repeated once if any steal
+    /// said [`Steal::Retry`]).
+    fn find_task(&self, w: usize, rng: &mut u64) -> Option<Task<'env>> {
+        if let Some(t) = self.deques[w].pop() {
+            return Some(t);
+        }
+        if let Some(t) = self.pull_injected(w) {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        loop {
+            let start = (xorshift(rng) % n as u64) as usize;
+            let mut contended = false;
+            for i in 0..n {
+                let v = (start + i) % n;
+                if v == w {
+                    continue;
+                }
+                match self.deques[v].steal() {
+                    Steal::Success(t) => {
+                        stats::count_steal();
+                        return Some(t);
+                    }
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if let Some(t) = self.pull_injected(w) {
+                return Some(t);
+            }
+            if !contended {
+                return None;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Worker thread body: run tasks until shutdown, parking when a
+    /// full search finds nothing new.
+    fn worker_loop(&self, w: usize) {
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (w as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407);
+        let me = Worker {
+            scope: self,
+            index: Some(w),
+        };
+        let mut seen_epoch = 0u64;
+        loop {
+            if self.state.lock().unwrap().shutdown {
+                return;
+            }
+            if let Some(task) = self.find_task(w, &mut rng) {
+                let outcome = catch_unwind(AssertUnwindSafe(|| task(&me)));
+                let mut st = self.state.lock().unwrap();
+                st.pending -= 1;
+                if let Err(payload) = outcome {
+                    // First panic wins; shut the pool down.
+                    st.panic.get_or_insert(payload);
+                    st.shutdown = true;
+                    self.cv.notify_all();
+                } else if st.pending == 0 && st.main_done {
+                    st.shutdown = true;
+                    self.cv.notify_all();
+                }
+                continue;
+            }
+            let mut st = self.state.lock().unwrap();
+            if st.shutdown {
+                return;
+            }
+            if st.epoch != seen_epoch {
+                // Work may have arrived since the failed search.
+                seen_epoch = st.epoch;
+                continue;
+            }
+            st.parked += 1;
+            stats::count_park();
+            let mut st = self.cv.wait(st).unwrap();
+            st.parked -= 1;
+            seen_epoch = st.epoch;
+        }
+    }
+}
+
+/// Runs `f` with a pool of `threads` workers (clamped to at least 1)
+/// and returns its result once every spawned task has finished.
+///
+/// Tasks may borrow anything that outlives the `scope` call. Panics
+/// from tasks (and from `f` itself) propagate to the caller after all
+/// workers have exited; when both panic, the first task panic wins.
+pub fn scope<'env, R>(threads: usize, f: impl FnOnce(&Worker<'_, 'env>) -> R) -> R {
+    let threads = threads.max(1);
+    let sc = Scope::new(threads);
+    crate::enter_scope();
+    let result = std::thread::scope(|ts| {
+        for w in 0..threads {
+            let scope_ref = &sc;
+            ts.spawn(move || scope_ref.worker_loop(w));
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            f(&Worker {
+                scope: &sc,
+                index: None,
+            })
+        }));
+        let mut st = sc.state.lock().unwrap();
+        st.main_done = true;
+        if result.is_err() || st.pending == 0 {
+            st.shutdown = true;
+        }
+        // Wake everyone: either to shut down, or to re-check for work
+        // in case every worker parked while `f` was still spawning.
+        st.epoch += 1;
+        sc.cv.notify_all();
+        drop(st);
+        result
+    });
+    crate::exit_scope();
+    let task_panic = sc.state.lock().unwrap().panic.take();
+    match result {
+        Err(payload) => resume_unwind(task_panic.unwrap_or(payload)),
+        Ok(value) => {
+            if let Some(payload) = task_panic {
+                resume_unwind(payload);
+            }
+            value
+        }
+    }
+}
+
+/// Cheap xorshift64* for victim-order randomization. Quality hardly
+/// matters; it just has to decorrelate thieves.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let n = 500;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let hits_ref = &hits;
+        scope(4, |w| {
+            for hit in hits_ref.iter().take(n) {
+                w.spawn(move |_| {
+                    hit.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let total = AtomicUsize::new(0);
+        let total_ref = &total;
+        scope(3, |w| {
+            for _ in 0..10 {
+                w.spawn(move |inner| {
+                    total_ref.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..5 {
+                        inner.spawn(move |_| {
+                            total_ref.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10 + 10 * 5);
+    }
+
+    #[test]
+    fn returns_closure_value_and_borrows_stack() {
+        let data = vec![1u64, 2, 3, 4];
+        let sums: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let (data_ref, sums_ref) = (&data, &sums);
+        let r = scope(2, |w| {
+            for &v in data_ref {
+                w.spawn(move |_| sums_ref.lock().unwrap().push(v * 10));
+            }
+            "done"
+        });
+        assert_eq!(r, "done");
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let ran = AtomicUsize::new(0);
+        let ran_ref = &ran;
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(2, |w| {
+                w.spawn(|_| panic!("boom"));
+                for _ in 0..8 {
+                    w.spawn(move |_| {
+                        ran_ref.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            })
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let v = AtomicUsize::new(0);
+        let v_ref = &v;
+        scope(0, |w| {
+            w.spawn(move |_| {
+                v_ref.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(v.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Concurrent stress of the safe Chase–Lev deque.
+//!
+//! One owner thread interleaves pushes and pops per a generated
+//! schedule while several thieves hammer `steal`; afterwards the union
+//! of owner-popped and stolen items must be exactly the pushed set —
+//! nothing lost, nothing duplicated, across tiny capacities where
+//! wrap-around and the last-item CAS race happen constantly.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use ts_pool::{Deque, Steal};
+
+/// Runs one stress round; returns (owner_popped, stolen).
+fn stress_round(capacity: usize, ops: &[bool], thieves: usize) -> (Vec<u32>, Vec<u32>) {
+    let deque: Deque<u32> = Deque::new(capacity);
+    let done = AtomicBool::new(false);
+    let stolen: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+    let mut popped: Vec<u32> = Vec::new();
+
+    std::thread::scope(|s| {
+        for _ in 0..thieves {
+            s.spawn(|| {
+                let mut mine = Vec::new();
+                loop {
+                    match deque.steal() {
+                        Steal::Success(v) => mine.push(v),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                stolen.lock().unwrap().extend(mine);
+            });
+        }
+
+        // Owner: `true` = push the next id (retrying while full, which
+        // exercises the claimed-slot-straggler path), `false` = pop.
+        let mut next = 0u32;
+        for &push in ops {
+            if push {
+                let mut item = next;
+                next += 1;
+                while let Err(back) = deque.push(item) {
+                    item = back.0;
+                    std::thread::yield_now();
+                }
+            } else if let Some(v) = deque.pop() {
+                popped.push(v);
+            }
+        }
+        // Drain the leftovers so thieves can observe a stable empty.
+        while let Some(v) = deque.pop() {
+            popped.push(v);
+        }
+        done.store(true, Ordering::SeqCst);
+    });
+
+    (popped, stolen.into_inner().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_item_delivered_exactly_once(
+        capacity in 1usize..6,
+        thieves in 1usize..4,
+        ops in prop::collection::vec(prop::bool::Any, 1..120),
+    ) {
+        let pushed = ops.iter().filter(|&&p| p).count();
+        let (popped, stolen) = stress_round(capacity, &ops, thieves);
+
+        prop_assert_eq!(popped.len() + stolen.len(), pushed);
+        let mut all: Vec<u32> = popped.iter().chain(stolen.iter()).copied().collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..pushed as u32).collect();
+        prop_assert_eq!(all, expect);
+    }
+}
+
+/// A fixed high-contention round on the smallest capacity: the
+/// last-item CAS race is hit on nearly every operation.
+#[test]
+fn capacity_one_gauntlet() {
+    let ops: Vec<bool> = (0..400).map(|i| i % 3 != 2).collect();
+    let pushed = ops.iter().filter(|&&p| p).count();
+    let (popped, stolen) = stress_round(1, &ops, 3);
+    let mut all: Vec<u32> = popped.iter().chain(stolen.iter()).copied().collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..pushed as u32).collect::<Vec<_>>());
+}

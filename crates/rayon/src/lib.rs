@@ -8,33 +8,29 @@
 //! - [`ThreadPoolBuilder::num_threads`] + `build_global`
 //! - [`current_num_threads`]
 //!
-//! Execution model: a scoped thread per hardware slot pulls job indices
-//! off a shared atomic counter and writes results into per-index slots,
-//! so `collect` returns results in input order regardless of which
-//! thread ran which job — exactly the property the deterministic sweep
-//! engine relies on. There is no work-stealing deque; each job here is
-//! a whole simulator run (milliseconds to seconds), so a fetch-add
-//! counter and one mutex lock per job are noise.
+//! Execution model: the `ts-pool` work-stealing runtime. Every mapped
+//! item becomes one stealable task in a scoped pool — Chase–Lev
+//! per-worker deques, randomized victim selection, parked idle workers
+//! — and writes its result into a per-index slot, so `collect` returns
+//! results in input order regardless of which worker ran which job —
+//! exactly the property the deterministic sweep engine relies on.
+//! Stealing is what the fetch-add counter this stand-in used to wrap
+//! could not do: when one job runs 10× longer than its neighbors, the
+//! workers that finish early take over the straggler's queued work
+//! instead of idling behind it.
 //!
 //! Divergence from upstream: `build_global` may be called repeatedly
-//! and simply overwrites the global thread count (upstream errors on
-//! the second call). The determinism regression tests exploit this to
+//! (upstream errors on the second call). Each call *drains* — it waits
+//! for in-flight parallel regions to finish, then swaps the pool width
+//! — so later regions see the new width and nothing is torn down
+//! mid-flight. The determinism regression tests exploit this to
 //! compare `--jobs 1` and `--jobs 8` in one process.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-
-/// Global thread-count override; 0 means "ask the OS".
-static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Threads a parallel operation will use.
 pub fn current_num_threads() -> usize {
-    match NUM_THREADS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        n => n,
-    }
+    ts_pool::current_threads()
 }
 
 /// Error type for [`ThreadPoolBuilder::build_global`] (never produced by
@@ -67,35 +63,29 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Reconfigures the global pool width, draining first: blocks
+    /// until no parallel region is executing, then swaps. Must not be
+    /// called from inside a parallel region (it would wait on itself).
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
-        NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        ts_pool::configure(self.num_threads);
         Ok(())
     }
 }
 
 /// Order-preserving parallel map: the engine under every adapter chain.
+/// Spawns each item as one stealable `ts-pool` task.
 fn run_par<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
     let threads = current_num_threads().min(items.len());
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let item = jobs[i]
-                    .lock()
-                    .expect("job slot poisoned")
-                    .take()
-                    .expect("job taken twice");
-                let out = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let (slots_ref, f_ref) = (&slots, &f);
+    ts_pool::scope(threads, |w| {
+        for (i, item) in items.into_iter().enumerate() {
+            w.spawn(move |_| {
+                let out = f_ref(item);
+                *slots_ref[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
     });
@@ -185,6 +175,7 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Serializes tests that mutate the global thread count (the test
     /// harness runs tests concurrently).
@@ -234,6 +225,31 @@ mod tests {
             .collect();
         assert_eq!(counter.load(Ordering::Relaxed), 257);
         assert_eq!(out, (0..257).collect::<Vec<_>>());
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn repeated_build_global_drains_and_rebuilds() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        // Flip the width back and forth around real parallel work;
+        // every region must complete fully at *some* width and results
+        // must stay order-preserving throughout.
+        for &n in &[1usize, 8, 2, 8, 1] {
+            ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .unwrap();
+            assert_eq!(current_num_threads(), n);
+            let out: Vec<usize> = (0..97)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|x| x * 3)
+                .collect();
+            assert_eq!(out, (0..97).map(|x| x * 3).collect::<Vec<_>>());
+        }
         ThreadPoolBuilder::new()
             .num_threads(0)
             .build_global()

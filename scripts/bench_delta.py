@@ -1,29 +1,59 @@
 #!/usr/bin/env python3
-"""Non-blocking per-experiment wall-clock comparison for CI.
+"""Non-blocking sweep comparison for CI.
 
 Usage: bench_delta.py <reference.json> <current.json>
 
-Both inputs are `repro --bench-json` outputs. Prints the per-experiment
-and total wall-clock delta of the current run against the committed
-reference, then the per-component dense-tick deltas (tile/mem/noc ticks
-from the embedded profiles). Wall clock varies with runner speed, but
-tick counts are deterministic: a tick delta means the scheduler's
-work-avoidance actually changed, not that the machine was slow. Always
-exits 0: this exists so a simulator-performance regression is visible
-in the job log, not to block the merge (correctness is gated separately
-by `repro --check-goldens`).
+Both inputs are `repro --bench-json` outputs. Prints the sweep and
+total wall-clock delta of the current run against the committed
+reference, the host-runtime counter deltas (work-stealing pool steals
+and parks, result-cache hits/misses/stores), then the per-component
+dense-tick deltas (tile/mem/noc ticks from the embedded profiles).
+Wall clock varies with runner speed, but tick counts are
+deterministic: a tick delta means the scheduler's work-avoidance
+actually changed, not that the machine was slow. Always exits 0: this
+exists so a simulator-performance regression is visible in the job
+log, not to block the merge (correctness is gated separately by
+`repro goldens check`).
 """
 
 import json
 import sys
 
 COMPONENT_TICKS = ("tile_ticks", "mem_ticks", "noc_ticks")
+HOST_COUNTERS = ("steals", "parks", "cache_hits", "cache_misses", "cache_stores")
 
 
 def load(path):
     with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
-    return doc, {e["id"]: e["seconds"] for e in doc.get("experiments", [])}
+        return json.load(f)
+
+
+def pct(ref, cur):
+    return f"{100.0 * (cur - ref) / ref:+.0f}%" if ref > 0 else "n/a"
+
+
+def wall_clock_table(ref_doc, cur_doc):
+    print("wall-clock vs reference:")
+    print(f"  {'phase':<16} {'ref s':>8} {'cur s':>8} {'delta':>8}")
+    for key, label in (("sweep_seconds", "sweep"), ("total_seconds", "total")):
+        r, c = ref_doc.get(key), cur_doc.get(key)
+        if r is None or c is None:
+            continue
+        print(f"  {label:<16} {r:>8.3f} {c:>8.3f} {pct(r, c):>8}")
+
+
+def host_table(ref_doc, cur_doc):
+    """Host-runtime counters: pool steals/parks and cache traffic."""
+    ref, cur = ref_doc.get("host"), cur_doc.get("host")
+    if not isinstance(ref, dict) or not isinstance(cur, dict):
+        return
+    print("host runtime counters vs reference:")
+    print(f"  {'counter':<16} {'ref':>10} {'cur':>10} {'delta':>8}")
+    for key in HOST_COUNTERS:
+        r, c = ref.get(key), cur.get(key)
+        if r is None or c is None:
+            continue
+        print(f"  {key:<16} {r:>10} {c:>10} {pct(r, c):>8}")
 
 
 def tick_table(ref_doc, cur_doc):
@@ -44,9 +74,15 @@ def tick_table(ref_doc, cur_doc):
             if r is None or c is None:
                 cells.append(f"{'-':>12} {'-':>12} {'n/a':>7}")
                 continue
-            delta = f"{100.0 * (c - r) / r:+.0f}%" if r > 0 else "n/a"
+            delta = pct(r, c) if r is not None else "n/a"
             cells.append(f"{r:>12} {c:>12} {delta:>7}")
         print(f"  {exp_id:<16} {' '.join(cells)}")
+    gone = [i for i in ref if i not in cur]
+    new = [i for i in cur if i not in ref]
+    if gone:
+        print(f"  (gone from current: {', '.join(gone)})")
+    if new:
+        print(f"  (new in current: {', '.join(new)})")
 
 
 def main(argv):
@@ -54,30 +90,19 @@ def main(argv):
         print(f"usage: {argv[0]} <reference.json> <current.json>")
         return 0
     try:
-        ref_doc, ref = load(argv[1])
-        cur_doc, cur = load(argv[2])
-    except (OSError, ValueError, KeyError) as e:
+        ref_doc = load(argv[1])
+        cur_doc = load(argv[2])
+    except (OSError, ValueError) as e:
         print(f"bench_delta: cannot compare ({e}); skipping")
         return 0
 
-    print(f"wall-clock vs reference ({argv[1]}):")
-    print(f"  {'experiment':<16} {'ref s':>8} {'cur s':>8} {'delta':>8}")
-    for exp_id in ref:
-        if exp_id not in cur:
-            print(f"  {exp_id:<16} {ref[exp_id]:>8.3f} {'-':>8} {'gone':>8}")
-            continue
-        r, c = ref[exp_id], cur[exp_id]
-        delta = f"{100.0 * (c - r) / r:+.0f}%" if r > 0 else "n/a"
-        print(f"  {exp_id:<16} {r:>8.3f} {c:>8.3f} {delta:>8}")
-    for exp_id in cur:
-        if exp_id not in ref:
-            print(f"  {exp_id:<16} {'-':>8} {cur[exp_id]:>8.3f} {'new':>8}")
-
-    rt = ref_doc.get("total_seconds", 0.0)
-    ct = cur_doc.get("total_seconds", 0.0)
-    total_delta = f"{100.0 * (ct - rt) / rt:+.0f}%" if rt > 0 else "n/a"
-    print(f"  {'total':<16} {rt:>8.3f} {ct:>8.3f} {total_delta:>8}")
-    tick_table(ref_doc, cur_doc)
+    print(f"reference: {argv[1]}")
+    try:
+        wall_clock_table(ref_doc, cur_doc)
+        host_table(ref_doc, cur_doc)
+        tick_table(ref_doc, cur_doc)
+    except (TypeError, KeyError, ValueError) as e:
+        print(f"bench_delta: malformed input ({e}); skipping the rest")
     print("(informational only; this step never fails the build)")
     return 0
 
