@@ -314,11 +314,15 @@ impl RunState {
 
         let mut spawner = Spawner::new(state.next_pipe);
         program.initial(&mut spawner);
-        state.absorb_spawner(spawner)?;
+        state.absorb_spawner(spawner, None)?;
         Ok(state)
     }
 
-    fn absorb_spawner(&mut self, spawner: Spawner) -> Result<(), RunError> {
+    /// Absorbs everything a program handler spawned. `parent` is the
+    /// task whose completion handler did the spawning (`None` for
+    /// `initial`/`on_quiescent`); it only feeds the trace's spawn
+    /// edges, never the schedule.
+    fn absorb_spawner(&mut self, spawner: Spawner, parent: Option<TaskId>) -> Result<(), RunError> {
         self.next_pipe = spawner.next_pipe_id();
         let (tasks, pipes) = spawner.take();
         for decl in pipes {
@@ -354,8 +358,31 @@ impl RunState {
                 TraceEvent::TaskSpawn {
                     task: id.0,
                     ty: inst.ty.0,
+                    parent: parent.map(|p| p.0),
                 },
             );
+            if self.trace.enabled() {
+                for p in inst.output_pipes() {
+                    self.trace.emit(
+                        self.now,
+                        TraceEvent::PipeBind {
+                            pipe: p.0,
+                            task: id.0,
+                            producer: true,
+                        },
+                    );
+                }
+                for p in inst.input_pipes() {
+                    self.trace.emit(
+                        self.now,
+                        TraceEvent::PipeBind {
+                            pipe: p.0,
+                            task: id.0,
+                            producer: false,
+                        },
+                    );
+                }
+            }
             self.stats.bump("tasks_spawned");
             self.admit_q
                 .push_back((self.now + self.cfg.spawn_latency, PendingTask { id, inst }));
@@ -437,7 +464,7 @@ impl RunState {
                 let (_, done) = self.host_q.pop_front().expect("front exists");
                 let mut spawner = Spawner::new(self.next_pipe);
                 program.on_complete(&done, &mut spawner);
-                self.absorb_spawner(spawner)?;
+                self.absorb_spawner(spawner, Some(done.id))?;
             }
 
             // spawn latency elapses
@@ -690,7 +717,7 @@ impl RunState {
                 let mut spawner = Spawner::new(self.next_pipe);
                 let more = program.on_quiescent(&mut spawner);
                 let spawned = spawner.spawned_len() > 0;
-                self.absorb_spawner(spawner)?;
+                self.absorb_spawner(spawner, None)?;
                 if !more && !spawned {
                     break;
                 }
@@ -1003,10 +1030,20 @@ impl RunState {
             ty,
             inst,
             out_values,
+            stall_input,
+            stall_other,
             ..
         } = done;
         let tile = self.task_tile[&id];
         self.watch.remove(&id);
+        self.trace.emit(
+            self.now,
+            TraceEvent::TaskStalls {
+                task: id.0,
+                input: stall_input,
+                other: stall_other,
+            },
+        );
         self.trace
             .emit(self.now, TraceEvent::TaskComplete { task: id.0, tile });
         self.picker.on_complete(tile, placement_hint(&inst));

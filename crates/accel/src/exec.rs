@@ -210,6 +210,14 @@ pub(crate) struct TaskExec {
     pub out_buf_cap: usize,
     /// Native model: cumulative words consumed per input port.
     pub native_consumed: Vec<u64>,
+    /// Head-of-queue cycles with no compute progress because an input
+    /// port was exhausted. Mirrors the tile-level `fire_stall_input`
+    /// statistic, attributed to this task; reported via
+    /// [`TraceEvent::TaskStalls`](crate::TraceEvent::TaskStalls).
+    pub stall_input: u64,
+    /// Head-of-queue cycles with no compute progress for any other
+    /// reason (mirrors `fire_stall_other`).
+    pub stall_other: u64,
 }
 
 impl TaskExec {
@@ -259,6 +267,8 @@ impl TaskExec {
             dispatched_at: now,
             out_buf_cap,
             native_consumed: vec![0; ports_in],
+            stall_input: 0,
+            stall_other: 0,
         }
     }
 
@@ -550,6 +560,15 @@ impl Tile {
         };
         if let Some(key) = stall_key {
             self.stats.bump_by(key, k);
+            // per-task attribution: the head is frozen for the whole
+            // stretch, so k dense ticks would each have bumped the same
+            // counter on the same task
+            let head = self.queue.front_mut().expect("nonempty queue");
+            if key == "fire_stall_input" {
+                head.stall_input += k;
+            } else {
+                head.stall_other += k;
+            }
         }
         let head = self.queue.front_mut().expect("nonempty queue");
         if head.native_cycles.is_none() {
@@ -789,6 +808,15 @@ impl Tile {
                     self.stats.bump("fire_stall_input");
                 } else {
                     self.stats.bump("fire_stall_other");
+                }
+                // per-task attribution rides the exact same branch, so
+                // it stays identical across the scheduler fast paths
+                // (bulk_advance applies the frozen-head equivalent)
+                let t = &mut self.queue[0];
+                if starved {
+                    t.stall_input += 1;
+                } else {
+                    t.stall_other += 1;
                 }
             }
         }

@@ -78,6 +78,7 @@ pub mod oracle;
 mod pipes;
 mod report;
 mod trace;
+pub mod whatif;
 
 pub use accelerator::{Accelerator, RunError};
 pub use config::{DeltaConfig, DeltaConfigBuilder, Features};

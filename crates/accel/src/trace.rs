@@ -34,6 +34,24 @@ pub enum TraceEvent {
         task: u64,
         /// Index of the task's type in the program's type table.
         ty: usize,
+        /// Task whose completion handler spawned this one; `None` for
+        /// tasks spawned by `Program::initial`/`on_quiescent`. This is
+        /// the spawn edge of the task dependence DAG.
+        parent: Option<u64>,
+    },
+    /// A spawned task was registered as one endpoint of a declared
+    /// pipe. Together with [`TraceEvent::TaskSpawn::parent`] these
+    /// bindings make the task dependence DAG reconstructible from the
+    /// stream alone: each pipe's producer/consumer pair is a
+    /// producer→consumer edge.
+    PipeBind {
+        /// Pipe id.
+        pipe: u64,
+        /// Task bound to the pipe.
+        task: u64,
+        /// `true` when the task is the pipe's producer, `false` for
+        /// its consumer.
+        producer: bool,
     },
     /// A spawned task finished its admission latency and became
     /// eligible for dispatch.
@@ -62,6 +80,21 @@ pub enum TraceEvent {
         task: u64,
         /// Tile the task ran on.
         tile: usize,
+    },
+    /// Per-task stall attribution, emitted alongside
+    /// [`TraceEvent::TaskComplete`]: how many of the task's
+    /// head-of-queue cycles made no compute progress, split by cause.
+    /// The causal profiler uses the split to answer "what if memory
+    /// were faster" separately from "what if the kernel were faster".
+    TaskStalls {
+        /// Task id.
+        task: u64,
+        /// Head cycles blocked waiting on input data (an exhausted
+        /// input port — DRAM, NoC, or an upstream pipe).
+        input: u64,
+        /// Head cycles blocked on anything else (output backpressure,
+        /// engine budget, pipe resolution).
+        other: u64,
     },
     /// A work-stealing attempt was made against a loaded victim
     /// (recorded whether or not a task actually moved).
@@ -255,7 +288,14 @@ mod tests {
     #[test]
     fn enabled_sink_preserves_order() {
         let mut s = TraceSink::new(true);
-        s.emit(1, TraceEvent::TaskSpawn { task: 0, ty: 2 });
+        s.emit(
+            1,
+            TraceEvent::TaskSpawn {
+                task: 0,
+                ty: 2,
+                parent: None,
+            },
+        );
         s.emit(5, TraceEvent::TaskReady { task: 0 });
         let recs = s.into_records();
         assert_eq!(recs.len(), 2);

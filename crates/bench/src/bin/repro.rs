@@ -17,6 +17,8 @@
 //! repro cache clear              # drop every cached result
 //! repro trace fig_noc            # trace one run, write TRACE_fig_noc.json
 //! repro faults fig_overall       # chaos-preset fault run, write FAULTS_*.txt
+//! repro whatif fig_overall       # causal profile, write WHATIF_fig_overall.txt
+//! repro whatif fig_grain --speedup sum:25  # a specific virtual-speedup query
 //! ```
 //!
 //! The pre-subcommand spellings remain as hidden aliases: a bare
@@ -71,6 +73,16 @@
 //! injection/recovery summary, and writes it to
 //! `FAULTS_<experiment>.txt`. `--rate <r>` overrides the preset's tile
 //! fail-stop rate.
+//!
+//! `whatif [experiment ...]` is the causal profiler: it reconstructs
+//! the task dependence DAG from a traced run (`ts_delta::whatif`) and
+//! prints the run summary, the ranked bottleneck table, and the
+//! virtual-speedup query table, writing each to
+//! `WHATIF_<experiment>.txt` and optionally merging summary rows into
+//! a sweep JSON (`--bench-json`).
+//!
+//! Every report-writing subcommand resolves its output directory as
+//! `--out-dir`, else `$TS_OUT_DIR`, else the working directory.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -90,6 +102,7 @@ commands:
   cache <stats|clear>               inspect or empty the persistent result cache
   trace <experiment>                trace one run, write TRACE_<experiment>.json
   faults <experiment>               chaos fault run, write FAULTS_<experiment>.txt
+  whatif [experiment ...]           causal profile, write WHATIF_<experiment>.txt
 
 common flags (sweep and goldens):
   --tiny                 run test-sized instances (default: small)
@@ -97,6 +110,7 @@ common flags (sweep and goldens):
   --only <id>[,<id>...]  comma-separated experiment selection
   --profile              print per-experiment cycle attribution
   --bench-json <path>    write machine-readable timings
+  --out-dir <dir>        directory for report files (default: TS_OUT_DIR or .)
   --no-cache             ignore the persistent result cache
   --no-active-set        disable active-set scheduling (A/B reference)
   --no-idle-skip         disable the next-event jump (A/B reference)
@@ -143,19 +157,39 @@ so a stale entry can only be read back by the build that wrote it —
 clearing is about disk space, not correctness.";
 
 const TRACE_USAGE: &str = "\
-usage: repro trace <experiment> [--tiny]
+usage: repro trace <experiment> [--tiny] [--out-dir <dir>]
 
 Runs one representative simulation of the experiment with event
-tracing on and writes Chrome/Perfetto JSON to TRACE_<experiment>.json.";
+tracing on and writes Chrome/Perfetto JSON to TRACE_<experiment>.json
+(in --out-dir, TS_OUT_DIR, or the working directory).";
 
 const FAULTS_USAGE: &str = "\
-usage: repro faults <experiment> [--tiny] [--rate <r>]
+usage: repro faults <experiment> [--tiny] [--rate <r>] [--out-dir <dir>]
 
 Runs the experiment's representative workload under the chaos fault
 preset (fail-stops, stalls, flit loss, DRAM retries; recovery on),
 validates the completed run against the reference and the untimed
 oracle, and writes the summary to FAULTS_<experiment>.txt. --rate
 overrides the tile fail-stop rate.";
+
+const WHATIF_USAGE: &str = "\
+usage: repro whatif [experiment ...] [--only <id>[,<id>...]] [--tiny]
+                    [--speedup <type>:<pct> ...] [--bench-json <path>]
+                    [--out-dir <dir>]
+
+Causal what-if profiler. Re-runs each experiment's representative
+workload with tracing on, reconstructs the task dependence DAG (spawn,
+pipe, and quiescence-barrier edges), and answers virtual-speedup
+queries by re-weighting the critical path: the run summary, the ranked
+bottleneck table (work vs. span per task type), and the query table go
+to stdout and to WHATIF_<experiment>.txt. With no experiment named,
+every experiment is profiled.
+
+--speedup <type>:<pct> (repeatable) replaces the default query battery
+(every type 50% faster, memory/NoC 2x, spawn/host 2x, free
+redispatches) with specific questions; <type> is a task-type name from
+the bottleneck table. --bench-json splices a \"whatif\" section into an
+existing sweep JSON (or writes a standalone one).";
 
 /// What to do with goldens while running experiments.
 #[derive(Clone, Copy, PartialEq)]
@@ -176,6 +210,7 @@ struct Common {
     no_active_set: bool,
     no_idle_skip: bool,
     no_tile_events: bool,
+    out_dir: Option<String>,
 }
 
 impl Common {
@@ -200,6 +235,26 @@ impl Common {
         }
     }
 
+    /// Where report files (TRACE_*, FAULTS_*, WHATIF_*, GOLDEN_diff.txt)
+    /// land: `--out-dir`, else `TS_OUT_DIR`, else the working
+    /// directory. The directory is created on first use.
+    fn out_path(&self, name: &str) -> PathBuf {
+        let dir = self
+            .out_dir
+            .clone()
+            .or_else(|| std::env::var("TS_OUT_DIR").ok())
+            .filter(|d| !d.is_empty());
+        match dir {
+            Some(d) => {
+                let d = PathBuf::from(d);
+                std::fs::create_dir_all(&d)
+                    .unwrap_or_else(|e| panic!("creating {}: {e}", d.display()));
+                d.join(name)
+            }
+            None => PathBuf::from(name),
+        }
+    }
+
     /// Tries to consume `arg` (and, for valued flags, the next
     /// argument) as one of the shared flags.
     fn eat(&mut self, arg: &str, it: &mut std::vec::IntoIter<String>, usage: &str) -> bool {
@@ -218,6 +273,7 @@ impl Common {
                 );
             }
             "--bench-json" => self.bench_json = Some(take_value(it, "--bench-json", usage)),
+            "--out-dir" => self.out_dir = Some(take_value(it, "--out-dir", usage)),
             _ => return false,
         }
         true
@@ -298,6 +354,10 @@ fn main() {
         Some("faults") => {
             args.remove(0);
             cmd_faults(args);
+        }
+        Some("whatif") => {
+            args.remove(0);
+            cmd_whatif(args);
         }
         Some("help" | "--help" | "-h") => println!("{USAGE}"),
         _ => legacy(args),
@@ -399,13 +459,18 @@ fn cmd_cache(args: Vec<String>) {
 fn cmd_trace(args: Vec<String>) {
     let mut common = Common::default();
     let mut wanted = Vec::new();
-    for a in args {
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
         if a == "--help" || a == "-h" {
             println!("{TRACE_USAGE}");
             return;
         }
         if a == "--tiny" {
             common.tiny = true;
+            continue;
+        }
+        if a == "--out-dir" {
+            common.out_dir = Some(take_value(&mut it, "--out-dir", TRACE_USAGE));
             continue;
         }
         if a.starts_with("--") {
@@ -417,7 +482,7 @@ fn cmd_trace(args: Vec<String>) {
         die("expected exactly one experiment id", TRACE_USAGE);
     };
     let ids = resolve_ids(std::slice::from_ref(id), TRACE_USAGE);
-    run_trace(&ids[0], common.scale());
+    run_trace(&ids[0], &common);
 }
 
 fn cmd_faults(args: Vec<String>) {
@@ -432,6 +497,10 @@ fn cmd_faults(args: Vec<String>) {
         }
         if a == "--tiny" {
             common.tiny = true;
+            continue;
+        }
+        if a == "--out-dir" {
+            common.out_dir = Some(take_value(&mut it, "--out-dir", FAULTS_USAGE));
             continue;
         }
         if a == "--rate" {
@@ -451,7 +520,35 @@ fn cmd_faults(args: Vec<String>) {
         die("expected exactly one experiment id", FAULTS_USAGE);
     };
     let ids = resolve_ids(std::slice::from_ref(id), FAULTS_USAGE);
-    run_faults(&ids[0], common.scale(), rate);
+    run_faults(&ids[0], &common, rate);
+}
+
+fn cmd_whatif(args: Vec<String>) {
+    let mut common = Common::default();
+    let mut speedups: Vec<String> = Vec::new();
+    let mut wanted = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--help" || a == "-h" {
+            println!("{WHATIF_USAGE}");
+            return;
+        }
+        if eat_only(&a, &mut it, &mut wanted, WHATIF_USAGE) {
+            continue;
+        }
+        match a.as_str() {
+            "--tiny" => common.tiny = true,
+            "--speedup" => speedups.push(take_value(&mut it, "--speedup", WHATIF_USAGE)),
+            "--out-dir" => common.out_dir = Some(take_value(&mut it, "--out-dir", WHATIF_USAGE)),
+            "--bench-json" => {
+                common.bench_json = Some(take_value(&mut it, "--bench-json", WHATIF_USAGE))
+            }
+            s if s.starts_with("--") => die(&format!("unknown flag '{s}'"), WHATIF_USAGE),
+            _ => wanted.push(a),
+        }
+    }
+    let ids = resolve_ids(&wanted, WHATIF_USAGE);
+    run_whatif(&ids, &common, &speedups);
 }
 
 /// The pre-subcommand command line, kept verbatim as a hidden alias.
@@ -476,7 +573,7 @@ fn legacy(args: Vec<String>) {
     }
     common.apply();
     if let Some(id) = trace {
-        run_trace(&id, common.scale());
+        run_trace(&id, &common);
         return;
     }
     let ids = resolve_ids(&wanted, USAGE);
@@ -624,10 +721,11 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
     }
 
     if mode == GoldenMode::Check {
+        let diff_path = common.out_path("GOLDEN_diff.txt");
         if violations.is_empty() {
             // A previous failing run may have left its report behind;
             // a green check must not leave a stale diff lying around.
-            let _ = std::fs::remove_file("GOLDEN_diff.txt");
+            let _ = std::fs::remove_file(&diff_path);
             eprintln!(
                 "goldens OK: {} experiment(s) match goldens/{} and satisfy the shape claims",
                 results.len(),
@@ -640,8 +738,9 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
                 violations.join("\n  ")
             );
             eprint!("{report}");
-            std::fs::write("GOLDEN_diff.txt", &report).expect("writing GOLDEN_diff.txt");
-            eprintln!("(report written to GOLDEN_diff.txt)");
+            std::fs::write(&diff_path, &report)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", diff_path.display()));
+            eprintln!("(report written to {})", diff_path.display());
             std::process::exit(1);
         }
     }
@@ -649,9 +748,10 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
 
 /// Runs `repro trace <id>`: one traced simulation, the Perfetto JSON
 /// on disk, and the two derived text reports on stdout.
-fn run_trace(id: &str, scale: Scale) {
+fn run_trace(id: &str, common: &Common) {
     use ts_bench::trace_report;
 
+    let scale = common.scale();
     let t0 = Instant::now();
     let run = experiments::trace_run(id, scale);
     let records = &run.report.trace;
@@ -667,10 +767,13 @@ fn run_trace(id: &str, scale: Scale) {
         run.report.trace_dropped
     );
 
-    let path = format!("TRACE_{id}.json");
+    let path = common.out_path(&format!("TRACE_{id}.json"));
     let json = trace_report::perfetto_json(&run.workload, run.cfg.tiles, records);
-    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("  wrote {path} (load it in https://ui.perfetto.dev or chrome://tracing)\n");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!(
+        "  wrote {} (load it in https://ui.perfetto.dev or chrome://tracing)\n",
+        path.display()
+    );
 
     println!("--- NoC link occupancy (stride-sampled, nonzero links) ---");
     println!(
@@ -684,7 +787,8 @@ fn run_trace(id: &str, scale: Scale) {
 
 /// Runs `repro faults <id>`: one chaos-preset fault-injected
 /// simulation, the summary on stdout and in `FAULTS_<id>.txt`.
-fn run_faults(id: &str, scale: Scale, rate: Option<f64>) {
+fn run_faults(id: &str, common: &Common, rate: Option<f64>) {
+    let scale = common.scale();
     let t0 = Instant::now();
     let fr = experiments::fault_run(id, scale, rate);
     let header = format!(
@@ -695,11 +799,61 @@ fn run_faults(id: &str, scale: Scale, rate: Option<f64>) {
     );
     println!("{header}");
     println!("{}", fr.summary);
-    let path = format!("FAULTS_{id}.txt");
+    let path = common.out_path(&format!("FAULTS_{id}.txt"));
     std::fs::write(&path, format!("{header}\n{}", fr.summary))
-        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("  wrote {path}");
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
     println!("  ({:.1?})", t0.elapsed());
+}
+
+/// Runs `repro whatif`: for each experiment, one traced simulation,
+/// the DAG reconstruction, and the three tables (summary, ranked
+/// bottlenecks, virtual-speedup queries) on stdout and in
+/// `WHATIF_<id>.txt`. With `--bench-json`, the per-experiment summary
+/// rows are spliced into the sweep JSON as a `"whatif"` section.
+fn run_whatif(ids: &[String], common: &Common, speedups: &[String]) {
+    use ts_bench::whatif_report as wr;
+
+    let scale = common.scale();
+    let t0 = Instant::now();
+    let mut rows: Vec<String> = Vec::new();
+    for id in ids {
+        let run = experiments::trace_run(id, scale);
+        let w = wr::analyze(&run);
+        let queries: Vec<wr::LabeledQuery> = if speedups.is_empty() {
+            wr::default_queries(&run.type_names)
+        } else {
+            speedups
+                .iter()
+                .map(|s| {
+                    wr::parse_speedup(s, &run.type_names).unwrap_or_else(|e| die(&e, WHATIF_USAGE))
+                })
+                .collect()
+        };
+        let mut text = format!(
+            "=== whatif {id} ({}, workload {}, {} cycles) ===\n",
+            experiments::scale_name(scale),
+            run.workload,
+            run.report.cycles
+        );
+        text.push_str(&format!("{}\n", wr::summary_table(&w)));
+        text.push_str("--- bottlenecks (ranked by critical-path share) ---\n");
+        text.push_str(&format!("{}\n", wr::bottleneck_table(&w, &run.type_names)));
+        text.push_str("--- virtual speedups ---\n");
+        text.push_str(&format!("{}\n", wr::query_table(&w, &queries)));
+        print!("{text}");
+        let path = common.out_path(&format!("WHATIF_{id}.txt"));
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
+        rows.push(wr::summary_json(id, &run, &w, &queries));
+    }
+    if let Some(path) = &common.bench_json {
+        let existing = std::fs::read_to_string(path).ok();
+        let merged = wr::merge_section(existing.as_deref(), &rows);
+        std::fs::write(path, merged).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote whatif section to {path}");
+    }
+    eprintln!("  ({:.1?})", t0.elapsed());
 }
 
 /// Locates the committed `goldens/` directory: the working directory's

@@ -1327,6 +1327,9 @@ pub struct TraceRun {
     pub workload: String,
     /// The exact configuration used (mesh dims, tile count).
     pub cfg: DeltaConfig,
+    /// The program's task-type names, indexed by the type indices that
+    /// appear in the trace (for labelling what-if tables).
+    pub type_names: Vec<String>,
 }
 
 /// Runs one representative workload of experiment `id` with event
@@ -1367,11 +1370,18 @@ pub fn trace_run(id: &str, scale: Scale) -> TraceRun {
         b = b.faults(FaultsConfig::chaos()).stall_limit(200_000);
     }
     let cfg = b.build();
+    let type_names = wl
+        .make_program()
+        .task_types()
+        .iter()
+        .map(|t| t.name.clone())
+        .collect();
     let report = crate::run_validated(wl.as_ref(), cfg.clone(), false);
     TraceRun {
         report,
         workload: wl.name().to_string(),
         cfg,
+        type_names,
     }
 }
 

@@ -40,6 +40,7 @@ pub mod golden;
 pub mod profile;
 mod table;
 pub mod trace_report;
+pub mod whatif_report;
 
 pub use table::Table;
 

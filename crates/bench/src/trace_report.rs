@@ -69,11 +69,23 @@ pub fn perfetto_json(workload: &str, tiles: usize, records: &[TraceRecord]) -> S
     for r in records {
         let c = r.cycle;
         match r.event {
-            TraceEvent::TaskSpawn { task, ty } => {
+            TraceEvent::TaskSpawn { task, ty, parent } => {
                 task_ty.insert(task, ty);
+                let label = match parent {
+                    Some(p) => format!("spawn task {task} (by task {p})"),
+                    None => format!("spawn task {task}"),
+                };
+                push(&mut out, instant(c, disp_tid, &label));
+            }
+            TraceEvent::PipeBind {
+                pipe,
+                task,
+                producer,
+            } => {
+                let role = if producer { "producer" } else { "consumer" };
                 push(
                     &mut out,
-                    instant(c, disp_tid, &format!("spawn task {task}")),
+                    instant(c, disp_tid, &format!("pipe {pipe} {role} task {task}")),
                 );
             }
             TraceEvent::TaskReady { task } => {
@@ -87,6 +99,18 @@ pub fn perfetto_json(workload: &str, tiles: usize, records: &[TraceRecord]) -> S
             }
             TraceEvent::TaskFire { task, tile } => {
                 push(&mut out, instant(c, tile, &format!("fire task {task}")));
+            }
+            TraceEvent::TaskStalls { task, input, other } => {
+                if input + other > 0 {
+                    push(
+                        &mut out,
+                        instant(
+                            c,
+                            disp_tid,
+                            &format!("task {task} stalls: input {input}, other {other}"),
+                        ),
+                    );
+                }
             }
             TraceEvent::TaskComplete { task, tile } => {
                 let start = task_start.remove(&task).unwrap_or(c);
@@ -342,7 +366,11 @@ mod tests {
         vec![
             TraceRecord {
                 cycle: 0,
-                event: TraceEvent::TaskSpawn { task: 0, ty: 1 },
+                event: TraceEvent::TaskSpawn {
+                    task: 0,
+                    ty: 1,
+                    parent: None,
+                },
             },
             TraceRecord {
                 cycle: 2,

@@ -1,0 +1,273 @@
+//! Renders the causal what-if profiler ([`ts_delta::whatif`]) for the
+//! CLI: the run summary, the ranked bottleneck table, the
+//! virtual-speedup query table, and the machine-readable summary rows
+//! that get wired into `BENCH_sweep.json`.
+
+use crate::experiments::TraceRun;
+use crate::Table;
+use ts_delta::whatif::{Query, WhatIf};
+
+/// A query plus its printable label.
+#[derive(Debug, Clone)]
+pub struct LabeledQuery {
+    /// Rendered in the query table's first column.
+    pub label: String,
+    /// The re-weighting to evaluate.
+    pub query: Query,
+}
+
+/// Parses one `--speedup type:pct` argument against the run's type
+/// names (`"sum:25"` → type index of `sum`, 25% faster). Returns an
+/// error message suitable for the CLI on bad input.
+pub fn parse_speedup(spec: &str, type_names: &[String]) -> Result<LabeledQuery, String> {
+    let (name, pct) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("--speedup wants <type>:<pct>, got '{spec}'"))?;
+    let ty = type_names
+        .iter()
+        .position(|n| n == name)
+        .ok_or_else(|| format!("unknown task type '{name}' (this run has: {type_names:?})"))?;
+    let pct: f64 = pct
+        .parse()
+        .map_err(|_| format!("--speedup percentage '{pct}' is not a number"))?;
+    if !(0.0..=100.0).contains(&pct) {
+        return Err(format!("--speedup percentage {pct} outside [0, 100]"));
+    }
+    Ok(LabeledQuery {
+        label: format!("{name} {pct}% faster"),
+        query: Query::TypeSpeedup { ty, pct },
+    })
+}
+
+/// The default query battery when the caller names none: every task
+/// type 50% faster, memory stalls halved, spawn handoff halved, and
+/// free recovery re-dispatches.
+pub fn default_queries(type_names: &[String]) -> Vec<LabeledQuery> {
+    let mut out: Vec<LabeledQuery> = type_names
+        .iter()
+        .enumerate()
+        .map(|(ty, name)| LabeledQuery {
+            label: format!("{name} 50% faster"),
+            query: Query::TypeSpeedup { ty, pct: 50.0 },
+        })
+        .collect();
+    out.push(LabeledQuery {
+        label: "memory/NoC 2x faster".into(),
+        query: Query::MemScale { factor: 2.0 },
+    });
+    out.push(LabeledQuery {
+        label: "spawn/host 2x faster".into(),
+        query: Query::SpawnScale { factor: 2.0 },
+    });
+    out.push(LabeledQuery {
+        label: "redispatches free".into(),
+        query: Query::FreeRedispatch,
+    });
+    out
+}
+
+/// Builds the analysis for a traced run.
+pub fn analyze(run: &TraceRun) -> WhatIf {
+    WhatIf::from_trace(&run.report.trace, run.cfg.tiles, run.report.cycles)
+}
+
+/// Key-value run summary: DAG size, work/span, parallelism slack.
+pub fn summary_table(w: &WhatIf) -> Table {
+    let mut t = Table::new(&["metric", "value"]);
+    let mut kv = |k: &str, v: String| t.row(vec![k.into(), v]);
+    kv("tasks (DAG nodes)", w.nodes.len().to_string());
+    kv("dependence edges", w.edges.len().to_string());
+    kv("measured cycles", w.measured_cycles.to_string());
+    kv("total work (cycles)", w.work().to_string());
+    kv("critical path (cycles)", w.span().to_string());
+    kv("parallelism (work/span)", format!("{:.2}", w.parallelism()));
+    kv("tiles", w.tiles.to_string());
+    let slack = w.parallelism() / w.tiles as f64;
+    kv("parallelism slack (vs tiles)", format!("{slack:.2}"));
+    let bound = if w.parallelism() >= w.tiles as f64 {
+        "throughput-bound (work/tiles)"
+    } else {
+        "span-bound (critical path)"
+    };
+    kv("binding constraint", bound.into());
+    kv("steals", w.steals.to_string());
+    kv("mcast joins", w.mcast_joins.to_string());
+    t
+}
+
+/// The ranked bottleneck table (one row per task type).
+pub fn bottleneck_table(w: &WhatIf, type_names: &[String]) -> Table {
+    let mut t = Table::new(&[
+        "task type",
+        "tasks",
+        "work",
+        "work %",
+        "crit path",
+        "crit %",
+        "input-stall %",
+        "speedup@50%",
+    ]);
+    for b in w.bottlenecks() {
+        let name = type_names
+            .get(b.ty)
+            .cloned()
+            .unwrap_or_else(|| format!("type {}", b.ty));
+        t.row(vec![
+            name,
+            b.tasks.to_string(),
+            b.work.to_string(),
+            format!("{:.1}", b.work_share * 100.0),
+            b.crit.to_string(),
+            format!("{:.1}", b.crit_share * 100.0),
+            format!("{:.1}", b.stall_input_share * 100.0),
+            crate::fmt_x(b.speedup_at_50),
+        ]);
+    }
+    t
+}
+
+/// The virtual-speedup query table.
+pub fn query_table(w: &WhatIf, queries: &[LabeledQuery]) -> Table {
+    let mut t = Table::new(&[
+        "what if",
+        "span",
+        "work",
+        "predicted cycles",
+        "predicted speedup",
+    ]);
+    for lq in queries {
+        let p = w.evaluate(&[lq.query]);
+        t.row(vec![
+            lq.label.clone(),
+            format!("{:.0}", p.span),
+            format!("{:.0}", p.work),
+            format!("{:.0}", p.predicted_cycles),
+            crate::fmt_x(p.speedup),
+        ]);
+    }
+    t
+}
+
+/// One experiment's summary as a JSON object (hand-rolled like the
+/// rest of the harness) for the bench-json `whatif` section.
+pub fn summary_json(id: &str, run: &TraceRun, w: &WhatIf, queries: &[LabeledQuery]) -> String {
+    let mut q_parts: Vec<String> = Vec::with_capacity(queries.len());
+    for lq in queries {
+        let p = w.evaluate(&[lq.query]);
+        q_parts.push(format!(
+            "{{\"label\": \"{}\", \"predicted_cycles\": {:.0}, \"speedup\": {:.4}}}",
+            lq.label, p.predicted_cycles, p.speedup
+        ));
+    }
+    let top = w
+        .bottlenecks()
+        .first()
+        .map(|b| {
+            run.type_names
+                .get(b.ty)
+                .cloned()
+                .unwrap_or_else(|| format!("type {}", b.ty))
+        })
+        .unwrap_or_else(|| "-".into());
+    format!(
+        "{{\"id\": \"{id}\", \"workload\": \"{}\", \"cycles\": {}, \"work\": {}, \
+         \"span\": {}, \"parallelism\": {:.4}, \"top_bottleneck\": \"{top}\", \
+         \"queries\": [{}]}}",
+        run.workload,
+        w.measured_cycles,
+        w.work(),
+        w.span(),
+        w.parallelism(),
+        q_parts.join(", ")
+    )
+}
+
+/// Splices the per-experiment summary rows into a bench-json document
+/// as a `"whatif"` section: appended as the final key of an existing
+/// sweep JSON (a previous `"whatif"` section is replaced, so re-runs
+/// are idempotent), or a minimal standalone object when there is no
+/// existing file. The splice is textual — the harness has no JSON
+/// parser — and relies on the sweep writer's fixed shape: a single
+/// top-level object whose `"whatif"` key, if present, is last.
+pub fn merge_section(existing: Option<&str>, rows: &[String]) -> String {
+    let section = format!("\"whatif\": [\n    {}\n  ]", rows.join(",\n    "));
+    let prefix = match existing {
+        Some(text) => {
+            let mut t = text.trim_end().to_string();
+            if let Some(pos) = t.find("\"whatif\":") {
+                t.truncate(pos);
+            } else if t.ends_with('}') {
+                t.pop();
+            } else {
+                // not a JSON object we understand — start standalone
+                t = "{".into();
+            }
+            let t = t.trim_end().trim_end_matches(',').trim_end();
+            if t == "{" {
+                t.to_string()
+            } else {
+                format!("{t},")
+            }
+        }
+        None => "{".into(),
+    };
+    format!("{prefix}\n  {section}\n}}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["gather".into(), "reduce".into()]
+    }
+
+    #[test]
+    fn speedup_parsing_round_trips() {
+        let q = parse_speedup("reduce:25", &names()).unwrap();
+        assert_eq!(q.query, Query::TypeSpeedup { ty: 1, pct: 25.0 });
+        assert!(q.label.contains("reduce"));
+        assert!(parse_speedup("reduce", &names()).is_err());
+        assert!(parse_speedup("nope:25", &names()).is_err());
+        assert!(parse_speedup("reduce:elephant", &names()).is_err());
+        assert!(parse_speedup("reduce:150", &names()).is_err());
+    }
+
+    #[test]
+    fn default_battery_covers_every_type_plus_machine_queries() {
+        let qs = default_queries(&names());
+        assert_eq!(qs.len(), 2 + 3);
+        assert!(qs.iter().any(|q| q.label.contains("gather")));
+        assert!(qs.iter().any(|q| matches!(q.query, Query::MemScale { .. })));
+    }
+
+    #[test]
+    fn merge_writes_a_standalone_object_without_an_existing_file() {
+        let rows = vec!["{\"id\": \"a\"}".to_string()];
+        let out = merge_section(None, &rows);
+        assert_eq!(out, "{\n  \"whatif\": [\n    {\"id\": \"a\"}\n  ]\n}\n");
+    }
+
+    #[test]
+    fn merge_appends_as_the_final_key_of_a_sweep_json() {
+        let sweep = "{\n  \"scale\": \"tiny\",\n  \"experiments\": [\n  ]\n}\n";
+        let rows = vec!["{\"id\": \"a\"}".to_string(), "{\"id\": \"b\"}".to_string()];
+        let out = merge_section(Some(sweep), &rows);
+        assert!(out.starts_with("{\n  \"scale\": \"tiny\""));
+        assert!(out.contains("],\n  \"whatif\": [\n    {\"id\": \"a\"},\n    {\"id\": \"b\"}"));
+        assert!(out.trim_end().ends_with('}'));
+        // exactly one whatif key, closed object
+        assert_eq!(out.matches("\"whatif\"").count(), 1);
+    }
+
+    #[test]
+    fn merge_replaces_a_previous_whatif_section() {
+        let sweep = "{\n  \"scale\": \"tiny\",\n  \"experiments\": [\n  ]\n}\n";
+        let once = merge_section(Some(sweep), &["{\"id\": \"old\"}".to_string()]);
+        let twice = merge_section(Some(&once), &["{\"id\": \"new\"}".to_string()]);
+        assert_eq!(twice.matches("\"whatif\"").count(), 1);
+        assert!(twice.contains("new"));
+        assert!(!twice.contains("old"));
+        assert!(twice.starts_with("{\n  \"scale\": \"tiny\""));
+    }
+}

@@ -209,3 +209,130 @@ fn malformed_invocations_exit_two_with_usage() {
         );
     }
 }
+
+#[test]
+fn whatif_prints_ranked_bottlenecks_and_writes_the_report() {
+    let dir = scratch("whatif");
+    let out = repro(&["whatif", "fig_overall", "--tiny"], Some(&dir));
+    assert!(out.status.success(), "whatif failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("=== whatif fig_overall"), "{text}");
+    assert!(
+        text.contains("bottlenecks (ranked by critical-path share)"),
+        "{text}"
+    );
+    assert!(text.contains("speedup@50%"), "{text}");
+    assert!(text.contains("virtual speedups"), "{text}");
+    let report = std::fs::read_to_string(dir.join("WHATIF_fig_overall.txt"))
+        .expect("reading WHATIF_fig_overall.txt");
+    assert!(report.contains("speedup@50%"));
+}
+
+#[test]
+fn whatif_honors_out_dir_flag_and_env_and_merges_bench_json() {
+    let dir = scratch("whatif-outdir");
+    let flagged = repro(
+        &[
+            "whatif",
+            "fig_overall",
+            "--tiny",
+            "--out-dir",
+            "flagged",
+            "--bench-json",
+            "bj.json",
+        ],
+        Some(&dir),
+    );
+    assert!(
+        flagged.status.success(),
+        "whatif failed: {}",
+        stderr(&flagged)
+    );
+    assert!(dir.join("flagged/WHATIF_fig_overall.txt").is_file());
+
+    let via_env = repro_env(
+        &["whatif", "fig_overall", "--tiny"],
+        Some(&dir),
+        &[("TS_OUT_DIR", "enved".to_string())],
+    );
+    assert!(
+        via_env.status.success(),
+        "whatif failed: {}",
+        stderr(&via_env)
+    );
+    assert!(dir.join("enved/WHATIF_fig_overall.txt").is_file());
+
+    // the bench json gained a whatif section (and only one, on re-runs)
+    let run_again = repro(
+        &["whatif", "fig_overall", "--tiny", "--bench-json", "bj.json"],
+        Some(&dir),
+    );
+    assert!(run_again.status.success());
+    let bj = std::fs::read_to_string(dir.join("bj.json")).expect("reading bj.json");
+    assert_eq!(bj.matches("\"whatif\"").count(), 1, "{bj}");
+    assert!(bj.contains("\"id\": \"fig_overall\""), "{bj}");
+    assert!(bj.contains("\"top_bottleneck\""), "{bj}");
+}
+
+#[test]
+fn whatif_speedup_flag_replaces_the_default_battery() {
+    let dir = scratch("whatif-speedup");
+    let out = repro(
+        &[
+            "whatif",
+            "fig_overall",
+            "--tiny",
+            "--speedup",
+            "spmv_rowchunk:25",
+        ],
+        Some(&dir),
+    );
+    assert!(out.status.success(), "whatif failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("spmv_rowchunk 25% faster"), "{text}");
+    assert!(
+        !text.contains("memory/NoC 2x faster"),
+        "default battery leaked into an explicit query list: {text}"
+    );
+}
+
+#[test]
+fn whatif_rejects_malformed_and_unknown_speedup_specs() {
+    for spec in ["spmv_rowchunk", "no_such_type:25", "spmv_rowchunk:pct"] {
+        let out = repro(
+            &["whatif", "fig_overall", "--tiny", "--speedup", spec],
+            None,
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "spec '{spec}' should exit 2, stderr: {}",
+            stderr(&out)
+        );
+        assert!(stderr(&out).contains("usage:"), "{spec}");
+    }
+}
+
+#[test]
+fn trace_and_faults_honor_out_dir() {
+    let dir = scratch("outdir");
+    let trace = repro(
+        &["trace", "fig_noc", "--tiny", "--out-dir", "t"],
+        Some(&dir),
+    );
+    assert!(trace.status.success(), "trace failed: {}", stderr(&trace));
+    assert!(dir.join("t/TRACE_fig_noc.json").is_file());
+    assert!(!dir.join("TRACE_fig_noc.json").exists());
+
+    let faults = repro(
+        &["faults", "fig_overall", "--tiny", "--out-dir", "f"],
+        Some(&dir),
+    );
+    assert!(
+        faults.status.success(),
+        "faults failed: {}",
+        stderr(&faults)
+    );
+    assert!(dir.join("f/FAULTS_fig_overall.txt").is_file());
+    assert!(!dir.join("FAULTS_fig_overall.txt").exists());
+}

@@ -1,0 +1,105 @@
+//! Causal validation of the what-if profiler.
+//!
+//! A virtual-speedup prediction is only worth printing if it agrees
+//! with reality, so these tests close the loop: make a prediction from
+//! one traced run, then actually re-run the workload with the
+//! corresponding `DeltaConfigBuilder` change and compare the measured
+//! speedup against the predicted one.
+//!
+//! Stated tolerance: the profiler's model treats queue contention and
+//! overlap effects only through the calibrated Brent bound, so
+//! predictions are accepted within 15% relative error of the measured
+//! speedup (and the zero-query identity must be exact — the simulator
+//! is deterministic).
+
+use ts_bench::run_validated;
+use ts_delta::whatif::{Query, WhatIf};
+use ts_delta::DeltaConfig;
+use ts_workloads::{dtree::DTree, spmv::Spmv, Workload};
+
+/// Relative error allowed between a predicted and a measured speedup.
+const TOLERANCE: f64 = 0.15;
+
+/// Traced run under `cfg`: the reconstructed DAG plus measured cycles.
+fn profiled(wl: &dyn Workload, cfg: &DeltaConfig) -> (WhatIf, u64) {
+    let cfg = cfg.clone().to_builder().trace(true).build();
+    let report = run_validated(wl, cfg.clone(), false);
+    assert_eq!(report.trace_dropped, 0, "trace ring overflowed");
+    let w = WhatIf::from_trace(&report.trace, cfg.tiles, report.cycles);
+    (w, report.cycles)
+}
+
+fn assert_confirmed(label: &str, predicted: f64, measured: f64) {
+    let err = (predicted - measured).abs() / measured;
+    assert!(
+        err <= TOLERANCE,
+        "{label}: predicted {predicted:.3}x but measured {measured:.3}x \
+         (relative error {:.1}% > {:.0}%)",
+        err * 100.0,
+        TOLERANCE * 100.0
+    );
+}
+
+/// spmv with the spawn/host handoff made expensive, so the spawn path
+/// carries real weight: the `SpawnScale` prediction must match a
+/// re-run whose spawn and host latencies are actually halved.
+#[test]
+fn spawn_speedup_prediction_matches_a_reconfigured_run() {
+    let wl = Spmv::tiny(42);
+    let base = DeltaConfig::delta(8)
+        .to_builder()
+        .seed(42)
+        .spawn_latency(96)
+        .host_latency(96)
+        .build();
+    let (w, base_cycles) = profiled(&wl, &base);
+
+    let predicted = w.evaluate(&[Query::SpawnScale { factor: 2.0 }]).speedup;
+    let halved = base.to_builder().spawn_latency(48).host_latency(48).build();
+    let measured = base_cycles as f64 / run_validated(&wl, halved, false).cycles as f64;
+
+    assert!(
+        measured > 1.02,
+        "the experiment is vacuous: halving spawn latency only gave {measured:.3}x"
+    );
+    assert_confirmed("spmv spawn/host 2x", predicted, measured);
+}
+
+/// dtree with slow DRAM, so tasks accumulate input stalls: the
+/// `MemScale` prediction must match a re-run whose DRAM latency is
+/// actually halved.
+#[test]
+fn memory_speedup_prediction_matches_a_reconfigured_run() {
+    let wl = DTree::tiny(42);
+    let base = DeltaConfig::delta(8)
+        .to_builder()
+        .seed(42)
+        .dram_latency(160)
+        .build();
+    let (w, base_cycles) = profiled(&wl, &base);
+
+    let predicted = w.evaluate(&[Query::MemScale { factor: 2.0 }]).speedup;
+    let halved = base.to_builder().dram_latency(80).build();
+    let measured = base_cycles as f64 / run_validated(&wl, halved, false).cycles as f64;
+
+    assert!(
+        measured > 1.02,
+        "the experiment is vacuous: halving DRAM latency only gave {measured:.3}x"
+    );
+    assert_confirmed("dtree memory 2x", predicted, measured);
+}
+
+/// The empty query is an identity, and the simulator is deterministic:
+/// re-running the unchanged configuration must reproduce the cycle
+/// count exactly, and the profiler must predict exactly 1.0x.
+#[test]
+fn null_prediction_is_exact_on_an_unchanged_rerun() {
+    let wl = Spmv::tiny(7);
+    let base = DeltaConfig::delta(8).to_builder().seed(7).build();
+    let (w, base_cycles) = profiled(&wl, &base);
+
+    let p = w.evaluate(&[]);
+    assert!((p.speedup - 1.0).abs() < 1e-9);
+    let rerun = run_validated(&wl, base, false).cycles;
+    assert_eq!(base_cycles, rerun, "determinism broke");
+}

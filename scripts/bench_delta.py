@@ -1,26 +1,37 @@
 #!/usr/bin/env python3
-"""Non-blocking sweep comparison for CI.
+"""Sweep comparison for CI: advisory wall-clock, blocking determinism.
 
-Usage: bench_delta.py <reference.json> <current.json>
+Usage: bench_delta.py [--gate] <reference.json> <current.json>
 
-Both inputs are `repro --bench-json` outputs. Prints the sweep and
-total wall-clock delta of the current run against the committed
-reference, the host-runtime counter deltas (work-stealing pool steals
-and parks, result-cache hits/misses/stores), then the per-component
-dense-tick deltas (tile/mem/noc ticks from the embedded profiles).
-Wall clock varies with runner speed, but tick counts are
-deterministic: a tick delta means the scheduler's work-avoidance
-actually changed, not that the machine was slow. Always exits 0: this
-exists so a simulator-performance regression is visible in the job
-log, not to block the merge (correctness is gated separately by
-`repro goldens check`).
+Both inputs are `repro --bench-json` outputs. Two kinds of numbers are
+compared, and they are treated very differently:
+
+* **Advisory (never blocks):** wall-clock seconds and the
+  work-stealing pool's steal/park counts. These vary with runner speed
+  and thread timing, so they are printed for the job log only, in a
+  clearly labeled non-blocking section.
+
+* **Deterministic (blocks under --gate):** the experiment id set,
+  per-experiment simulation counts, every component tick/skip/bulk
+  counter in the embedded per-experiment and whole-run profiles, and
+  the result-cache hit/miss/store counters. For a serial cold-cache
+  run (`--jobs 1 --no-cache`, as the CI gate leg uses) these are exact
+  functions of the code, so any delta means the simulator's
+  work-avoidance behavior actually changed — not that the machine was
+  slow. Such a change must either be a bug or come with a re-blessed
+  `goldens/BENCH_sweep.tiny.json` (see CONTRIBUTING.md).
+
+Without --gate the script always exits 0 (the pre-gate behavior, kept
+for local use). With --gate it exits 1 when any deterministic counter
+drifts or an input is unreadable.
 """
 
 import json
 import sys
 
 COMPONENT_TICKS = ("tile_ticks", "mem_ticks", "noc_ticks")
-HOST_COUNTERS = ("steals", "parks", "cache_hits", "cache_misses", "cache_stores")
+ADVISORY_HOST = ("steals", "parks")
+GATED_HOST = ("cache_hits", "cache_misses", "cache_stores")
 
 
 def load(path):
@@ -33,7 +44,7 @@ def pct(ref, cur):
 
 
 def wall_clock_table(ref_doc, cur_doc):
-    print("wall-clock vs reference:")
+    print("wall-clock vs reference (ADVISORY, non-blocking):")
     print(f"  {'phase':<16} {'ref s':>8} {'cur s':>8} {'delta':>8}")
     for key, label in (("sweep_seconds", "sweep"), ("total_seconds", "total")):
         r, c = ref_doc.get(key), cur_doc.get(key)
@@ -49,11 +60,12 @@ def host_table(ref_doc, cur_doc):
         return
     print("host runtime counters vs reference:")
     print(f"  {'counter':<16} {'ref':>10} {'cur':>10} {'delta':>8}")
-    for key in HOST_COUNTERS:
+    for key in ADVISORY_HOST + GATED_HOST:
         r, c = ref.get(key), cur.get(key)
         if r is None or c is None:
             continue
-        print(f"  {key:<16} {r:>10} {c:>10} {pct(r, c):>8}")
+        tag = " (advisory)" if key in ADVISORY_HOST else ""
+        print(f"  {key:<16} {r:>10} {c:>10} {pct(r, c):>8}{tag}")
 
 
 def tick_table(ref_doc, cur_doc):
@@ -85,25 +97,97 @@ def tick_table(ref_doc, cur_doc):
         print(f"  (new in current: {', '.join(new)})")
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(f"usage: {argv[0]} <reference.json> <current.json>")
-        return 0
-    try:
-        ref_doc = load(argv[1])
-        cur_doc = load(argv[2])
-    except (OSError, ValueError) as e:
-        print(f"bench_delta: cannot compare ({e}); skipping")
-        return 0
+def profile_drift(label, ref, cur):
+    """Lists every counter that differs between two profile objects."""
+    fails = []
+    for key in sorted(set(ref) | set(cur)):
+        r, c = ref.get(key), cur.get(key)
+        if r != c:
+            fails.append(f"{label}: {key} drifted ({r} -> {c})")
+    return fails
 
-    print(f"reference: {argv[1]}")
+
+def gate_failures(ref_doc, cur_doc):
+    """Every deterministic-counter mismatch, as printable strings."""
+    fails = []
+    for key in ("scale", "simulations"):
+        r, c = ref_doc.get(key), cur_doc.get(key)
+        if r != c:
+            fails.append(f"{key} drifted ({r} -> {c})")
+
+    ref_host = ref_doc.get("host") or {}
+    cur_host = cur_doc.get("host") or {}
+    for key in GATED_HOST:
+        r, c = ref_host.get(key), cur_host.get(key)
+        if r != c:
+            fails.append(f"host.{key} drifted ({r} -> {c})")
+
+    fails += profile_drift("whole-run profile",
+                           ref_doc.get("profile") or {},
+                           cur_doc.get("profile") or {})
+
+    ref_exp = {e["id"]: e for e in ref_doc.get("experiments", [])}
+    cur_exp = {e["id"]: e for e in cur_doc.get("experiments", [])}
+    for exp_id in sorted(set(ref_exp) - set(cur_exp)):
+        fails.append(f"experiment {exp_id}: gone from current run")
+    for exp_id in sorted(set(cur_exp) - set(ref_exp)):
+        fails.append(f"experiment {exp_id}: not in reference "
+                     "(re-bless goldens/BENCH_sweep.tiny.json)")
+    for exp_id in sorted(set(ref_exp) & set(cur_exp)):
+        r, c = ref_exp[exp_id], cur_exp[exp_id]
+        if r.get("sims") != c.get("sims"):
+            fails.append(f"experiment {exp_id}: simulation count drifted "
+                         f"({r.get('sims')} -> {c.get('sims')})")
+        fails += profile_drift(f"experiment {exp_id}",
+                               r.get("profile") or {},
+                               c.get("profile") or {})
+    return fails
+
+
+def main(argv):
+    args = list(argv[1:])
+    gate = "--gate" in args
+    if gate:
+        args.remove("--gate")
+    if len(args) != 2:
+        print(f"usage: {argv[0]} [--gate] <reference.json> <current.json>")
+        return 1 if gate else 0
+    try:
+        ref_doc = load(args[0])
+        cur_doc = load(args[1])
+    except (OSError, ValueError) as e:
+        print(f"bench_delta: cannot compare ({e})")
+        return 1 if gate else 0
+
+    print(f"reference: {args[0]}")
     try:
         wall_clock_table(ref_doc, cur_doc)
         host_table(ref_doc, cur_doc)
         tick_table(ref_doc, cur_doc)
     except (TypeError, KeyError, ValueError) as e:
         print(f"bench_delta: malformed input ({e}); skipping the rest")
-    print("(informational only; this step never fails the build)")
+        return 1 if gate else 0
+
+    if not gate:
+        print("(informational only; run with --gate to block on "
+              "deterministic-counter drift)")
+        return 0
+
+    fails = gate_failures(ref_doc, cur_doc)
+    if fails:
+        print(f"\nGATE FAILED: {len(fails)} deterministic counter(s) drifted:")
+        for f in fails:
+            print(f"  {f}")
+        print("\nIf this change is intentional, regenerate the reference:\n"
+              "  cargo run --release -p ts-bench --bin repro -- goldens bless"
+              " --tiny\n"
+              "  cargo run --release -p ts-bench --bin repro -- sweep --tiny"
+              " --jobs 1 --no-cache --bench-json goldens/BENCH_sweep.tiny.json\n"
+              "(wall-clock fields in the reference are advisory and may be"
+              " left as-is; see CONTRIBUTING.md)")
+        return 1
+    print("\ngate OK: deterministic counters match the reference "
+          "(wall clock and steal/park counts are advisory)")
     return 0
 
 
