@@ -10,6 +10,7 @@ use crate::memctrl::{MemCtrl, ReadReq};
 use crate::msg::Msg;
 use crate::pipes::{PipeMode, PipeTable};
 use crate::report::{stretch_bucket, RunReport, SimProfile};
+use crate::tenancy::{self, DrainPolicy, PartitionPolicy};
 use crate::trace::{TraceEvent, TraceSink};
 use std::collections::VecDeque;
 use std::fmt;
@@ -192,6 +193,83 @@ struct RunState {
     watch: FxHashMap<TaskId, (ProgressSig, u64)>,
     /// Injection and recovery tallies for the final report.
     freport: FaultReport,
+    /// Per-tenant dispatcher state, allocated only when
+    /// `cfg.tenancy.is_active()`; the legacy single-tenant queues above
+    /// stay in use otherwise, so the inert default costs one branch per
+    /// site and reports stay byte-identical to pre-tenancy builds.
+    ten: Option<TenancyState>,
+}
+
+/// Per-tenant queues and tallies of the multi-tenant dispatcher. A
+/// task's tenant rides in the high bits of its affinity (see
+/// [`crate::tenancy`]), so it survives dispatch, steals, victimization
+/// and re-dispatch without widening any queue entry.
+struct TenancyState {
+    /// Per-tenant admission queues (spawn latency plus arrival pacing);
+    /// each is due-ordered on its own.
+    admit_q: Vec<VecDeque<(u64, PendingTask)>>,
+    /// Per-tenant host completion queues, each due-ordered.
+    host_q: Vec<VecDeque<(u64, CompletedTask)>>,
+    /// Tasks past their admission due time but held at the gate by the
+    /// tenant's in-flight cap; released FIFO by that tenant's own
+    /// completions, so a held queue is never the only wake source (a
+    /// gated tenant always has in-flight work keeping the machine
+    /// busy).
+    held: Vec<VecDeque<PendingTask>>,
+    /// Admitted-but-not-completed tasks per tenant.
+    inflight: Vec<u64>,
+    /// Earliest cycle the tenant's next arrival may come due.
+    next_arrival: Vec<u64>,
+    /// Hysteresis flag for [`DrainPolicy::Drain`]: set when the tenant
+    /// hits its cap, cleared once it drains to half of it.
+    draining: Vec<bool>,
+    /// Spawn cycle of every live task, for completion latency.
+    spawn_cycle: FxHashMap<TaskId, u64>,
+    /// Tasks admitted past the gate, per tenant.
+    admitted: Vec<u64>,
+    /// Tasks completed, per tenant.
+    completed: Vec<u64>,
+    /// Admission-gate holds (a task arriving while its tenant is
+    /// capped), per tenant.
+    gate_holds: Vec<u64>,
+    /// Spawn-to-completion latency of every finished task, per tenant.
+    latencies: Vec<Vec<u64>>,
+}
+
+impl TenancyState {
+    fn new(n: usize) -> Self {
+        TenancyState {
+            admit_q: (0..n).map(|_| VecDeque::new()).collect(),
+            host_q: (0..n).map(|_| VecDeque::new()).collect(),
+            held: (0..n).map(|_| VecDeque::new()).collect(),
+            inflight: vec![0; n],
+            next_arrival: vec![0; n],
+            draining: vec![false; n],
+            spawn_cycle: FxHashMap::default(),
+            admitted: vec![0; n],
+            completed: vec![0; n],
+            gate_holds: vec![0; n],
+            latencies: vec![Vec::new(); n],
+        }
+    }
+
+    /// True when tenant `t`'s next admission must wait at the gate.
+    fn gated(&self, t: usize, limit: u64, drain: DrainPolicy) -> bool {
+        if limit == 0 {
+            return false;
+        }
+        if self.inflight[t] >= limit {
+            return true;
+        }
+        drain == DrainPolicy::Drain && self.draining[t] && self.inflight[t] > limit / 2
+    }
+
+    /// All per-tenant queues empty (the tenancy part of quiescence).
+    fn is_idle(&self) -> bool {
+        self.admit_q.iter().all(VecDeque::is_empty)
+            && self.host_q.iter().all(VecDeque::is_empty)
+            && self.held.iter().all(VecDeque::is_empty)
+    }
 }
 
 /// A task pulled off a failed (or unresponsive) tile, waiting out its
@@ -310,6 +388,10 @@ impl RunState {
             recovery_q: Vec::new(),
             watch: FxHashMap::default(),
             freport: FaultReport::default(),
+            ten: cfg
+                .tenancy
+                .is_active()
+                .then(|| TenancyState::new(cfg.tenancy.tenant_count())),
         };
 
         let mut spawner = Spawner::new(state.next_pipe);
@@ -384,10 +466,132 @@ impl RunState {
                 }
             }
             self.stats.bump("tasks_spawned");
-            self.admit_q
-                .push_back((self.now + self.cfg.spawn_latency, PendingTask { id, inst }));
+            let due = self.now + self.cfg.spawn_latency;
+            if let Some(ten) = self.ten.as_mut() {
+                // per-tenant admission with arrival pacing: the tenant
+                // comes from the affinity tag, and consecutive arrivals
+                // are spaced at least `arrival_period` apart, so each
+                // tenant's queue stays due-ordered (both `now` and
+                // `next_arrival` are monotone)
+                let nt = self.cfg.tenancy.tenant_count();
+                let t = tenancy::tenant_of_affinity(inst.affinity).min(nt - 1);
+                self.trace.emit(
+                    self.now,
+                    TraceEvent::TaskTenant {
+                        task: id.0,
+                        tenant: t as u64,
+                    },
+                );
+                ten.spawn_cycle.insert(id, self.now);
+                let period = self
+                    .cfg
+                    .tenancy
+                    .tenants
+                    .get(t)
+                    .map_or(0, |s| s.arrival_period);
+                let due = due.max(ten.next_arrival[t]);
+                ten.next_arrival[t] = due + period;
+                ten.admit_q[t].push_back((due, PendingTask { id, inst }));
+            } else {
+                self.admit_q.push_back((due, PendingTask { id, inst }));
+            }
         }
         Ok(())
+    }
+
+    // -------------------------------------------------------- tenancy
+
+    /// Pops the next due host-queue completion: the legacy single queue,
+    /// or — under tenancy — the first due front scanning tenants in
+    /// fixed order.
+    fn pop_due_host(&mut self) -> Option<CompletedTask> {
+        let now = self.now;
+        if let Some(ten) = self.ten.as_mut() {
+            ten.host_q
+                .iter_mut()
+                .find(|q| q.front().is_some_and(|(due, _)| *due <= now))
+                .and_then(|q| q.pop_front())
+                .map(|(_, done)| done)
+        } else if self.host_q.front().is_some_and(|(due, _)| *due <= now) {
+            self.host_q.pop_front().map(|(_, done)| done)
+        } else {
+            None
+        }
+    }
+
+    /// Drains every tenant's due admissions through the gate: in-flight
+    /// below the cap enters `pending`, at or above it the task is held
+    /// (FIFO per tenant) until that tenant's completions release it in
+    /// [`tenancy_release`](Self::tenancy_release).
+    fn admit_step(&mut self) {
+        let nt = self.cfg.tenancy.tenant_count();
+        let limit = self.cfg.tenancy.admit_limit;
+        let drain = self.cfg.tenancy.drain;
+        for t in 0..nt {
+            let ten = self.ten.as_mut().expect("tenancy state");
+            while ten.admit_q[t]
+                .front()
+                .is_some_and(|(due, _)| *due <= self.now)
+            {
+                let (_, p) = ten.admit_q[t].pop_front().expect("front exists");
+                // the `held` check keeps the tenant's stream FIFO: once
+                // anything waits at the gate, later arrivals queue
+                // behind it even if the gate momentarily re-opened
+                if ten.gated(t, limit, drain) || !ten.held[t].is_empty() {
+                    ten.gate_holds[t] += 1;
+                    if drain == DrainPolicy::Drain && ten.inflight[t] >= limit {
+                        ten.draining[t] = true;
+                    }
+                    ten.held[t].push_back(p);
+                    continue;
+                }
+                ten.inflight[t] += 1;
+                ten.admitted[t] += 1;
+                self.trace
+                    .emit(self.now, TraceEvent::TaskReady { task: p.id.0 });
+                self.pending.push_back(p);
+            }
+        }
+    }
+
+    /// Releases tenant `t`'s held tasks that now fit under the cap;
+    /// called on each of its completions (the only event that lowers
+    /// in-flight). Also clears the drain-hysteresis flag once the
+    /// tenant is down to half its cap.
+    fn tenancy_release(&mut self, t: usize) {
+        let limit = self.cfg.tenancy.admit_limit;
+        let drain = self.cfg.tenancy.drain;
+        let ten = self.ten.as_mut().expect("tenancy state");
+        if ten.draining[t] && ten.inflight[t] <= limit / 2 {
+            ten.draining[t] = false;
+        }
+        while !ten.held[t].is_empty() && !ten.gated(t, limit, drain) {
+            let p = ten.held[t].pop_front().expect("nonempty");
+            ten.inflight[t] += 1;
+            ten.admitted[t] += 1;
+            self.trace
+                .emit(self.now, TraceEvent::TaskReady { task: p.id.0 });
+            self.pending.push_back(p);
+        }
+    }
+
+    /// The tenant owning a task (from its affinity tag, clamped so
+    /// untagged tasks land in tenant 0).
+    fn tenant_of(&self, inst: &TaskInstance) -> usize {
+        tenancy::tenant_of_affinity(inst.affinity).min(self.cfg.tenancy.tenant_count() - 1)
+    }
+
+    /// The tile range a task may place (or steal) within: the owning
+    /// tenant's partition under spatial tenancy, the whole fabric
+    /// otherwise.
+    fn partition_of(&self, inst: &TaskInstance) -> std::ops::Range<usize> {
+        if self.ten.is_some() && self.cfg.tenancy.partition == PartitionPolicy::Spatial {
+            self.cfg
+                .tenancy
+                .partition_range(self.tenant_of(inst), self.cfg.tiles)
+        } else {
+            0..self.cfg.tiles
+        }
     }
 
     fn validate_instance(&self, inst: &TaskInstance) -> Result<(), RunError> {
@@ -456,26 +660,29 @@ impl RunState {
             }
             self.profile.loop_cycles += 1;
 
-            // host sees completions
-            while let Some((due, _)) = self.host_q.front() {
-                if *due > self.now {
-                    break;
-                }
-                let (_, done) = self.host_q.pop_front().expect("front exists");
+            // host sees completions (under tenancy, per-tenant queues
+            // drain in fixed tenant order so reports cannot depend on
+            // completion interleaving)
+            while let Some(done) = self.pop_due_host() {
                 let mut spawner = Spawner::new(self.next_pipe);
                 program.on_complete(&done, &mut spawner);
                 self.absorb_spawner(spawner, Some(done.id))?;
             }
 
-            // spawn latency elapses
-            while let Some((due, _)) = self.admit_q.front() {
-                if *due > self.now {
-                    break;
+            // spawn latency elapses; under tenancy each tenant's due
+            // tasks also pass (or wait at) the admission gate
+            if self.ten.is_some() {
+                self.admit_step();
+            } else {
+                while let Some((due, _)) = self.admit_q.front() {
+                    if *due > self.now {
+                        break;
+                    }
+                    let (_, p) = self.admit_q.pop_front().expect("front exists");
+                    self.trace
+                        .emit(self.now, TraceEvent::TaskReady { task: p.id.0 });
+                    self.pending.push_back(p);
                 }
-                let (_, p) = self.admit_q.pop_front().expect("front exists");
-                self.trace
-                    .emit(self.now, TraceEvent::TaskReady { task: p.id.0 });
-                self.pending.push_back(p);
             }
 
             // fault bookkeeping: fail-stop transitions, the recovery
@@ -709,6 +916,7 @@ impl RunState {
             if self.pending.is_empty()
                 && self.admit_q.is_empty()
                 && self.host_q.is_empty()
+                && self.ten.as_ref().is_none_or(TenancyState::is_idle)
                 && self.recovery_q.is_empty()
                 && self.tiles.iter().all(|t| t.is_idle())
                 && self.memctrl.is_idle()
@@ -778,6 +986,26 @@ impl RunState {
         }
         if let Some((due, _)) = self.admit_q.front() {
             act = act.merge(Activity::At(*due));
+        }
+        // per-tenant wake sources: every tenant's admit/host front is
+        // an independent due event. Gate-held tasks add none — they are
+        // released only by their own tenant's completions, and a gated
+        // tenant by construction has in-flight work keeping tiles (or
+        // the recovery queue) active.
+        if let Some(ten) = &self.ten {
+            for q in &ten.admit_q {
+                debug_assert!(q.iter().is_sorted_by_key(|(due, _)| *due));
+            }
+            for q in &ten.host_q {
+                debug_assert!(q.iter().is_sorted_by_key(|(due, _)| *due));
+            }
+            let admit_fronts = ten
+                .admit_q
+                .iter()
+                .filter_map(|q| q.front())
+                .map(|(d, _)| *d);
+            let host_fronts = ten.host_q.iter().filter_map(|q| q.front()).map(|(d, _)| *d);
+            act = act.merge(Activity::earliest_due(admit_fronts.chain(host_fronts)));
         }
         // victims waiting out a backoff are a pending event too; a due
         // entry that could not place clamps to `now`, which suppresses
@@ -1068,8 +1296,23 @@ impl RunState {
             affinity: inst.affinity,
             outputs: out_values,
         };
-        self.host_q
-            .push_back((self.now + self.cfg.host_latency, completed));
+        let host_due = self.now + self.cfg.host_latency;
+        if self.ten.is_some() {
+            let t = tenancy::tenant_of_affinity(completed.affinity)
+                .min(self.cfg.tenancy.tenant_count() - 1);
+            let now = self.now;
+            let ten = self.ten.as_mut().expect("tenancy state");
+            ten.inflight[t] -= 1;
+            ten.completed[t] += 1;
+            let spawned = ten.spawn_cycle.remove(&id).unwrap_or(now);
+            ten.latencies[t].push(now - spawned);
+            ten.host_q[t].push_back((host_due, completed));
+            // a completion is the only event that lowers in-flight, so
+            // it is the release point for gate-held admissions
+            self.tenancy_release(t);
+        } else {
+            self.host_q.push_back((host_due, completed));
+        }
     }
 
     fn diagnostics(&self) -> String {
@@ -1084,6 +1327,17 @@ impl RunState {
             self.memctrl.is_idle(),
             self.tasks_completed,
         ) + &format!(" mem[{}]", self.memctrl.debug_state());
+        if let Some(ten) = &self.ten {
+            for t in 0..ten.inflight.len() {
+                out += &format!(
+                    "\n  tenant{t}: admit={} held={} inflight={} completed={}",
+                    ten.admit_q[t].len(),
+                    ten.held[t].len(),
+                    ten.inflight[t],
+                    ten.completed[t],
+                );
+            }
+        }
         // name the wedged tasks and the pipe each is waiting on — a
         // stuck run is almost always a dependence that can never
         // resolve, and "pending=3" alone says nothing actionable
@@ -1125,6 +1379,29 @@ impl RunState {
         report.absorb("noc", &self.mesh.stats().report());
         report.absorb("dram", &self.memctrl.dram_stats().report());
         report.absorb("dispatch", &self.stats.report());
+        // per-tenant completion accounting, emitted only when tenancy
+        // is active so single-tenant reports stay byte-identical.
+        // Percentiles use the deterministic nearest-rank on the sorted
+        // latencies, so they golden cleanly.
+        if let Some(ten) = &mut self.ten {
+            for t in 0..ten.inflight.len() {
+                let pre = |s: &str| format!("tenant{t}.{s}");
+                report.set(pre("admitted"), ten.admitted[t] as f64);
+                report.set(pre("completed"), ten.completed[t] as f64);
+                report.set(pre("gate_holds"), ten.gate_holds[t] as f64);
+                let lat = &mut ten.latencies[t];
+                if lat.is_empty() {
+                    continue;
+                }
+                lat.sort_unstable();
+                let pick = |p: u64| lat[((lat.len() - 1) as u64 * p / 100) as usize];
+                let sum: u64 = lat.iter().sum();
+                report.set(pre("p50_latency"), pick(50) as f64);
+                report.set(pre("p99_latency"), pick(99) as f64);
+                report.set(pre("max_latency"), *lat.last().expect("nonempty") as f64);
+                report.set(pre("mean_latency"), sum as f64 / lat.len() as f64);
+            }
+        }
         debug_assert_eq!(
             self.profile.loop_cycles + self.profile.jump_cycles,
             self.now,
@@ -1320,16 +1597,15 @@ impl RunState {
                 continue;
             }
             let now = self.now;
+            let part = self.partition_of(&self.recovery_q[i].inst);
             self.mask_scratch.clear();
             {
                 let fs = self.fsched.as_ref().expect("victim implies schedule");
                 let cfg = &self.cfg;
-                self.mask_scratch.extend(
-                    self.tiles
-                        .iter()
-                        .enumerate()
-                        .map(|(t, tile)| tile.queue_space(cfg) > 0 && !fs.tile_down(t, now)),
-                );
+                self.mask_scratch
+                    .extend(self.tiles.iter().enumerate().map(|(t, tile)| {
+                        tile.queue_space(cfg) > 0 && part.contains(&t) && !fs.tile_down(t, now)
+                    }));
             }
             let picked = self
                 .picker
@@ -1337,10 +1613,18 @@ impl RunState {
             let target = match picked {
                 Some(t) => Some(t),
                 None if self.recovery_q[i].retries >= FORCE_PLACE_RETRIES => {
+                    // force-place inside the partition when it has any
+                    // healthy tile; spill outside it only when the whole
+                    // partition is down (re-dispatch must not wedge)
                     let fs = self.fsched.as_ref().expect("victim implies schedule");
-                    (0..self.tiles.len())
+                    part.clone()
                         .filter(|&t| !fs.tile_down(t, now))
                         .min_by_key(|&t| self.tiles[t].queue.len())
+                        .or_else(|| {
+                            (0..self.tiles.len())
+                                .filter(|&t| !fs.tile_down(t, now))
+                                .min_by_key(|&t| self.tiles[t].queue.len())
+                        })
                 }
                 None => None,
             };
@@ -1609,16 +1893,33 @@ impl RunState {
     }
 
     /// Extension: one steal per cycle — the emptiest idle tile takes an
-    /// eligible queued task from the most loaded tile.
+    /// eligible queued task from the most loaded tile. Under spatial
+    /// tenancy the scan runs per partition (one steal per partition per
+    /// cycle): steals never cross a tenant boundary, so one tenant's
+    /// backlog can never be drained onto a neighbor's tiles.
     fn steal_cycle(&mut self) {
+        if self.ten.is_some() && self.cfg.tenancy.partition == PartitionPolicy::Spatial {
+            for t in 0..self.cfg.tenancy.tenant_count() {
+                let part = self.cfg.tenancy.partition_range(t, self.cfg.tiles);
+                self.steal_once(part);
+            }
+        } else {
+            self.steal_once(0..self.tiles.len());
+        }
+    }
+
+    /// One steal attempt restricted to `part` (thief and victim both
+    /// inside it).
+    fn steal_once(&mut self, part: std::ops::Range<usize>) {
         // a down tile never steals (work moved onto it would just sit);
         // stealing *from* a down tile is fine and actively helpful
-        let Some(thief) =
-            (0..self.tiles.len()).find(|&t| self.tiles[t].is_idle() && !self.tile_down_now(t))
+        let Some(thief) = part
+            .clone()
+            .find(|&t| self.tiles[t].is_idle() && !self.tile_down_now(t))
         else {
             return;
         };
-        let victim = (0..self.tiles.len())
+        let victim = part
             .filter(|&t| t != thief)
             .max_by_key(|&t| self.tiles[t].queue.len());
         let Some(victim) = victim else { return };
@@ -1663,8 +1964,10 @@ impl RunState {
     /// Fills the reusable placement mask: tiles with queue space, or —
     /// for consumers whose producers are still live — tiles with
     /// nothing queued (they must run *concurrently* with their
-    /// producers to pipeline, not queue behind other work).
-    fn fill_mask(&mut self, idle_only: bool) {
+    /// producers to pipeline, not queue behind other work). `part`
+    /// restricts candidates to the task's tenant partition under
+    /// spatial tenancy (the full fabric otherwise).
+    fn fill_mask(&mut self, idle_only: bool, part: std::ops::Range<usize>) {
         self.mask_scratch.clear();
         // under recovery the dispatcher routes around down tiles; the
         // no-recovery baseline keeps placing onto them (and wedges) —
@@ -1678,7 +1981,7 @@ impl RunState {
                 } else {
                     tile.queue_space(&self.cfg) > 0
                 };
-                fits && !fs.is_some_and(|f| f.tile_down(t, now))
+                fits && part.contains(&t) && !fs.is_some_and(|f| f.tile_down(t, now))
             }));
     }
 
@@ -1695,7 +1998,8 @@ impl RunState {
     /// can take it.
     fn dispatch_one_at(&mut self, pos: usize) -> Result<bool, RunError> {
         let idle_only = self.has_live_pipe_dep(&self.pending[pos].inst);
-        self.fill_mask(idle_only);
+        let part = self.partition_of(&self.pending[pos].inst);
+        self.fill_mask(idle_only, part);
         let Some(tile) = self
             .picker
             .pick(&self.pending[pos].inst, &self.mask_scratch)

@@ -8,6 +8,7 @@
 //! setters, and [`DeltaConfigBuilder::build`] validates the result.
 
 use crate::faults::FaultsConfig;
+use crate::tenancy::TenancyConfig;
 use taskstream_model::Policy;
 use ts_cgra::FabricConfig;
 use ts_mem::DramConfig;
@@ -146,6 +147,11 @@ pub struct DeltaConfig {
     /// from [`seed`](DeltaConfig::seed), so same seed → byte-identical
     /// [`FaultReport`](crate::FaultReport).
     pub faults: FaultsConfig,
+    /// Multi-tenant co-residency (see [`crate::tenancy`]). Inert by
+    /// default ([`TenancyConfig::none`]): with no tenants configured
+    /// the dispatcher runs its legacy single-queue paths and reports
+    /// are byte-identical to pre-tenancy builds.
+    pub tenancy: TenancyConfig,
     /// Seed for mapper restarts, randomized policies, and fault
     /// schedules.
     pub seed: u64,
@@ -198,6 +204,7 @@ impl DeltaConfig {
             tile_events: true,
             trace: false,
             faults: FaultsConfig::none(),
+            tenancy: TenancyConfig::none(),
             seed: 0xDE17A,
             max_cycles: 200_000_000,
             stall_limit: 3_000_000,
@@ -324,6 +331,7 @@ impl DeltaConfig {
         let (w, h) = self.mesh_dims();
         assert!(w * h >= self.tiles + self.mem_ctrls, "mesh too small");
         self.faults.validate();
+        self.tenancy.validate(self.tiles);
     }
 }
 
@@ -522,6 +530,12 @@ impl DeltaConfigBuilder {
         self
     }
 
+    /// Multi-tenant co-residency policy.
+    pub fn tenancy(mut self, tenancy: TenancyConfig) -> Self {
+        self.cfg.tenancy = tenancy;
+        self
+    }
+
     /// Seed for mapper restarts, randomized policies, and fault
     /// schedules.
     pub fn seed(mut self, seed: u64) -> Self {
@@ -639,6 +653,29 @@ mod tests {
 
         let e = d.to_builder().features(Features::all()).build();
         assert_eq!(e.effective_policy(), Policy::WorkAware);
+    }
+
+    #[test]
+    fn builder_tenancy_lands_and_preset_stays_inert() {
+        use crate::tenancy::{PartitionPolicy, TenancyConfig, TenantSpec};
+
+        assert!(!DeltaConfig::delta(4).tenancy.is_active());
+        let c = DeltaConfig::builder(4)
+            .tenancy(TenancyConfig::shared(vec![TenantSpec::paced(100); 2]))
+            .build();
+        assert!(c.tenancy.is_active());
+        assert_eq!(c.tenancy.tenant_count(), 2);
+        assert_eq!(c.tenancy.partition, PartitionPolicy::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile per tenant")]
+    fn builder_build_validates_tenancy() {
+        use crate::tenancy::{PartitionPolicy, TenancyConfig, TenantSpec};
+
+        let mut t = TenancyConfig::shared(vec![TenantSpec::flood(); 3]);
+        t.partition = PartitionPolicy::Spatial;
+        let _ = DeltaConfig::builder(2).tenancy(t).build();
     }
 
     #[test]

@@ -77,6 +77,7 @@ mod msg;
 pub mod oracle;
 mod pipes;
 mod report;
+pub mod tenancy;
 mod trace;
 pub mod whatif;
 
@@ -84,6 +85,7 @@ pub use accelerator::{Accelerator, RunError};
 pub use config::{DeltaConfig, DeltaConfigBuilder, Features};
 pub use faults::{FaultReport, FaultsConfig};
 pub use report::{stretch_bucket, RunReport, SimProfile, STRETCH_BUCKETS, STRETCH_BUCKET_LABELS};
+pub use tenancy::{DrainPolicy, PartitionPolicy, TenancyConfig, TenantSpec};
 // TraceSink stays crate-internal: consumers read the recorded stream
 // off `RunReport::trace`, they never hold the sink itself.
 pub use trace::{TraceEvent, TraceRecord};

@@ -53,6 +53,15 @@ pub enum TraceEvent {
         /// its consumer.
         producer: bool,
     },
+    /// Tenant ownership of a spawned task, emitted right after
+    /// [`TraceEvent::TaskSpawn`] when multi-tenancy is active (see
+    /// [`crate::tenancy`]); absent from single-tenant traces.
+    TaskTenant {
+        /// Task id.
+        task: u64,
+        /// Owning tenant index.
+        tenant: u64,
+    },
     /// A spawned task finished its admission latency and became
     /// eligible for dispatch.
     TaskReady {

@@ -4,7 +4,8 @@
 //! Programs*), this module reconstructs the **task dependence DAG**
 //! from a [`TraceRecord`] stream — spawn edges from
 //! [`TraceEvent::TaskSpawn`]'s parent field, producer→consumer edges
-//! from [`TraceEvent::PipeBind`] pairs, and quiescence barriers for
+//! from [`TraceEvent::PipeBind`] pairs, steal edges from landed
+//! [`TraceEvent::Steal`] events, and quiescence barriers for
 //! phased programs — computes per-task-type **work** and the
 //! **critical path** (span), and answers *virtual speedup* queries:
 //! "if task type T were k% faster", "if memory/NoC stalls were k×
@@ -30,7 +31,10 @@
 //!
 //! Edges carry latencies: a spawn edge costs the measured
 //! parent-complete → child-spawn handoff (the host latency), pipe and
-//! barrier edges are free. The span is the longest es+duration path
+//! barrier edges are free, and a steal edge charges the measured
+//! window between the thief tile going idle and the steal landing —
+//! without it, critical paths through stolen tasks would omit the
+//! transfer latency entirely. The span is the longest es+duration path
 //! through the weighted DAG; total work is the sum of service times.
 //! The runtime model is Brent's bound `T ≈ max(span, work / tiles)`,
 //! and a query's **predicted cycles** are
@@ -103,6 +107,31 @@ impl TaskNode {
             .saturating_sub(self.stall_other)
             .saturating_sub(self.redispatch_gap)
     }
+
+    /// Number of segment identities this node violates: the event
+    /// cycles must be monotone (`spawn ≤ ready ≤ dispatch ≤ complete`)
+    /// and the attributed service parts must fit inside the service
+    /// window. The segment accessors above stay total by clamping at
+    /// zero, but a clamp means the trace's event ordering drifted from
+    /// the model — [`WhatIf::from_trace`] counts these per run (and
+    /// debug-asserts none occur) so the drift is visible instead of
+    /// silently absorbed.
+    pub fn clamps(&self) -> u64 {
+        let mut c = 0;
+        if self.ready < self.spawn {
+            c += 1;
+        }
+        if self.dispatch < self.ready {
+            c += 1;
+        }
+        if self.complete < self.dispatch {
+            c += 1;
+        }
+        if self.stall_input + self.stall_other + self.redispatch_gap > self.service() {
+            c += 1;
+        }
+        c
+    }
 }
 
 /// A directed dependence edge with its measured latency.
@@ -116,6 +145,10 @@ pub enum EdgeKind {
     /// `Program::on_quiescent`, which only runs once every earlier
     /// task has drained.
     Barrier,
+    /// A landed work steal: the thief tile's previous completion freed
+    /// it to pull the stolen task, and the edge latency is the
+    /// measured idle-scan + transfer window.
+    Steal,
 }
 
 /// One edge of the reconstructed DAG (`src` must finish before `dst`
@@ -221,6 +254,10 @@ pub struct WhatIf {
     pub steals: u64,
     /// Multicast window joins observed (co-scheduling, not edges).
     pub mcast_joins: u64,
+    /// Segment identities the trace violated (see [`TaskNode::clamps`]).
+    /// Nonzero means event ordering drifted from the segment model and
+    /// some durations were clamped at zero; a healthy trace has none.
+    pub clamped_segments: u64,
     /// Node indices in topological order (computed once).
     topo: Vec<usize>,
     id_index: HashMap<u64, usize>,
@@ -254,6 +291,8 @@ impl WhatIf {
         let mut pipes: HashMap<u64, (Option<u64>, Option<u64>)> = HashMap::new();
         let mut order: Vec<u64> = Vec::new();
         let mut steals = 0u64;
+        // landed steals as (cycle, task, thief), for steal edges below
+        let mut steal_events: Vec<(u64, u64, usize)> = Vec::new();
         let mut mcast_joins = 0u64;
         for r in records {
             let c = r.cycle;
@@ -309,6 +348,7 @@ impl WhatIf {
                 }
                 TraceEvent::Steal { task, thief, .. } => {
                     steals += 1;
+                    steal_events.push((c, task, thief));
                     let p = partials.entry(task).or_default();
                     p.stolen = true;
                     p.tile = thief;
@@ -333,11 +373,12 @@ impl WhatIf {
 
         let mut nodes: Vec<TaskNode> = Vec::with_capacity(order.len());
         let mut id_index: HashMap<u64, usize> = HashMap::with_capacity(order.len());
+        let mut clamped_segments = 0u64;
         for id in order {
             let p = partials.get(&id).expect("completion implies an entry");
             let complete = p.complete.expect("ordered by completion");
             id_index.insert(id, nodes.len());
-            nodes.push(TaskNode {
+            let node = TaskNode {
                 id,
                 ty: p.ty,
                 parent: p.parent,
@@ -351,7 +392,23 @@ impl WhatIf {
                 stall_other: p.stall_other,
                 redispatch_gap: p.redispatch_gap,
                 stolen: p.stolen,
-            });
+            };
+            let clamps = node.clamps();
+            debug_assert!(
+                clamps == 0,
+                "task {id}: {clamps} segment(s) clamped \
+                 (spawn {} ready {} dispatch {} complete {}, \
+                 stalls {}+{} gap {})",
+                node.spawn,
+                node.ready,
+                node.dispatch,
+                node.complete,
+                node.stall_input,
+                node.stall_other,
+                node.redispatch_gap,
+            );
+            clamped_segments += clamps;
+            nodes.push(node);
         }
 
         let mut edges: Vec<Edge> = Vec::new();
@@ -377,6 +434,42 @@ impl WhatIf {
                     dst: ci,
                     kind: EdgeKind::Pipe,
                     latency: 0,
+                });
+            }
+        }
+        // Steal edges: a landed steal moved a queued task to a thief
+        // tile that had just gone idle, so the stolen task's execution
+        // is ordered after whatever freed the thief. Connect the
+        // thief's latest completion at or before the steal to the
+        // stolen task; the latency is the measured window between that
+        // completion and the steal landing (idle scan + transfer).
+        if !steal_events.is_empty() {
+            // per tile: node indices in completion order (the node
+            // vector itself is completion-ordered, so each list is
+            // sorted by `complete`)
+            let mut by_tile: HashMap<usize, Vec<usize>> = HashMap::new();
+            for (ni, n) in nodes.iter().enumerate() {
+                by_tile.entry(n.tile).or_default().push(ni);
+            }
+            for &(cycle, task, thief) in &steal_events {
+                let Some(&ti) = id_index.get(&task) else {
+                    continue;
+                };
+                let Some(list) = by_tile.get(&thief) else {
+                    continue;
+                };
+                let k = list.partition_point(|&ni| nodes[ni].complete <= cycle);
+                let Some(&si) = k.checked_sub(1).and_then(|k| list.get(k)) else {
+                    continue;
+                };
+                if si == ti {
+                    continue;
+                }
+                edges.push(Edge {
+                    src: si,
+                    dst: ti,
+                    kind: EdgeKind::Steal,
+                    latency: cycle - nodes[si].complete,
                 });
             }
         }
@@ -424,6 +517,7 @@ impl WhatIf {
             measured_cycles,
             steals,
             mcast_joins,
+            clamped_segments,
             topo,
             id_index,
         }
@@ -609,7 +703,7 @@ impl WhatIf {
                 let e = &self.edges[ei];
                 let lat = match e.kind {
                     EdgeKind::Spawn => e.latency as f64 / spawn_scale,
-                    EdgeKind::Pipe | EdgeKind::Barrier => e.latency as f64,
+                    EdgeKind::Pipe | EdgeKind::Barrier | EdgeKind::Steal => e.latency as f64,
                 };
                 let cand = finish[e.src] + lat;
                 if cand > start {
@@ -768,6 +862,112 @@ mod tests {
         // off both work and the critical path
         assert!((q.work - 29.0).abs() < 1e-9);
         assert!((q.span - 31.0).abs() < 1e-9);
+    }
+
+    /// Three parentless tasks: 0 and 2 dispatched to tile 0 (2 queued
+    /// behind 0), 1 to tile 1. Tile 1 drains at cycle 8, steals task 2
+    /// at cycle 12, which then runs there until 25.
+    fn steal_trace() -> Vec<TraceRecord> {
+        let spawn = |task, ty| TraceEvent::TaskSpawn {
+            task,
+            ty,
+            parent: None,
+        };
+        let stalls = |task| TraceEvent::TaskStalls {
+            task,
+            input: 0,
+            other: 0,
+        };
+        vec![
+            rec(0, spawn(0, 0)),
+            rec(0, TraceEvent::TaskReady { task: 0 }),
+            rec(0, TraceEvent::TaskDispatch { task: 0, tile: 0 }),
+            rec(0, spawn(1, 0)),
+            rec(0, TraceEvent::TaskReady { task: 1 }),
+            rec(0, TraceEvent::TaskDispatch { task: 1, tile: 1 }),
+            rec(0, spawn(2, 1)),
+            rec(0, TraceEvent::TaskReady { task: 2 }),
+            rec(0, TraceEvent::TaskDispatch { task: 2, tile: 0 }),
+            rec(8, stalls(1)),
+            rec(8, TraceEvent::TaskComplete { task: 1, tile: 1 }),
+            rec(10, stalls(0)),
+            rec(10, TraceEvent::TaskComplete { task: 0, tile: 0 }),
+            rec(
+                12,
+                TraceEvent::Steal {
+                    task: 2,
+                    thief: 1,
+                    victim: 0,
+                },
+            ),
+            rec(25, stalls(2)),
+            rec(25, TraceEvent::TaskComplete { task: 2, tile: 1 }),
+        ]
+    }
+
+    #[test]
+    fn landed_steals_contribute_edges_with_the_transfer_window() {
+        let w = WhatIf::from_trace(&steal_trace(), 4, 25);
+        assert_eq!(w.nodes.len(), 3);
+        assert_eq!(w.steals, 1);
+        assert_eq!(w.edges.len(), 1, "only the steal edge: {:?}", w.edges);
+        assert_eq!(w.edges[0].kind, EdgeKind::Steal);
+        // thief tile 1 went idle at 8, the steal landed at 12
+        assert_eq!(w.edges[0].latency, 4);
+        let src = &w.nodes[w.edges[0].src];
+        let dst = &w.nodes[w.edges[0].dst];
+        assert_eq!(src.id, 1, "the thief's freeing completion");
+        assert_eq!(dst.id, 2, "the stolen task");
+        assert!(dst.stolen);
+        // the critical path now runs through the steal: 8 (task 1)
+        // + 4 (transfer window) + 25 (task 2 service) = 37, where the
+        // edge-free reconstruction used to report just task 2's 25.
+        assert_eq!(w.span(), 37);
+        assert!(w.span() <= w.serial_bound());
+    }
+
+    #[test]
+    fn healthy_traces_have_no_clamped_segments() {
+        assert_eq!(
+            WhatIf::from_trace(&chain_trace(), 4, 32).clamped_segments,
+            0
+        );
+        assert_eq!(
+            WhatIf::from_trace(&steal_trace(), 4, 25).clamped_segments,
+            0
+        );
+    }
+
+    /// A trace whose stall counters exceed the service window violates
+    /// the segment identities: debug builds refuse it outright, and
+    /// release builds count the clamp instead of absorbing it.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "segment(s) clamped"))]
+    fn corrupt_segments_are_counted_not_absorbed() {
+        let records = vec![
+            rec(
+                0,
+                TraceEvent::TaskSpawn {
+                    task: 0,
+                    ty: 0,
+                    parent: None,
+                },
+            ),
+            rec(0, TraceEvent::TaskReady { task: 0 }),
+            rec(0, TraceEvent::TaskDispatch { task: 0, tile: 0 }),
+            rec(
+                10,
+                TraceEvent::TaskStalls {
+                    task: 0,
+                    input: 50,
+                    other: 0,
+                },
+            ),
+            rec(10, TraceEvent::TaskComplete { task: 0, tile: 0 }),
+        ];
+        let w = WhatIf::from_trace(&records, 4, 10);
+        assert_eq!(w.clamped_segments, 1);
+        assert_eq!(w.nodes[0].compute(), 0, "clamped at zero, not negative");
     }
 
     #[test]

@@ -83,8 +83,12 @@
 //!
 //! Every report-writing subcommand resolves its output directory as
 //! `--out-dir`, else `$TS_OUT_DIR`, else the working directory.
+//! Relative `--out-dir`/`TS_OUT_DIR`/`TS_CACHE_DIR` values are
+//! anchored to the startup working directory exactly once, so the
+//! paths a run reports are the paths it actually wrote.
 
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::Instant;
 use ts_bench::experiments::{self, ALL};
 use ts_bench::golden::GoldenDoc;
@@ -237,7 +241,8 @@ impl Common {
 
     /// Where report files (TRACE_*, FAULTS_*, WHATIF_*, GOLDEN_diff.txt)
     /// land: `--out-dir`, else `TS_OUT_DIR`, else the working
-    /// directory. The directory is created on first use.
+    /// directory. Relative directories are anchored to the startup
+    /// cwd; the directory is created on first use.
     fn out_path(&self, name: &str) -> PathBuf {
         let dir = self
             .out_dir
@@ -246,7 +251,7 @@ impl Common {
             .filter(|d| !d.is_empty());
         match dir {
             Some(d) => {
-                let d = PathBuf::from(d);
+                let d = absolute_from_startup(PathBuf::from(d));
                 std::fs::create_dir_all(&d)
                     .unwrap_or_else(|e| panic!("creating {}: {e}", d.display()));
                 d.join(name)
@@ -332,7 +337,31 @@ fn resolve_ids(wanted: &[String], usage: &str) -> Vec<String> {
     wanted.to_vec()
 }
 
+/// The working directory at process startup. Every relative path the
+/// CLI accepts (`--out-dir`, `$TS_OUT_DIR`, `$TS_CACHE_DIR`, the
+/// `goldens/` lookup) is resolved against this exactly once, so a
+/// subcommand launched from a scratch cwd gets stable absolute paths
+/// instead of values that would re-anchor wherever resolution happens
+/// to run.
+fn startup_cwd() -> &'static PathBuf {
+    static CWD: OnceLock<PathBuf> = OnceLock::new();
+    CWD.get_or_init(|| std::env::current_dir().expect("resolving the startup working directory"))
+}
+
+/// Anchors a possibly-relative directory to the startup cwd.
+fn absolute_from_startup(dir: PathBuf) -> PathBuf {
+    if dir.is_absolute() {
+        dir
+    } else {
+        startup_cwd().join(dir)
+    }
+}
+
 fn main() {
+    // Canonicalize path-like inputs once, up front: the cache
+    // directory is pinned process-wide, and `startup_cwd` anchors
+    // every later `--out-dir`/`TS_OUT_DIR` resolution.
+    ts_bench::cache::pin_relative_to(startup_cwd());
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("sweep") => {
@@ -616,7 +645,8 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
     // embedded profile (summed per plan slice) rather than global
     // snapshots around a serial loop — identical totals, but valid
     // when the experiments' simulations interleave.
-    let mut results: Vec<(String, usize, SimProfile)> = Vec::new();
+    type Tallies = Vec<(String, String)>;
+    let mut results: Vec<(String, usize, SimProfile, Tallies)> = Vec::new();
     let mut violations: Vec<String> = Vec::new();
     let mut offset = 0;
     for (p, n) in plans.into_iter().zip(counts) {
@@ -630,6 +660,15 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
             }
         }
         let doc = p.finish(slice);
+        // Deterministic per-tenant tallies (admission/completion
+        // counts) ride along into the bench json, where the perf gate
+        // locks them down like the host cache counters.
+        let tallies: Tallies = doc
+            .extras
+            .iter()
+            .filter(|(k, _)| k.starts_with("tenant"))
+            .cloned()
+            .collect();
         let out = experiments::render_doc(&doc);
         println!("=== {id} ===");
         println!("{out}");
@@ -665,7 +704,7 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
             }
             GoldenMode::Off => {}
         }
-        results.push((id, n, prof));
+        results.push((id, n, prof, tallies));
     }
     let total = t_all.elapsed().as_secs_f64();
     if common.show_profile {
@@ -708,10 +747,16 @@ fn run_experiments(ids: &[String], common: &Common, mode: GoldenMode) {
         ));
         json.push_str(&format!("  \"profile\": {},\n", profile_json(&tally)));
         json.push_str("  \"experiments\": [\n");
-        for (i, (id, sims, prof)) in results.iter().enumerate() {
+        for (i, (id, sims, prof, tallies)) in results.iter().enumerate() {
             let comma = if i + 1 < results.len() { "," } else { "" };
+            let tallies = tallies
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": \"{v}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
             json.push_str(&format!(
-                "    {{\"id\": \"{id}\", \"sims\": {sims}, \"profile\": {}}}{comma}\n",
+                "    {{\"id\": \"{id}\", \"sims\": {sims}, \"tallies\": {{{tallies}}}, \
+                 \"profile\": {}}}{comma}\n",
                 profile_json(prof)
             ));
         }
@@ -856,12 +901,12 @@ fn run_whatif(ids: &[String], common: &Common, speedups: &[String]) {
     eprintln!("  ({:.1?})", t0.elapsed());
 }
 
-/// Locates the committed `goldens/` directory: the working directory's
-/// if present (CI runs from the repo root), else relative to this
-/// crate's manifest so `cargo run -p ts-bench` works from anywhere in
-/// the tree.
+/// Locates the committed `goldens/` directory: the startup working
+/// directory's if present (CI runs from the repo root), else relative
+/// to this crate's manifest so `cargo run -p ts-bench` works from
+/// anywhere in the tree.
 fn goldens_root() -> PathBuf {
-    let cwd = PathBuf::from("goldens");
+    let cwd = startup_cwd().join("goldens");
     if cwd.is_dir() {
         return cwd;
     }

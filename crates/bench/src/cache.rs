@@ -75,6 +75,17 @@ pub fn set_dir(path: PathBuf) {
     *DIR_OVERRIDE.lock().expect("cache dir lock poisoned") = Some(path);
 }
 
+/// Pins the cache directory to an absolute path, resolving a relative
+/// `$TS_CACHE_DIR` (or the `./.ts-cache` default) against `base` once.
+/// Long-lived processes call this at startup so the cache location
+/// can't silently re-anchor if the working directory later changes —
+/// every subsequent [`dir`] answers with the same absolute path.
+pub fn pin_relative_to(base: &std::path::Path) {
+    let d = dir();
+    let abs = if d.is_absolute() { d } else { base.join(d) };
+    set_dir(abs);
+}
+
 /// The directory entries live in: the [`set_dir`] override, else
 /// `$TS_CACHE_DIR`, else `./.ts-cache`.
 pub fn dir() -> PathBuf {

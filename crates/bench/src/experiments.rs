@@ -21,11 +21,14 @@ use crate::{fmt_x, run_faulted, run_jobs, FaultOutcome, SweepJob, Table};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use taskstream_model::Policy;
-use ts_delta::{area, DeltaConfig, FaultsConfig, Features, RunReport};
+use ts_delta::{
+    area, DeltaConfig, DrainPolicy, FaultsConfig, Features, PartitionPolicy, RunReport,
+    TenancyConfig,
+};
 use ts_sim::stats::geomean;
 use ts_workloads::{
     bfs::Bfs, dtree::DTree, gemm::Gemm, hash_join::HashJoin, kmeans::KMeans, merge_sort::MergeSort,
-    spmv::Spmv, suite, Scale, Workload,
+    request_server::RequestServer, spmv::Spmv, suite, Scale, Workload,
 };
 
 /// Default experiment seed (all experiments are reproducible from it).
@@ -967,6 +970,120 @@ fn plan_faults(scale: Scale) -> Plan {
     })
 }
 
+/// `fig_tenancy` — multi-tenant co-residency QoS: tenant count ×
+/// arrival rate under both partitioning policies, with the admission
+/// gate on. Each grid point runs the co-resident request server plus
+/// one isolated run per tenant (the same query stream, re-homed alone
+/// on the machine), and reports per-tenant p50/p99 latency, the
+/// slowdown each tenant pays for co-residency, and a per-config
+/// fairness figure (min/max slowdown across tenants; 1.000 = every
+/// tenant pays the same). Extras carry per-tenant deterministic
+/// tallies (`tenant_*`) that the bench-json perf gate locks down.
+fn plan_tenancy(scale: Scale) -> Plan {
+    // paced rows use a period long enough that admission pacing (not
+    // fabric contention) is the dominant queueing effect; flood rows
+    // (period 0) exercise the admission gate under overload
+    let (period, admit) = match scale {
+        Scale::Tiny => (64, 6),
+        Scale::Small => (192, 12),
+    };
+    let grid: Vec<(usize, u64)> = vec![(2, 0), (2, period), (4, 0), (4, period)];
+    let parts = [PartitionPolicy::Shared, PartitionPolicy::Spatial];
+    let mut jobs = Vec::new();
+    let mut insts: Vec<(usize, u64, Arc<RequestServer>)> = Vec::new();
+    for &(tenants, p) in &grid {
+        let wl = Arc::new(match scale {
+            Scale::Tiny => RequestServer::tiny(tenants, p, SEED),
+            Scale::Small => RequestServer::small(tenants, p, SEED),
+        });
+        // isolated baselines: a lone tenant owns the whole machine
+        // under either policy, so one (shared-fabric) run per tenant
+        // serves both partitioning rows
+        for t in 0..tenants {
+            let iso = Arc::new(wl.isolated(t));
+            let cfg = seeded(DeltaConfig::delta(TILES), iso.as_ref())
+                .to_builder()
+                .tenancy(iso.tenancy(PartitionPolicy::Shared, admit, DrainPolicy::Block))
+                .build();
+            jobs.push(SweepJob::new(iso, cfg));
+        }
+        for part in parts {
+            let cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref())
+                .to_builder()
+                .tenancy(wl.tenancy(part, admit, DrainPolicy::Block))
+                .build();
+            jobs.push(SweepJob::new(wl.clone(), cfg));
+        }
+        insts.push((tenants, p, wl));
+    }
+    Plan::new("fig_tenancy", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&[
+            "tenants",
+            "arrival",
+            "partition",
+            "tenant",
+            "p50",
+            "p99",
+            "iso p50",
+            "slowdown",
+            "completed",
+            "gate holds",
+        ]);
+        let mut extras = Vec::new();
+        let mut off = 0;
+        for (tenants, p, wl) in insts {
+            let iso = &results[off..off + tenants];
+            off += tenants;
+            let arrival = if p == 0 {
+                "flood".to_string()
+            } else {
+                format!("1/{p}")
+            };
+            for part in ["shared", "spatial"] {
+                let co = results[off];
+                off += 1;
+                let mut slows = Vec::new();
+                let mut done = Vec::new();
+                let mut holds = Vec::new();
+                for (t, iso_run) in iso.iter().enumerate() {
+                    let stat = |k: &str| co.stats.get_or_zero(&format!("tenant{t}.{k}"));
+                    let iso_p50 = iso_run.stats.get_or_zero("tenant0.p50_latency");
+                    let p50 = stat("p50_latency");
+                    let slow = p50 / iso_p50.max(1.0);
+                    let completed = stat("completed");
+                    assert_eq!(
+                        completed as usize, wl.tenants[t].queries,
+                        "tenant {t} starved under {part} ({arrival})"
+                    );
+                    table.row(vec![
+                        tenants.to_string(),
+                        arrival.clone(),
+                        part.into(),
+                        t.to_string(),
+                        p50.to_string(),
+                        stat("p99_latency").to_string(),
+                        iso_p50.to_string(),
+                        fmt_x(slow),
+                        completed.to_string(),
+                        stat("gate_holds").to_string(),
+                    ]);
+                    slows.push(slow);
+                    done.push(completed.to_string());
+                    holds.push(stat("gate_holds").to_string());
+                }
+                let worst = slows.iter().copied().fold(f64::MIN, f64::max);
+                let best = slows.iter().copied().fold(f64::MAX, f64::min);
+                let label = format!("{tenants}t.{arrival}.{part}");
+                extras.push((format!("fairness.{label}"), format!("{:.3}", best / worst)));
+                extras.push((format!("tenant_completed.{label}"), done.join(",")));
+                extras.push((format!("tenant_gate_holds.{label}"), holds.join(",")));
+            }
+        }
+        (table, extras)
+    })
+}
+
 /// `tbl_workloads` — workload characteristics (no simulations).
 fn plan_workloads(scale: Scale) -> Plan {
     let mut table = Table::new(&["workload", "tasks", "elements", "grain", "stresses"]);
@@ -1114,6 +1231,7 @@ pub const ALL: &[&str] = &[
     "fig_lanes",
     "fig_timeline",
     "fig_faults",
+    "fig_tenancy",
     "tbl_energy",
     "tbl_area",
 ];
@@ -1154,6 +1272,7 @@ pub fn plan(id: &str, scale: Scale) -> Plan {
         "fig_lanes" => plan_lanes(scale),
         "fig_timeline" => plan_timeline(scale),
         "fig_faults" => plan_faults(scale),
+        "fig_tenancy" => plan_tenancy(scale),
         "tbl_energy" => plan_energy(scale),
         "tbl_area" => plan_area(scale),
         other => panic!("unknown experiment '{other}' (known: {ALL:?})"),
@@ -1256,13 +1375,27 @@ pub fn fault_run(id: &str, scale: Scale, fail_rate: Option<f64>) -> FaultRun {
         ALL.contains(&id),
         "unknown experiment '{id}' (known: {ALL:?})"
     );
-    let wl: Box<dyn Workload> = match (id, scale) {
-        ("fig_noc" | "fig_batch", Scale::Tiny) => Box::new(DTree::tiny(SEED)),
-        ("fig_noc" | "fig_batch", Scale::Small) => Box::new(DTree::small(SEED)),
-        ("fig_steal", Scale::Tiny) => Box::new(MergeSort::tiny(SEED)),
-        ("fig_steal", Scale::Small) => Box::new(MergeSort::small(SEED)),
-        (_, Scale::Tiny) => Box::new(Spmv::tiny(SEED)),
-        (_, Scale::Small) => Box::new(Spmv::small(SEED)),
+    // fig_tenancy's chaos run is the fault-storm case: two flooding
+    // co-resident tenants on a shared fabric with the admission gate
+    // on, so one tenant's re-dispatch storm cannot starve its
+    // neighbor — asserted below on per-tenant completion counts
+    type StormSpec = (TenancyConfig, Vec<u64>);
+    let (wl, tenancy): (Box<dyn Workload>, Option<StormSpec>) = match (id, scale) {
+        ("fig_noc" | "fig_batch", Scale::Tiny) => (Box::new(DTree::tiny(SEED)), None),
+        ("fig_noc" | "fig_batch", Scale::Small) => (Box::new(DTree::small(SEED)), None),
+        ("fig_steal", Scale::Tiny) => (Box::new(MergeSort::tiny(SEED)), None),
+        ("fig_steal", Scale::Small) => (Box::new(MergeSort::small(SEED)), None),
+        ("fig_tenancy", _) => {
+            let w = match scale {
+                Scale::Tiny => RequestServer::tiny(2, 0, SEED),
+                Scale::Small => RequestServer::small(2, 0, SEED),
+            };
+            let tc = w.tenancy(PartitionPolicy::Shared, 4, DrainPolicy::Block);
+            let offered = w.tenants.iter().map(|l| l.queries as u64).collect();
+            (Box::new(w), Some((tc, offered)))
+        }
+        (_, Scale::Tiny) => (Box::new(Spmv::tiny(SEED)), None),
+        (_, Scale::Small) => (Box::new(Spmv::small(SEED)), None),
     };
     let faults = FaultsConfig {
         tile_fail_rate: fail_rate.unwrap_or(FaultsConfig::chaos().tile_fail_rate),
@@ -1274,11 +1407,14 @@ pub fn fault_run(id: &str, scale: Scale, fail_rate: Option<f64>) -> FaultRun {
         },
         ..FaultsConfig::chaos()
     };
-    let cfg = seeded(DeltaConfig::delta(TILES), wl.as_ref())
+    let mut b = seeded(DeltaConfig::delta(TILES), wl.as_ref())
         .to_builder()
         .faults(faults)
-        .stall_limit(200_000)
-        .build();
+        .stall_limit(200_000);
+    if let Some((tc, _)) = &tenancy {
+        b = b.tenancy(tc.clone());
+    }
+    let cfg = b.build();
     let report = match run_faulted(wl.as_ref(), cfg, false) {
         FaultOutcome::Completed(r) => *r,
         FaultOutcome::Wedged { cycles } => {
@@ -1310,6 +1446,16 @@ pub fn fault_run(id: &str, scale: Scale, fail_rate: Option<f64>) -> FaultRun {
     kv("backoff cycles", f.backoff_cycles.to_string());
     kv("wasted cycles", f.wasted_cycles.to_string());
     kv("cycles lost to recovery", f.cycles_lost().to_string());
+    if let Some((_, offered)) = &tenancy {
+        for (t, &want) in offered.iter().enumerate() {
+            let got = report.stats.get_or_zero(&format!("tenant{t}.completed")) as u64;
+            assert_eq!(
+                got, want,
+                "tenant {t} starved under the fault storm ({got}/{want} queries)"
+            );
+            kv(&format!("tenant {t} completed"), format!("{got}/{want}"));
+        }
+    }
     FaultRun {
         workload: wl.name().to_string(),
         report,
@@ -1350,19 +1496,32 @@ pub fn trace_run(id: &str, scale: Scale) -> TraceRun {
         ALL.contains(&id),
         "unknown experiment '{id}' (known: {ALL:?})"
     );
-    let wl: Box<dyn Workload> = match (id, scale) {
-        ("fig_noc" | "fig_batch", Scale::Tiny) => Box::new(DTree::tiny(SEED)),
-        ("fig_noc" | "fig_batch", Scale::Small) => Box::new(DTree::small(SEED)),
-        ("fig_steal", Scale::Tiny) => Box::new(MergeSort::tiny(SEED)),
-        ("fig_steal", Scale::Small) => Box::new(MergeSort::small(SEED)),
-        (_, Scale::Tiny) => Box::new(Spmv::tiny(SEED)),
-        (_, Scale::Small) => Box::new(Spmv::small(SEED)),
+    let (wl, tenancy): (Box<dyn Workload>, Option<TenancyConfig>) = match (id, scale) {
+        ("fig_noc" | "fig_batch", Scale::Tiny) => (Box::new(DTree::tiny(SEED)), None),
+        ("fig_noc" | "fig_batch", Scale::Small) => (Box::new(DTree::small(SEED)), None),
+        ("fig_steal", Scale::Tiny) => (Box::new(MergeSort::tiny(SEED)), None),
+        ("fig_steal", Scale::Small) => (Box::new(MergeSort::small(SEED)), None),
+        ("fig_tenancy", _) => {
+            // trace the thing the experiment is about: co-resident
+            // paced tenants (TaskTenant events tag every spawn)
+            let w = match scale {
+                Scale::Tiny => RequestServer::tiny(2, 64, SEED),
+                Scale::Small => RequestServer::small(2, 192, SEED),
+            };
+            let tc = w.tenancy(PartitionPolicy::Shared, 6, DrainPolicy::Block);
+            (Box::new(w), Some(tc))
+        }
+        (_, Scale::Tiny) => (Box::new(Spmv::tiny(SEED)), None),
+        (_, Scale::Small) => (Box::new(Spmv::small(SEED)), None),
     };
     let mut b = seeded(DeltaConfig::delta(TILES), wl.as_ref())
         .to_builder()
         .trace(true);
     if id == "fig_steal" {
         b = b.work_stealing(true);
+    }
+    if let Some(tc) = tenancy {
+        b = b.tenancy(tc);
     }
     if id == "fig_faults" {
         // trace the thing the experiment is about: a run with live

@@ -88,6 +88,12 @@ pub fn perfetto_json(workload: &str, tiles: usize, records: &[TraceRecord]) -> S
                     instant(c, disp_tid, &format!("pipe {pipe} {role} task {task}")),
                 );
             }
+            TraceEvent::TaskTenant { task, tenant } => {
+                push(
+                    &mut out,
+                    instant(c, disp_tid, &format!("task {task} tenant {tenant}")),
+                );
+            }
             TraceEvent::TaskReady { task } => {
                 push(
                     &mut out,

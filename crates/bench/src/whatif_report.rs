@@ -92,6 +92,7 @@ pub fn summary_table(w: &WhatIf) -> Table {
     kv("binding constraint", bound.into());
     kv("steals", w.steals.to_string());
     kv("mcast joins", w.mcast_joins.to_string());
+    kv("clamped segments", w.clamped_segments.to_string());
     t
 }
 
@@ -171,13 +172,14 @@ pub fn summary_json(id: &str, run: &TraceRun, w: &WhatIf, queries: &[LabeledQuer
         .unwrap_or_else(|| "-".into());
     format!(
         "{{\"id\": \"{id}\", \"workload\": \"{}\", \"cycles\": {}, \"work\": {}, \
-         \"span\": {}, \"parallelism\": {:.4}, \"top_bottleneck\": \"{top}\", \
-         \"queries\": [{}]}}",
+         \"span\": {}, \"parallelism\": {:.4}, \"clamped_segments\": {}, \
+         \"top_bottleneck\": \"{top}\", \"queries\": [{}]}}",
         run.workload,
         w.measured_cycles,
         w.work(),
         w.span(),
         w.parallelism(),
+        w.clamped_segments,
         q_parts.join(", ")
     )
 }

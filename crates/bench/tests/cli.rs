@@ -313,6 +313,44 @@ fn whatif_rejects_malformed_and_unknown_speedup_specs() {
     }
 }
 
+/// Relative `TS_CACHE_DIR` and `TS_OUT_DIR` values must anchor to the
+/// cwd the subcommand started in: entries land inside the scratch
+/// directory, and `cache stats` reports the same absolute location it
+/// actually wrote to.
+#[test]
+fn relative_cache_and_out_dirs_anchor_to_the_startup_cwd() {
+    let dir = scratch("relpaths");
+    let env = [("TS_CACHE_DIR", "relcache".to_string())];
+
+    let out = repro_env(&["sweep", "fig_noc", "--tiny"], Some(&dir), &env);
+    assert!(out.status.success(), "sweep failed: {}", stderr(&out));
+    assert!(
+        dir.join("relcache").is_dir(),
+        "a relative TS_CACHE_DIR must land inside the startup cwd"
+    );
+
+    let out = repro_env(&["cache", "stats"], Some(&dir), &env);
+    assert!(out.status.success(), "stats failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains(dir.join("relcache").to_str().unwrap()),
+        "cache stats must report the anchored absolute path: {text}"
+    );
+    assert!(!text.contains("entries:   0"), "{text}");
+
+    let out = repro_env(
+        &["faults", "tbl_config", "--tiny", "--rate", "0.25"],
+        Some(&dir),
+        &[("TS_OUT_DIR", "relout".to_string())],
+    );
+    assert!(out.status.success(), "faults failed: {}", stderr(&out));
+    assert!(
+        dir.join("relout/FAULTS_tbl_config.txt").is_file(),
+        "a relative TS_OUT_DIR must land inside the startup cwd"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn trace_and_faults_honor_out_dir() {
     let dir = scratch("outdir");

@@ -13,8 +13,16 @@ use ts_workloads::Scale;
 
 /// Experiments covering the sweep shapes: paired delta/static runs,
 /// grouped ablations with a shared base, per-design-point config
-/// edits, and the seed-sensitive Random policy (fig_policy).
-const IDS: &[&str] = &["fig_overall", "fig_tiles", "fig_policy", "fig_steal"];
+/// edits, the seed-sensitive Random policy (fig_policy), and the
+/// multi-tenant grid with its per-tenant latency tallies
+/// (fig_tenancy).
+const IDS: &[&str] = &[
+    "fig_overall",
+    "fig_tiles",
+    "fig_policy",
+    "fig_steal",
+    "fig_tenancy",
+];
 
 fn render_all(scale: Scale) -> Vec<String> {
     IDS.iter().map(|id| experiments::run(id, scale)).collect()

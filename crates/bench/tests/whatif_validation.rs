@@ -13,9 +13,9 @@
 //! is deterministic).
 
 use ts_bench::run_validated;
-use ts_delta::whatif::{Query, WhatIf};
+use ts_delta::whatif::{EdgeKind, Query, WhatIf};
 use ts_delta::DeltaConfig;
-use ts_workloads::{dtree::DTree, spmv::Spmv, Workload};
+use ts_workloads::{dtree::DTree, merge_sort::MergeSort, spmv::Spmv, Workload};
 
 /// Relative error allowed between a predicted and a measured speedup.
 const TOLERANCE: f64 = 0.15;
@@ -26,6 +26,10 @@ fn profiled(wl: &dyn Workload, cfg: &DeltaConfig) -> (WhatIf, u64) {
     let report = run_validated(wl, cfg.clone(), false);
     assert_eq!(report.trace_dropped, 0, "trace ring overflowed");
     let w = WhatIf::from_trace(&report.trace, cfg.tiles, report.cycles);
+    assert_eq!(
+        w.clamped_segments, 0,
+        "a real trace violated the segment identities"
+    );
     (w, report.cycles)
 }
 
@@ -87,6 +91,50 @@ fn memory_speedup_prediction_matches_a_reconfigured_run() {
         "the experiment is vacuous: halving DRAM latency only gave {measured:.3}x"
     );
     assert_confirmed("dtree memory 2x", predicted, measured);
+}
+
+/// Staged merge_sort (the steal-friendly, pipe-free tree) under static
+/// placement with work stealing on, so leaves pile up behind hash
+/// collisions and idle tiles pull them over: the reconstructed DAG
+/// must carry steal edges for the landed steals, and the `SpawnScale`
+/// prediction must stay causal on the steal-heavy trace — the
+/// regression this guards against is the profiler omitting transfer
+/// latency from critical paths through stolen tasks.
+#[test]
+fn steal_heavy_run_carries_steal_edges_and_stays_causal() {
+    use taskstream_model::Policy;
+
+    let wl = MergeSort::staged(32, 32, 42);
+    let base = DeltaConfig::delta(8)
+        .to_builder()
+        .seed(42)
+        .policy(Policy::StaticHash)
+        .work_stealing(true)
+        .prefetch_depth(1)
+        .spawn_latency(96)
+        .host_latency(96)
+        .build();
+    let (w, base_cycles) = profiled(&wl, &base);
+
+    assert!(
+        w.steals > 0,
+        "the experiment is vacuous: no steal landed under static placement"
+    );
+    let steal_edges = w.edges.iter().filter(|e| e.kind == EdgeKind::Steal).count();
+    assert!(
+        steal_edges > 0,
+        "{} steal(s) landed but the DAG has no steal edge",
+        w.steals
+    );
+
+    let predicted = w.evaluate(&[Query::SpawnScale { factor: 2.0 }]).speedup;
+    let halved = base.to_builder().spawn_latency(48).host_latency(48).build();
+    let measured = base_cycles as f64 / run_validated(&wl, halved, false).cycles as f64;
+    assert!(
+        measured > 1.02,
+        "the experiment is vacuous: halving spawn latency only gave {measured:.3}x"
+    );
+    assert_confirmed("merge_sort+steal spawn/host 2x", predicted, measured);
 }
 
 /// The empty query is an identity, and the simulator is deterministic:

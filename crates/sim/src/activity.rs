@@ -59,6 +59,15 @@ impl Activity {
             (Activity::Idle, Activity::Idle) => Activity::Idle,
         }
     }
+
+    /// Folds a set of independent due times — typically the fronts of
+    /// several time-gated queues (one per tenant, one per channel) —
+    /// into a single wake-up: the earliest due, or `Idle` when every
+    /// queue is empty. Equivalent to merging `At(due)` per element.
+    pub fn earliest_due<I: IntoIterator<Item = u64>>(dues: I) -> Activity {
+        dues.into_iter()
+            .fold(Activity::Idle, |a, due| a.merge(Activity::At(due)))
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +89,13 @@ mod tests {
         assert_eq!(Activity::At(3).clamp_to(5), Activity::At(3));
         assert_eq!(Activity::At(9).clamp_to(5), Activity::At(5));
         assert_eq!(Activity::Idle.clamp_to(5), Activity::At(5));
+    }
+
+    #[test]
+    fn earliest_due_folds_queue_fronts() {
+        assert_eq!(Activity::earliest_due([]), Activity::Idle);
+        assert_eq!(Activity::earliest_due([7]), Activity::At(7));
+        assert_eq!(Activity::earliest_due([9, 3, 12]), Activity::At(3));
     }
 
     #[test]

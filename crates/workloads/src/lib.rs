@@ -42,6 +42,7 @@ pub mod hash_join;
 pub mod kernels;
 pub mod kmeans;
 pub mod merge_sort;
+pub mod request_server;
 pub mod spmv;
 pub mod sssp;
 pub mod tri_count;

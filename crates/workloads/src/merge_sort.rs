@@ -5,6 +5,13 @@
 //! TaskStream, adjacent tree levels are co-scheduled and stream
 //! tile-to-tile; the static-parallel design serializes every level
 //! through DRAM.
+//!
+//! The [`MergeSort::staged`] variant builds the same tree *without*
+//! pipes: every node writes a DRAM staging buffer and each merge is
+//! spawned from `on_complete` once both children land. Pipe-bound
+//! tasks are pinned to their routes and can never migrate, so the
+//! piped tree is invisible to work stealing — the staged tree is the
+//! steal-friendly twin used to exercise stealing on a task tree.
 
 use crate::kernels::SortKernel;
 use crate::{check_range, Workload, WorkloadInfo};
@@ -27,6 +34,8 @@ pub struct MergeSort {
     pub leaves: usize,
     /// Elements per leaf chunk.
     pub chunk: usize,
+    /// Serialize levels through DRAM staging buffers instead of pipes.
+    pub staged: bool,
     data: Vec<i64>,
     sorted_ref: Vec<i64>,
 }
@@ -49,9 +58,20 @@ impl MergeSort {
         MergeSort {
             leaves,
             chunk,
+            staged: false,
             data,
             sorted_ref,
         }
+    }
+
+    /// The steal-friendly twin: the same tree with every level
+    /// serialized through DRAM staging buffers and each merge spawned
+    /// from `on_complete` once both children complete. No task touches
+    /// a pipe, so every queued task is a legal steal candidate.
+    pub fn staged(leaves: usize, chunk: usize, seed: u64) -> Self {
+        let mut wl = Self::new(leaves, chunk, seed);
+        wl.staged = true;
+        wl
     }
 
     /// Test-sized instance.
@@ -75,6 +95,27 @@ impl MergeSort {
 
     fn task_count(&self) -> usize {
         2 * self.leaves - 1
+    }
+
+    /// First DRAM word of the staged variant's staging region.
+    fn stage_base(&self) -> u64 {
+        self.out_base() + self.n() as u64
+    }
+
+    /// Elements a heap node covers: the root (node 1) spans `n`, each
+    /// level below halves it down to `chunk` at the leaves.
+    fn span_of(&self, node: usize) -> u64 {
+        (self.n() >> node.ilog2()) as u64
+    }
+
+    /// The staged variant's DRAM buffer for a heap node. Each tree
+    /// level packs to exactly `n` words, so level `l` starts at
+    /// `stage_base + l * n` and node `i` sits at its within-level
+    /// offset.
+    fn stage_buf(&self, node: usize) -> u64 {
+        let level = node.ilog2();
+        let within = (node - (1 << level)) as u64;
+        self.stage_base() + u64::from(level) * self.n() as u64 + within * self.span_of(node)
     }
 }
 
@@ -158,13 +199,119 @@ impl Program for MergeSortProgram {
     fn on_complete(&mut self, _done: &CompletedTask, _s: &mut Spawner) {}
 }
 
+/// The staged tree: heap-indexed nodes (root 1, node `i`'s children
+/// `2i`/`2i+1`, leaves `L..2L`), each writing its own DRAM staging
+/// buffer. Merges spawn from `on_complete` once both children are
+/// down, which both enforces the level ordering without pipes and
+/// gives the what-if DAG real spawn edges.
+struct StagedMergeSortProgram {
+    wl: MergeSort,
+    /// Completed children per internal heap node.
+    child_done: Vec<u8>,
+}
+
+impl StagedMergeSortProgram {
+    /// The merge task for internal heap node `node`, reading both
+    /// children's staged buffers; the root writes the final output.
+    fn merge_task(&self, node: usize) -> TaskInstance {
+        let wl = &self.wl;
+        let (lo, hi) = (2 * node, 2 * node + 1);
+        let t = TaskInstance::new(TaskTypeId(1))
+            .input_stream(StreamDesc::dram(wl.stage_buf(lo), wl.span_of(lo)))
+            .input_stream(StreamDesc::dram(wl.stage_buf(hi), wl.span_of(hi)))
+            .work_hint(wl.span_of(node))
+            .params(vec![node as i64])
+            .affinity(node as u64);
+        let out = if node == 1 {
+            StreamDesc::dram(wl.out_base(), wl.n() as u64)
+        } else {
+            StreamDesc::dram(wl.stage_buf(node), wl.span_of(node))
+        };
+        t.output_memory(out, WriteMode::Overwrite)
+    }
+}
+
+impl Program for StagedMergeSortProgram {
+    fn name(&self) -> &str {
+        "merge_sort_staged"
+    }
+
+    fn task_types(&self) -> Vec<TaskType> {
+        vec![
+            TaskType::new("sort_chunk", TaskKernel::native(SortKernel)),
+            TaskType::new("merge2", TaskKernel::native(MergeKernel)),
+        ]
+    }
+
+    fn memory_image(&self) -> MemoryImage {
+        let wl = &self.wl;
+        let levels = wl.leaves.ilog2() as usize + 1;
+        MemoryImage::new()
+            .dram_segment(IN_BASE, wl.data.clone())
+            .dram_segment(wl.out_base(), vec![0; wl.n()])
+            .dram_segment(wl.stage_base(), vec![0; wl.n() * levels])
+    }
+
+    fn initial(&mut self, s: &mut Spawner) {
+        let wl = &self.wl;
+        let chunk = wl.chunk as u64;
+        if wl.leaves == 1 {
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(IN_BASE, chunk))
+                    .output_memory(StreamDesc::dram(wl.out_base(), chunk), WriteMode::Overwrite),
+            );
+            return;
+        }
+        for leaf in 0..wl.leaves {
+            let node = wl.leaves + leaf;
+            s.spawn(
+                TaskInstance::new(TaskTypeId(0))
+                    .input_stream(StreamDesc::dram(IN_BASE + leaf as u64 * chunk, chunk))
+                    .output_memory(
+                        StreamDesc::dram(wl.stage_buf(node), chunk),
+                        WriteMode::Overwrite,
+                    )
+                    .params(vec![node as i64])
+                    .affinity(node as u64),
+            );
+        }
+    }
+
+    fn on_complete(&mut self, done: &CompletedTask, s: &mut Spawner) {
+        let Some(&node) = done.params.first() else {
+            return;
+        };
+        let node = node as usize;
+        if node <= 1 {
+            return; // the root wrote the final output
+        }
+        let parent = node / 2;
+        self.child_done[parent] += 1;
+        if self.child_done[parent] == 2 {
+            s.spawn(self.merge_task(parent));
+        }
+    }
+}
+
 impl Workload for MergeSort {
     fn name(&self) -> &'static str {
-        "merge_sort"
+        if self.staged {
+            "merge_sort_staged"
+        } else {
+            "merge_sort"
+        }
     }
 
     fn make_program(&self) -> Box<dyn Program> {
-        Box::new(MergeSortProgram { wl: self.clone() })
+        if self.staged {
+            Box::new(StagedMergeSortProgram {
+                wl: self.clone(),
+                child_done: vec![0; 2 * self.leaves],
+            })
+        } else {
+            Box::new(MergeSortProgram { wl: self.clone() })
+        }
     }
 
     fn validate(&self, report: &RunReport) -> Result<(), String> {
@@ -172,11 +319,26 @@ impl Workload for MergeSort {
     }
 
     fn info(&self) -> WorkloadInfo {
+        let (name, description, pattern, stresses) = if self.staged {
+            (
+                "merge_sort_staged",
+                "leaf sorts + merge tree staged through DRAM",
+                "dynamic task tree spawned level by level",
+                "work stealing over migratable tasks",
+            )
+        } else {
+            (
+                "merge_sort",
+                "leaf sorts + streaming merge tree over pipes",
+                "static task tree with pipelined levels",
+                "pipelined inter-task dependences",
+            )
+        };
         WorkloadInfo {
-            name: "merge_sort",
-            description: "leaf sorts + streaming merge tree over pipes",
-            pattern: "static task tree with pipelined levels",
-            stresses: "pipelined inter-task dependences",
+            name,
+            description,
+            pattern,
+            stresses,
             tasks: self.task_count() as u64,
             elements: self.n() as u64,
             grain: self.chunk as u64,
@@ -235,5 +397,37 @@ mod tests {
     #[test]
     fn task_count_is_tree_size() {
         assert_eq!(MergeSort::new(8, 4, 0).task_count(), 15);
+    }
+
+    #[test]
+    fn staged_variant_validates_and_is_steal_friendly() {
+        use taskstream_model::Policy;
+
+        for (leaves, chunk) in [(1, 16), (4, 32), (8, 16)] {
+            let w = MergeSort::staged(leaves, chunk, 11);
+            let mut p = w.make_program();
+            let r = Accelerator::new(DeltaConfig::delta(4))
+                .run(p.as_mut())
+                .unwrap();
+            w.validate(&r).unwrap();
+        }
+        // static placement piles leaves onto colliding tiles; with
+        // stealing on, idle tiles must be able to pull them over —
+        // the piped tree can't do this (pipes pin tasks), the staged
+        // tree exists exactly so that it can.
+        let w = MergeSort::staged(16, 32, 11);
+        let mut p = w.make_program();
+        let cfg = DeltaConfig::delta(4)
+            .to_builder()
+            .policy(Policy::StaticHash)
+            .work_stealing(true)
+            .prefetch_depth(1)
+            .build();
+        let r = Accelerator::new(cfg).run(p.as_mut()).unwrap();
+        w.validate(&r).unwrap();
+        assert!(
+            r.stats.get_or_zero("dispatch.steals") > 0.0,
+            "no steal landed on the staged tree"
+        );
     }
 }

@@ -13,8 +13,10 @@ compared, and they are treated very differently:
 
 * **Deterministic (blocks under --gate):** the experiment id set,
   per-experiment simulation counts, every component tick/skip/bulk
-  counter in the embedded per-experiment and whole-run profiles, and
-  the result-cache hit/miss/store counters. For a serial cold-cache
+  counter in the embedded per-experiment and whole-run profiles, the
+  per-tenant tallies the multi-tenant experiments emit (admission,
+  completion and gate-hold counts), and the result-cache
+  hit/miss/store counters. For a serial cold-cache
   run (`--jobs 1 --no-cache`, as the CI gate leg uses) these are exact
   functions of the code, so any delta means the simulator's
   work-avoidance behavior actually changed — not that the machine was
@@ -141,6 +143,9 @@ def gate_failures(ref_doc, cur_doc):
         fails += profile_drift(f"experiment {exp_id}",
                                r.get("profile") or {},
                                c.get("profile") or {})
+        fails += profile_drift(f"experiment {exp_id} tallies",
+                               r.get("tallies") or {},
+                               c.get("tallies") or {})
     return fails
 
 
