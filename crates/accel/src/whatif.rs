@@ -179,6 +179,18 @@ pub enum Query {
         /// Percent reduction of the compute segment, in `[0, 100]`.
         pct: f64,
     },
+    /// "If task *instance* `task` were `pct`% faster": scales the
+    /// compute segment of that one node. Sharper than
+    /// [`Query::TypeSpeedup`] when a single straggler (the longest
+    /// merge, the root reduction) dominates the span while its type's
+    /// other instances are cheap. Ids that never completed re-weight
+    /// nothing and the query degenerates to the baseline.
+    InstanceSpeedup {
+        /// Task id as recorded in the trace.
+        task: u64,
+        /// Percent reduction of the compute segment, in `[0, 100]`.
+        pct: f64,
+    },
     /// "If the NoC were `factor`× wider / DRAM `factor`× faster":
     /// divides every input-starved stall segment by `factor`.
     MemScale {
@@ -638,6 +650,7 @@ impl WhatIf {
     /// Per-node weighted durations under a query set.
     fn weigh(&self, queries: &[Query]) -> Vec<Weighted> {
         let mut type_scale: HashMap<usize, f64> = HashMap::new();
+        let mut instance_scale: HashMap<u64, f64> = HashMap::new();
         let mut mem_scale = 1.0f64;
         let mut spawn_scale = 1.0f64;
         let mut free_redispatch = false;
@@ -648,6 +661,11 @@ impl WhatIf {
                     let e = type_scale.entry(ty).or_insert(1.0);
                     *e *= s;
                 }
+                Query::InstanceSpeedup { task, pct } => {
+                    let s = (1.0 - pct / 100.0).max(0.0);
+                    let e = instance_scale.entry(task).or_insert(1.0);
+                    *e *= s;
+                }
                 Query::MemScale { factor } => mem_scale *= factor.max(f64::MIN_POSITIVE),
                 Query::SpawnScale { factor } => spawn_scale *= factor.max(f64::MIN_POSITIVE),
                 Query::FreeRedispatch => free_redispatch = true,
@@ -656,7 +674,8 @@ impl WhatIf {
         self.nodes
             .iter()
             .map(|n| {
-                let ts = type_scale.get(&n.ty).copied().unwrap_or(1.0);
+                let ts = type_scale.get(&n.ty).copied().unwrap_or(1.0)
+                    * instance_scale.get(&n.id).copied().unwrap_or(1.0);
                 let gap = if free_redispatch {
                     0.0
                 } else {
@@ -852,6 +871,27 @@ mod tests {
         assert_eq!(b[0].ty, 1, "type 1 carries 20 of 30 work cycles");
         assert!(b[0].work_share > b[1].work_share);
         assert!(b[0].speedup_at_50 > b[1].speedup_at_50);
+    }
+
+    #[test]
+    fn instance_speedup_targets_one_node() {
+        let w = WhatIf::from_trace(&chain_trace(), 4, 32);
+        // task 1 (service 20) alone: same payoff as speeding its type
+        let by_instance = w.evaluate(&[Query::InstanceSpeedup { task: 1, pct: 50.0 }]);
+        let by_type = w.evaluate(&[Query::TypeSpeedup { ty: 1, pct: 50.0 }]);
+        assert!((by_instance.speedup - by_type.speedup).abs() < 1e-12);
+        // an id that never completed re-weights nothing
+        let noop = w.evaluate(&[Query::InstanceSpeedup {
+            task: 99,
+            pct: 50.0,
+        }]);
+        assert!((noop.speedup - 1.0).abs() < 1e-12);
+        // instance and type scales compose on the shared node
+        let both = w.evaluate(&[
+            Query::InstanceSpeedup { task: 1, pct: 50.0 },
+            Query::TypeSpeedup { ty: 1, pct: 50.0 },
+        ]);
+        assert!(both.speedup > by_instance.speedup);
     }
 
     #[test]

@@ -178,8 +178,8 @@ overrides the tile fail-stop rate.";
 
 const WHATIF_USAGE: &str = "\
 usage: repro whatif [experiment ...] [--only <id>[,<id>...]] [--tiny]
-                    [--speedup <type>:<pct> ...] [--bench-json <path>]
-                    [--out-dir <dir>]
+                    [--speedup <type>:<pct> | --speedup task:<id>:<pct> ...]
+                    [--bench-json <path>] [--out-dir <dir>]
 
 Causal what-if profiler. Re-runs each experiment's representative
 workload with tracing on, reconstructs the task dependence DAG (spawn,
@@ -189,11 +189,14 @@ bottleneck table (work vs. span per task type), and the query table go
 to stdout and to WHATIF_<experiment>.txt. With no experiment named,
 every experiment is profiled.
 
---speedup <type>:<pct> (repeatable) replaces the default query battery
-(every type 50% faster, memory/NoC 2x, spawn/host 2x, free
-redispatches) with specific questions; <type> is a task-type name from
-the bottleneck table. --bench-json splices a \"whatif\" section into an
-existing sweep JSON (or writes a standalone one).";
+--speedup (repeatable) replaces the default query battery (every type
+50% faster, memory/NoC 2x, spawn/host 2x, free redispatches) with
+specific questions. Two spellings: <type>:<pct> speeds every task of a
+type (<type> is a task-type name from the bottleneck table);
+task:<id>:<pct> speeds one task *instance* (<id> is a task id from the
+trace) — sharper when a single straggler dominates the span.
+--bench-json splices a \"whatif\" section into an existing sweep JSON
+(or writes a standalone one).";
 
 /// What to do with goldens while running experiments.
 #[derive(Clone, Copy, PartialEq)]

@@ -28,7 +28,8 @@ use ts_delta::{
 use ts_sim::stats::geomean;
 use ts_workloads::{
     bfs::Bfs, dtree::DTree, gemm::Gemm, hash_join::HashJoin, kmeans::KMeans, merge_sort::MergeSort,
-    request_server::RequestServer, spmv::Spmv, suite, Scale, Workload,
+    query_plan::QueryPlan, request_server::RequestServer, spmv::Spmv, streams_suite, suite, Scale,
+    Workload,
 };
 
 /// Default experiment seed (all experiments are reproducible from it).
@@ -1084,6 +1085,65 @@ fn plan_tenancy(scale: Scale) -> Plan {
     })
 }
 
+/// `fig_streams` — the second-generation streaming-graph workloads
+/// (authored natively on the `ts-graph` declarative frontend): Delta
+/// vs. the equivalent static-parallel design, with the direct/spilled
+/// pipe split that shows how much of each chain the scheduler managed
+/// to co-schedule.
+fn plan_streams(scale: Scale) -> Plan {
+    let wls: Vec<Arc<dyn Workload>> = streams_suite(scale, SEED)
+        .into_iter()
+        .map(Arc::from)
+        .collect();
+    let mut jobs = Vec::new();
+    for wl in &wls {
+        jobs.push(SweepJob::new(
+            wl.clone(),
+            seeded(DeltaConfig::delta(TILES), wl.as_ref()),
+        ));
+        jobs.push(SweepJob::baseline(
+            wl.clone(),
+            seeded(DeltaConfig::static_parallel(TILES), wl.as_ref()),
+        ));
+    }
+    Plan::new("fig_streams", scale, jobs, move |outcomes| {
+        let results = completed(outcomes);
+        let mut table = Table::new(&[
+            "workload",
+            "delta cyc",
+            "static cyc",
+            "speedup",
+            "pipes direct",
+            "pipes spilled",
+        ]);
+        let mut speedups = Vec::new();
+        for (wl, pair) in wls.iter().zip(results.chunks(2)) {
+            let (d, s) = (pair[0], pair[1]);
+            let sp = s.cycles as f64 / d.cycles as f64;
+            speedups.push(sp);
+            table.row(vec![
+                wl.name().into(),
+                d.cycles.to_string(),
+                s.cycles.to_string(),
+                fmt_x(sp),
+                (d.stats.sum_matching("pipes_direct") as u64).to_string(),
+                (d.stats.sum_matching("pipes_spilled") as u64).to_string(),
+            ]);
+        }
+        let g = geomean(&speedups);
+        table.row(vec![
+            "geomean".into(),
+            "-".into(),
+            "-".into(),
+            fmt_x(g),
+            "-".into(),
+            "-".into(),
+        ]);
+        let extras = vec![("geomean".to_string(), fmt_x(g))];
+        (table, extras)
+    })
+}
+
 /// `tbl_workloads` — workload characteristics (no simulations).
 fn plan_workloads(scale: Scale) -> Plan {
     let mut table = Table::new(&["workload", "tasks", "elements", "grain", "stresses"]);
@@ -1232,6 +1292,7 @@ pub const ALL: &[&str] = &[
     "fig_timeline",
     "fig_faults",
     "fig_tenancy",
+    "fig_streams",
     "tbl_energy",
     "tbl_area",
 ];
@@ -1273,6 +1334,7 @@ pub fn plan(id: &str, scale: Scale) -> Plan {
         "fig_timeline" => plan_timeline(scale),
         "fig_faults" => plan_faults(scale),
         "fig_tenancy" => plan_tenancy(scale),
+        "fig_streams" => plan_streams(scale),
         "tbl_energy" => plan_energy(scale),
         "tbl_area" => plan_area(scale),
         other => panic!("unknown experiment '{other}' (known: {ALL:?})"),
@@ -1385,6 +1447,8 @@ pub fn fault_run(id: &str, scale: Scale, fail_rate: Option<f64>) -> FaultRun {
         ("fig_noc" | "fig_batch", Scale::Small) => (Box::new(DTree::small(SEED)), None),
         ("fig_steal", Scale::Tiny) => (Box::new(MergeSort::tiny(SEED)), None),
         ("fig_steal", Scale::Small) => (Box::new(MergeSort::small(SEED)), None),
+        ("fig_streams", Scale::Tiny) => (Box::new(QueryPlan::tiny(SEED)), None),
+        ("fig_streams", Scale::Small) => (Box::new(QueryPlan::small(SEED)), None),
         ("fig_tenancy", _) => {
             let w = match scale {
                 Scale::Tiny => RequestServer::tiny(2, 0, SEED),
@@ -1501,6 +1565,8 @@ pub fn trace_run(id: &str, scale: Scale) -> TraceRun {
         ("fig_noc" | "fig_batch", Scale::Small) => (Box::new(DTree::small(SEED)), None),
         ("fig_steal", Scale::Tiny) => (Box::new(MergeSort::tiny(SEED)), None),
         ("fig_steal", Scale::Small) => (Box::new(MergeSort::small(SEED)), None),
+        ("fig_streams", Scale::Tiny) => (Box::new(QueryPlan::tiny(SEED)), None),
+        ("fig_streams", Scale::Small) => (Box::new(QueryPlan::small(SEED)), None),
         ("fig_tenancy", _) => {
             // trace the thing the experiment is about: co-resident
             // paced tenants (TaskTenant events tag every spawn)

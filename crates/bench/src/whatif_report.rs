@@ -16,27 +16,47 @@ pub struct LabeledQuery {
     pub query: Query,
 }
 
-/// Parses one `--speedup type:pct` argument against the run's type
-/// names (`"sum:25"` → type index of `sum`, 25% faster). Returns an
-/// error message suitable for the CLI on bad input.
+/// Parses one `--speedup` argument against the run's type names.
+/// Two spellings: `<type>:<pct>` (`"sum:25"` → type index of `sum`,
+/// 25% faster) and `task:<id>:<pct>` (`"task:17:25"` → the single task
+/// instance with trace id 17, 25% faster). Returns an error message
+/// suitable for the CLI on bad input.
 pub fn parse_speedup(spec: &str, type_names: &[String]) -> Result<LabeledQuery, String> {
     let (name, pct) = spec
         .split_once(':')
-        .ok_or_else(|| format!("--speedup wants <type>:<pct>, got '{spec}'"))?;
+        .ok_or_else(|| format!("--speedup wants <type>:<pct> or task:<id>:<pct>, got '{spec}'"))?;
+    if name == "task" {
+        let (id, pct) = pct
+            .split_once(':')
+            .ok_or_else(|| format!("--speedup task wants task:<id>:<pct>, got '{spec}'"))?;
+        let task: u64 = id
+            .parse()
+            .map_err(|_| format!("--speedup task id '{id}' is not an integer"))?;
+        let pct = parse_pct(pct)?;
+        return Ok(LabeledQuery {
+            label: format!("task {task} {pct}% faster"),
+            query: Query::InstanceSpeedup { task, pct },
+        });
+    }
     let ty = type_names
         .iter()
         .position(|n| n == name)
         .ok_or_else(|| format!("unknown task type '{name}' (this run has: {type_names:?})"))?;
-    let pct: f64 = pct
-        .parse()
-        .map_err(|_| format!("--speedup percentage '{pct}' is not a number"))?;
-    if !(0.0..=100.0).contains(&pct) {
-        return Err(format!("--speedup percentage {pct} outside [0, 100]"));
-    }
+    let pct = parse_pct(pct)?;
     Ok(LabeledQuery {
         label: format!("{name} {pct}% faster"),
         query: Query::TypeSpeedup { ty, pct },
     })
+}
+
+fn parse_pct(pct: &str) -> Result<f64, String> {
+    let v: f64 = pct
+        .parse()
+        .map_err(|_| format!("--speedup percentage '{pct}' is not a number"))?;
+    if !(0.0..=100.0).contains(&v) {
+        return Err(format!("--speedup percentage {v} outside [0, 100]"));
+    }
+    Ok(v)
 }
 
 /// The default query battery when the caller names none: every task
@@ -233,6 +253,23 @@ mod tests {
         assert!(parse_speedup("nope:25", &names()).is_err());
         assert!(parse_speedup("reduce:elephant", &names()).is_err());
         assert!(parse_speedup("reduce:150", &names()).is_err());
+    }
+
+    #[test]
+    fn per_instance_speedup_parsing_round_trips() {
+        let q = parse_speedup("task:17:25", &names()).unwrap();
+        assert_eq!(
+            q.query,
+            Query::InstanceSpeedup {
+                task: 17,
+                pct: 25.0
+            }
+        );
+        assert!(q.label.contains("task 17"));
+        assert!(parse_speedup("task:17", &names()).is_err());
+        assert!(parse_speedup("task:zebra:25", &names()).is_err());
+        assert!(parse_speedup("task:17:150", &names()).is_err());
+        assert!(parse_speedup("task:17:nope", &names()).is_err());
     }
 
     #[test]

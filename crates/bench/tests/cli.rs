@@ -313,6 +313,39 @@ fn whatif_rejects_malformed_and_unknown_speedup_specs() {
     }
 }
 
+#[test]
+fn whatif_per_instance_speedup_targets_one_task() {
+    let dir = scratch("whatif-instance");
+    let out = repro(
+        &["whatif", "fig_overall", "--tiny", "--speedup", "task:0:50"],
+        Some(&dir),
+    );
+    assert!(out.status.success(), "whatif failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("task 0 50% faster"), "{text}");
+    assert!(
+        !text.contains("memory/NoC 2x faster"),
+        "default battery leaked into an explicit query list: {text}"
+    );
+}
+
+#[test]
+fn whatif_rejects_malformed_per_instance_specs() {
+    for spec in ["task:17", "task:zebra:25", "task:17:150", "task:17:pct"] {
+        let out = repro(
+            &["whatif", "fig_overall", "--tiny", "--speedup", spec],
+            None,
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "spec '{spec}' should exit 2, stderr: {}",
+            stderr(&out)
+        );
+        assert!(stderr(&out).contains("usage:"), "{spec}");
+    }
+}
+
 /// Relative `TS_CACHE_DIR` and `TS_OUT_DIR` values must anchor to the
 /// cwd the subcommand started in: entries land inside the scratch
 /// directory, and `cache stats` reports the same absolute location it

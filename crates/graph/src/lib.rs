@@ -1,0 +1,93 @@
+//! # ts-graph — the declarative task-graph frontend
+//!
+//! Workloads for the TaskStream model are ultimately imperative
+//! [`taskstream_model::Program`]s: `Spawner::spawn`/`pipe` calls
+//! scattered through `initial`/`on_complete`. That is exactly the
+//! structure-obscuring style the paper argues hardware must *recover*
+//! from. This crate closes the loop on the authoring side: a workload
+//! is a [`GraphSpec`] — named stages with kernels, typed stream edges
+//! (pipe capacity hints, direct vs. spill intent, multicast groups)
+//! and spawn rules ([`SpawnRule::PerElement`], [`SpawnRule::Tree`],
+//! [`SpawnRule::DataDependent`]) — and [`compile`] lowers it to the
+//! existing program representation, so the simulator, oracle, tracer,
+//! what-if profiler and tenancy layers all run it unchanged.
+//!
+//! Compilation is deterministic: static stages expand in the spec's
+//! [`Emission`] order, each producer's pipe is allocated immediately
+//! before its task, and every structural defect (edge typing, kernel
+//! arity, tree shape, one-to-one counts) is a [`GraphError`] at
+//! compile time. `DataDependent` stages stay symbolic and spawn from
+//! completions at run time.
+//!
+//! ## A two-stage pipeline
+//!
+//! A producer streams a DRAM array through an identity kernel into a
+//! pipe; a consumer accumulates the pipe into one output word:
+//!
+//! ```
+//! use taskstream_model::TaskKernel;
+//! use ts_dfg::DfgBuilder;
+//! use ts_graph::{GraphSpec, Link, SpawnRule, Stage, TaskSketch};
+//! use ts_mem::WriteMode;
+//! use ts_stream::StreamDesc;
+//!
+//! let pass = {
+//!     let mut b = DfgBuilder::new("pass");
+//!     let x = b.input();
+//!     b.output(x);
+//!     b.finish().unwrap()
+//! };
+//! let sum = {
+//!     let mut b = DfgBuilder::new("sum");
+//!     let x = b.input();
+//!     let s = b.acc(x);
+//!     b.output_on_last(s);
+//!     b.finish().unwrap()
+//! };
+//!
+//! let data: Vec<i64> = (1..=16).collect();
+//! let mut g = GraphSpec::new("pipeline").memory(
+//!     taskstream_model::MemoryImage::new()
+//!         .dram_segment(0, data.clone())
+//!         .dram_segment(16, vec![0]),
+//! );
+//! let scan = g.stage(Stage::new(
+//!     "scan",
+//!     TaskKernel::dfg(pass),
+//!     SpawnRule::PerElement { count: 1 },
+//!     |_cx| {
+//!         TaskSketch::new()
+//!             .input_stream(StreamDesc::dram(0, 16))
+//!             .output_downstream()
+//!     },
+//! ));
+//! let agg = g.stage(Stage::new(
+//!     "agg",
+//!     TaskKernel::dfg(sum),
+//!     SpawnRule::PerElement { count: 1 },
+//!     |_cx| {
+//!         TaskSketch::new()
+//!             .input_upstream(0)
+//!             .output_memory(StreamDesc::dram(16, 1), WriteMode::Overwrite)
+//!     },
+//! ));
+//! g.edge(scan, agg, Link::Pipe { capacity: 16 });
+//!
+//! let mut program = g.compile().unwrap();
+//! let report = ts_delta::Accelerator::new(ts_delta::DeltaConfig::delta(2))
+//!     .run(&mut program)
+//!     .unwrap();
+//! assert_eq!(report.dram(16), data.iter().sum::<i64>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod spec;
+
+pub use compile::{compile, CompiledGraph, GraphError};
+pub use spec::{
+    BindFn, Ctx, Emission, GraphSpec, GroupId, InputSlot, Link, OutputSlot, ReadyFn, SpawnRule,
+    Stage, StageId, TaskSketch,
+};

@@ -1,0 +1,413 @@
+//! The declarative surface: [`GraphSpec`], stages, edges and sketches.
+//!
+//! A workload is described as *data*: named stages (each a task type
+//! with a kernel and a spawn rule), typed edges between them (pipelined
+//! pipes with capacity hints, or staged/spill edges that serialize
+//! through memory and spawn consumers on completion), and per-instance
+//! binding functions that fill in the memory geometry. The compiler
+//! ([`crate::compile`]) lowers the spec to the imperative
+//! [`taskstream_model::Program`] surface.
+
+use std::sync::Arc;
+use taskstream_model::{CompletedTask, MemoryImage, TaskKernel, Value};
+use ts_mem::WriteMode;
+use ts_stream::{Addr, DataSrc, StreamDesc};
+
+/// Identifies a stage within one [`GraphSpec`] (returned by
+/// [`GraphSpec::stage`], consumed by [`GraphSpec::edge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageId(pub usize);
+
+/// Identifies a multicast sharing group within one [`GraphSpec`]
+/// (returned by [`GraphSpec::group`]). Instances binding the *same*
+/// stream descriptor under the same group are served by one multicast
+/// DRAM read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupId(pub u64);
+
+/// Per-instance context handed to a stage's binding function.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Emission index within the stage (0-based, emission order).
+    pub index: usize,
+    /// Tree level above the producers (0 for [`SpawnRule::PerElement`]
+    /// and runtime-spawned instances; the first merge level is 1).
+    pub level: usize,
+    /// Position within the level (equals `index` for `PerElement`).
+    pub pos: usize,
+    /// Instances in this level (the stage count for `PerElement`,
+    /// 0 for runtime-spawned instances).
+    pub width: usize,
+    /// True for the single instance at the top of a
+    /// [`SpawnRule::Tree`] stage.
+    pub is_root: bool,
+}
+
+/// How one input port of a sketched task is fed.
+#[derive(Debug, Clone)]
+pub enum InputSlot {
+    /// A private stream (memory, literal, or generated).
+    Stream(StreamDesc),
+    /// A multicast-eligible stream: every instance binding the same
+    /// descriptor under the same group shares one DRAM read.
+    Shared {
+        /// The stream (must be identical across the group).
+        desc: StreamDesc,
+        /// Sharing-group identity from [`GraphSpec::group`].
+        group: GroupId,
+    },
+    /// The pipe of the `k`-th upstream producer: for `PerElement`
+    /// stages the `k`-th inbound [`Link::Pipe`] edge (one-to-one by
+    /// instance index); for [`SpawnRule::Tree`] stages the `k`-th
+    /// child in the fanout group.
+    Upstream(usize),
+}
+
+/// Where one output port of a sketched task goes.
+#[derive(Debug, Clone)]
+pub enum OutputSlot {
+    /// Write through a stream descriptor.
+    Memory {
+        /// Address pattern to write.
+        desc: StreamDesc,
+        /// Plain store or read-modify-write.
+        mode: WriteMode,
+    },
+    /// Scatter: addresses from a sibling port, values from this one.
+    Scatter {
+        /// Memory space written.
+        src: DataSrc,
+        /// Base address.
+        base: Addr,
+        /// Index multiplier.
+        scale: i64,
+        /// Sibling port emitting one index per value.
+        addr_port: usize,
+        /// Store or read-modify-write mode.
+        mode: WriteMode,
+    },
+    /// Feed the downstream consumer through a pipe whose capacity hint
+    /// comes from the outbound [`Link::Pipe`] edge.
+    Downstream,
+    /// Like [`OutputSlot::Downstream`] with a per-instance capacity
+    /// hint (upper bound on the words this instance pushes).
+    DownstreamCap(u64),
+    /// No data movement (values visible to spawn rules only).
+    Discard,
+}
+
+/// The per-instance half of a stage: scalar params, input/output slots
+/// and scheduling annotations, produced by the stage's binding function
+/// for each [`Ctx`].
+#[derive(Debug, Clone, Default)]
+pub struct TaskSketch {
+    /// Scalar arguments.
+    pub params: Vec<Value>,
+    /// One slot per kernel input port, in port order.
+    pub inputs: Vec<InputSlot>,
+    /// One slot per kernel output port, in port order.
+    pub outputs: Vec<OutputSlot>,
+    /// Estimated-work override; `None` keeps the model's default (the
+    /// summed length of stream inputs).
+    pub work_hint: Option<u64>,
+    /// Static-placement key.
+    pub affinity: u64,
+}
+
+impl TaskSketch {
+    /// Starts an empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets scalar parameters.
+    pub fn params(mut self, params: impl Into<Vec<Value>>) -> Self {
+        self.params = params.into();
+        self
+    }
+
+    /// Appends a private stream input.
+    pub fn input_stream(mut self, desc: StreamDesc) -> Self {
+        self.inputs.push(InputSlot::Stream(desc));
+        self
+    }
+
+    /// Appends a shared (multicast-eligible) stream input.
+    pub fn input_shared(mut self, desc: StreamDesc, group: GroupId) -> Self {
+        self.inputs.push(InputSlot::Shared { desc, group });
+        self
+    }
+
+    /// Appends the `k`-th upstream pipe as an input.
+    pub fn input_upstream(mut self, k: usize) -> Self {
+        self.inputs.push(InputSlot::Upstream(k));
+        self
+    }
+
+    /// Appends a memory-write output.
+    pub fn output_memory(mut self, desc: StreamDesc, mode: WriteMode) -> Self {
+        self.outputs.push(OutputSlot::Memory { desc, mode });
+        self
+    }
+
+    /// Appends a scatter output taking addresses from `addr_port`.
+    pub fn output_scatter(
+        mut self,
+        src: DataSrc,
+        base: Addr,
+        scale: i64,
+        addr_port: usize,
+        mode: WriteMode,
+    ) -> Self {
+        self.outputs.push(OutputSlot::Scatter {
+            src,
+            base,
+            scale,
+            addr_port,
+            mode,
+        });
+        self
+    }
+
+    /// Appends a downstream-pipe output (capacity from the edge).
+    pub fn output_downstream(mut self) -> Self {
+        self.outputs.push(OutputSlot::Downstream);
+        self
+    }
+
+    /// Appends a downstream-pipe output with a per-instance capacity.
+    pub fn output_downstream_cap(mut self, capacity: u64) -> Self {
+        self.outputs.push(OutputSlot::DownstreamCap(capacity));
+        self
+    }
+
+    /// Appends a discarded output.
+    pub fn output_discard(mut self) -> Self {
+        self.outputs.push(OutputSlot::Discard);
+        self
+    }
+
+    /// Overrides the estimated-work annotation.
+    pub fn work_hint(mut self, hint: u64) -> Self {
+        self.work_hint = Some(hint);
+        self
+    }
+
+    /// Sets the static-placement key.
+    pub fn affinity(mut self, key: u64) -> Self {
+        self.affinity = key;
+        self
+    }
+}
+
+/// A stage's binding function: fills in the memory geometry for one
+/// instance.
+pub type BindFn = Arc<dyn Fn(Ctx) -> TaskSketch + Send + Sync>;
+
+/// A [`SpawnRule::DataDependent`] readiness function: inspects a
+/// completed upstream task (over a staged edge) and the stage's scratch
+/// state, and returns the indices of instances now ready to spawn.
+pub type ReadyFn = Arc<dyn Fn(&CompletedTask, &mut Vec<Value>) -> Vec<usize> + Send + Sync>;
+
+/// How (and when) a stage's task instances come into being.
+#[derive(Clone)]
+pub enum SpawnRule {
+    /// `count` independent instances, all spawned when the program
+    /// starts (indices `0..count`).
+    PerElement {
+        /// Instance count.
+        count: usize,
+    },
+    /// A reduction tree over the inbound pipe edge's producers:
+    /// `fanout`-ary merge levels until one root instance remains,
+    /// emitted level by level. The producer count must be a power of
+    /// `fanout`; non-root instances pipe to their parent, the root
+    /// must sink to memory.
+    Tree {
+        /// Children per merge node (≥ 2).
+        fanout: usize,
+    },
+    /// Runtime-determined instances: whenever a task completes over an
+    /// inbound [`Link::Staged`] edge, the readiness function decides
+    /// which instances (if any) to spawn. `state` seeds the mutable
+    /// scratch the function threads between completions (e.g. per-node
+    /// outstanding-children counters).
+    DataDependent {
+        /// Initial scratch state.
+        state: Vec<Value>,
+        /// The readiness function.
+        ready: ReadyFn,
+    },
+}
+
+impl std::fmt::Debug for SpawnRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnRule::PerElement { count } => {
+                f.debug_struct("PerElement").field("count", count).finish()
+            }
+            SpawnRule::Tree { fanout } => f.debug_struct("Tree").field("fanout", fanout).finish(),
+            SpawnRule::DataDependent { state, .. } => f
+                .debug_struct("DataDependent")
+                .field("state", &state.len())
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// A named stage: one task type (kernel) plus its spawn rule and
+/// per-instance binding function.
+#[derive(Clone)]
+pub struct Stage {
+    pub(crate) name: String,
+    pub(crate) kernel: TaskKernel,
+    pub(crate) spawn: SpawnRule,
+    pub(crate) bind: BindFn,
+}
+
+impl Stage {
+    /// Creates a stage. `bind` maps each instance's [`Ctx`] to its
+    /// [`TaskSketch`] (slot counts must match the kernel's arity).
+    pub fn new(
+        name: impl Into<String>,
+        kernel: TaskKernel,
+        spawn: SpawnRule,
+        bind: impl Fn(Ctx) -> TaskSketch + Send + Sync + 'static,
+    ) -> Self {
+        Stage {
+            name: name.into(),
+            kernel,
+            spawn,
+            bind: Arc::new(bind),
+        }
+    }
+}
+
+impl std::fmt::Debug for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stage")
+            .field("name", &self.name)
+            .field("kernel", &self.kernel)
+            .field("spawn", &self.spawn)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The transport of a stream edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Link {
+    /// Direct intent: a pipelined pipe per producer instance.
+    /// `capacity` is the default capacity hint (an upper bound on the
+    /// words one producer pushes); [`OutputSlot::DownstreamCap`]
+    /// overrides it per instance.
+    Pipe {
+        /// Default per-pipe capacity hint in words.
+        capacity: u64,
+    },
+    /// Spill intent: the producer serializes through memory (its
+    /// sketch writes a staging buffer) and the edge only propagates
+    /// *completions* — the consumer must be
+    /// [`SpawnRule::DataDependent`] and is spawned by its readiness
+    /// function.
+    Staged,
+}
+
+/// A typed stream edge between two stages.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Edge {
+    pub from: usize,
+    pub to: usize,
+    pub link: Link,
+}
+
+/// Order in which the compiler emits the initial (static) instances.
+///
+/// Emission order is observable — it fixes spawn order and pipe-id
+/// allocation, which the dispatcher's schedule follows — so specs that
+/// re-express hand-assembled programs pick the order those programs
+/// used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Emission {
+    /// All instances of a stage, then the next stage (trees level by
+    /// level). The default.
+    #[default]
+    StageMajor,
+    /// Instance `i` of every stage in stage order, then `i + 1`.
+    /// Requires every static stage to be `PerElement` with one common
+    /// count (chained per-element pipelines).
+    ElementMajor,
+}
+
+/// A declarative task graph: named stages, typed stream edges, spawn
+/// rules and an initial memory image. Compile with
+/// [`GraphSpec::compile`] (or [`crate::compile`]) into a ready-to-run
+/// [`taskstream_model::Program`].
+#[derive(Debug)]
+pub struct GraphSpec {
+    pub(crate) name: String,
+    pub(crate) memory: MemoryImage,
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) order: Emission,
+    pub(crate) groups: u64,
+}
+
+impl GraphSpec {
+    /// Starts an empty spec.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphSpec {
+            name: name.into(),
+            memory: MemoryImage::new(),
+            stages: Vec::new(),
+            edges: Vec::new(),
+            order: Emission::StageMajor,
+            groups: 0,
+        }
+    }
+
+    /// Sets the initial DRAM/scratchpad image.
+    pub fn memory(mut self, image: MemoryImage) -> Self {
+        self.memory = image;
+        self
+    }
+
+    /// Sets the static-instance emission order.
+    pub fn emission(mut self, order: Emission) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Allocates a fresh multicast sharing group.
+    pub fn group(&mut self) -> GroupId {
+        let id = GroupId(self.groups);
+        self.groups += 1;
+        id
+    }
+
+    /// Appends a stage, returning its id for edge declarations.
+    pub fn stage(&mut self, stage: Stage) -> StageId {
+        self.stages.push(stage);
+        StageId(self.stages.len() - 1)
+    }
+
+    /// Declares a typed stream edge from `from` to `to`.
+    pub fn edge(&mut self, from: StageId, to: StageId, link: Link) -> &mut Self {
+        self.edges.push(Edge {
+            from: from.0,
+            to: to.0,
+            link,
+        });
+        self
+    }
+
+    /// Compiles the spec into a runnable program (see
+    /// [`crate::compile`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural defect found (see
+    /// [`crate::GraphError`]).
+    pub fn compile(self) -> Result<crate::CompiledGraph, crate::GraphError> {
+        crate::compile(self)
+    }
+}

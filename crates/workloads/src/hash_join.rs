@@ -12,13 +12,22 @@
 //! stream engines issue gathers from memory-resident index streams —
 //! they cannot chase fabric-computed addresses. Traffic and compute per
 //! tuple (gather + compare + filter) match the real pipeline.
+//!
+//! The pipeline is authored declaratively as a [`ts_graph::GraphSpec`]
+//! — two `PerElement` stages (probe, aggregate) joined by one pipe
+//! edge, emitted element-major so each chunk's pipe/probe/agg triplet
+//! stays adjacent — which is the canonical way to write workloads in
+//! this suite. The hand-assembled `Spawner` original is kept behind a
+//! test-only path, and a differential test proves the compiled program
+//! is byte-identical to it, so the goldens cannot move.
 
 use crate::{check_range, Workload, WorkloadInfo};
-use taskstream_model::{
-    CompletedTask, MemoryImage, Program, Spawner, TaskInstance, TaskKernel, TaskType, TaskTypeId,
-};
+#[cfg(test)]
+use taskstream_model::{CompletedTask, Spawner, TaskInstance, TaskType, TaskTypeId};
+use taskstream_model::{MemoryImage, Program, TaskKernel};
 use ts_delta::RunReport;
 use ts_dfg::{Dfg, DfgBuilder};
+use ts_graph::{Emission, GraphSpec, Link, SpawnRule, Stage, TaskSketch};
 use ts_mem::WriteMode;
 use ts_sim::rng::SimRng;
 use ts_stream::{Affine, DataSrc, StreamDesc};
@@ -141,6 +150,89 @@ impl HashJoin {
     fn sums_base(&self) -> u64 {
         self.tvals_base() + self.tvals.len() as u64
     }
+
+    /// The probe pipeline as a declarative graph: a `PerElement` probe
+    /// stage (two direct streams plus two gathers per chunk) piping
+    /// matched products to a `PerElement` aggregate stage that sinks
+    /// one sum word per chunk. Element-major emission keeps each
+    /// chunk's pipe/probe/agg triplet adjacent, and the tail chunk
+    /// shortens its streams and pipe capacity to the remaining tuples.
+    fn graph_spec(&self) -> GraphSpec {
+        let chunk = self.chunk;
+        let ns = self.ns;
+        let (spay_base, haddr_base) = (self.spay_base(), self.haddr_base());
+        let (tkeys_base, tvals_base, sums_base) =
+            (self.tkeys_base(), self.tvals_base(), self.sums_base());
+        let len_of = move |c: usize| (chunk.min(ns - c * chunk)) as u64;
+        let mut g = GraphSpec::new("hash_join")
+            .memory(
+                MemoryImage::new()
+                    .dram_segment(SKEYS, self.skeys.clone())
+                    .dram_segment(spay_base, self.spay.clone())
+                    .dram_segment(haddr_base, self.haddr.clone())
+                    .dram_segment(tkeys_base, self.tkeys.clone())
+                    .dram_segment(tvals_base, self.tvals.clone())
+                    .dram_segment(sums_base, vec![0; self.n_chunks()]),
+            )
+            .emission(Emission::ElementMajor);
+        let probe = g.stage(Stage::new(
+            "join_probe",
+            TaskKernel::dfg(probe_dfg()),
+            SpawnRule::PerElement {
+                count: self.n_chunks(),
+            },
+            move |cx| {
+                let lo = (cx.index * chunk) as u64;
+                let len = len_of(cx.index);
+                let idx = Affine::contiguous(haddr_base + lo, len);
+                TaskSketch::new()
+                    .input_stream(StreamDesc::dram(SKEYS + lo, len))
+                    .input_stream(StreamDesc::dram(spay_base + lo, len))
+                    .input_stream(StreamDesc::Indirect {
+                        src: DataSrc::Dram,
+                        base: tkeys_base,
+                        scale: 1,
+                        index: idx,
+                        index_src: DataSrc::Dram,
+                    })
+                    .input_stream(StreamDesc::Indirect {
+                        src: DataSrc::Dram,
+                        base: tvals_base,
+                        scale: 1,
+                        index: idx,
+                        index_src: DataSrc::Dram,
+                    })
+                    .output_downstream_cap(len)
+                    .work_hint(4 * len)
+                    .affinity(cx.index as u64)
+            },
+        ));
+        let agg = g.stage(Stage::new(
+            "join_agg",
+            TaskKernel::dfg(agg_dfg()),
+            SpawnRule::PerElement {
+                count: self.n_chunks(),
+            },
+            move |cx| {
+                TaskSketch::new()
+                    .input_upstream(0)
+                    .output_memory(
+                        StreamDesc::dram(sums_base + cx.index as u64, 1),
+                        WriteMode::Overwrite,
+                    )
+                    .work_hint(len_of(cx.index))
+                    .affinity(cx.index as u64 + 1)
+            },
+        ));
+        g.edge(
+            probe,
+            agg,
+            Link::Pipe {
+                capacity: chunk as u64,
+            },
+        );
+        g
+    }
 }
 
 /// Probe kernel: gather candidate, compare, emit matched product.
@@ -165,10 +257,15 @@ fn agg_dfg() -> Dfg {
     b.finish().expect("agg kernel is valid")
 }
 
+/// The hand-assembled original, kept test-only so the differential
+/// test can prove [`HashJoin::graph_spec`] compiles to the
+/// byte-identical program.
+#[cfg(test)]
 struct HashJoinProgram {
     wl: HashJoin,
 }
 
+#[cfg(test)]
 impl Program for HashJoinProgram {
     fn name(&self) -> &str {
         "hash_join"
@@ -241,7 +338,11 @@ impl Workload for HashJoin {
     }
 
     fn make_program(&self) -> Box<dyn Program> {
-        Box::new(HashJoinProgram { wl: self.clone() })
+        Box::new(
+            self.graph_spec()
+                .compile()
+                .expect("hash_join GraphSpec is valid"),
+        )
     }
 
     fn validate(&self, report: &RunReport) -> Result<(), String> {
@@ -265,6 +366,35 @@ impl Workload for HashJoin {
 mod tests {
     use super::*;
     use ts_delta::{Accelerator, DeltaConfig, Features};
+
+    #[test]
+    fn graph_spec_matches_hand_assembled_program() {
+        // (64,128,32) and (1024,4096,1024) are the tiny/small presets;
+        // (64,100,32) forces a short tail chunk
+        for (nr, ns, chunk) in [(64, 128, 32), (64, 100, 32), (1024, 4096, 1024)] {
+            let w = HashJoin::new(nr, ns, chunk, 6);
+            let mut hand = HashJoinProgram { wl: w.clone() };
+            let mut compiled = w.make_program();
+            assert_eq!(
+                crate::program_signature(&mut hand),
+                crate::program_signature(compiled.as_mut()),
+                "nr={nr} ns={ns} chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_spec_runs_identically_to_hand_assembled() {
+        let w = HashJoin::tiny(6);
+        let run = |p: &mut dyn Program| Accelerator::new(DeltaConfig::delta(4)).run(p).unwrap();
+        let hand = run(&mut HashJoinProgram { wl: w.clone() });
+        let compiled = run(w.make_program().as_mut());
+        assert_eq!(hand.cycles, compiled.cycles);
+        assert_eq!(
+            hand.dram_range(w.sums_base(), w.n_chunks()),
+            compiled.dram_range(w.sums_base(), w.n_chunks())
+        );
+    }
 
     #[test]
     fn reference_sums_only_matches() {

@@ -162,6 +162,51 @@ impl NativeKernel for KMeansAssignKernel {
     }
 }
 
+/// Segmented sparse-row dot products against a shared dense vector.
+///
+/// Inputs: port 0 = CSR values for a chunk of rows, port 1 = matching
+/// column indices, port 2 = the dense vector (multicast-shared across
+/// the chunk tasks). Params: one row length per row in the chunk — the
+/// *dynamic shape* that varies task to task. Output: one dot product
+/// per row. Cost: one multiply-accumulate per non-zero.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SparseRowKernel;
+
+impl NativeKernel for SparseRowKernel {
+    fn name(&self) -> &str {
+        "sparse_rows"
+    }
+
+    fn input_count(&self) -> usize {
+        3
+    }
+
+    fn output_count(&self) -> usize {
+        1
+    }
+
+    fn run(&self, params: &[Value], inputs: &[Vec<Value>]) -> NativeOutcome {
+        let (vals, cols, x) = (&inputs[0], &inputs[1], &inputs[2]);
+        assert_eq!(vals.len(), cols.len(), "values and columns must pair up");
+        let nnz: usize = params.iter().map(|&l| l as usize).sum();
+        assert_eq!(vals.len(), nnz, "row lengths must cover the chunk");
+        let mut dots = Vec::with_capacity(params.len());
+        let mut k = 0;
+        for &len in params {
+            let mut acc = 0i64;
+            for _ in 0..len {
+                acc = acc.wrapping_add(vals[k].wrapping_mul(x[cols[k] as usize]));
+                k += 1;
+            }
+            dots.push(acc);
+        }
+        NativeOutcome {
+            outputs: vec![dots],
+            compute_cycles: (nnz as u64).max(1),
+        }
+    }
+}
+
 /// Sorted-set intersection size (graph-mining primitive).
 ///
 /// Inputs: two sorted streams. Output: one word, `|A ∩ B|`. Cost: the
@@ -248,6 +293,23 @@ mod tests {
         // partials: cluster0 sums (1+0, 1+2), cluster1 sums (9,9),
         // counts (2,1)
         assert_eq!(r.outputs[1], vec![1, 3, 9, 9, 2, 1]);
+    }
+
+    #[test]
+    fn sparse_row_kernel_dots_each_row() {
+        // rows of lengths 2, 0, 1 against x = [1, 10, 100]
+        let r = SparseRowKernel.run(
+            &[2, 0, 1],
+            &[vec![3, 4, 5], vec![0, 2, 1], vec![1, 10, 100]],
+        );
+        assert_eq!(r.outputs[0], vec![3 + 400, 0, 50]);
+        assert_eq!(r.compute_cycles, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row lengths must cover")]
+    fn sparse_row_kernel_rejects_short_lengths() {
+        let _ = SparseRowKernel.run(&[1], &[vec![1, 2], vec![0, 1], vec![1, 1]]);
     }
 
     #[test]

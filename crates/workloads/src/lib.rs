@@ -1,10 +1,17 @@
 //! Task-parallel workload suite for the TaskStream/Delta reproduction.
 //!
-//! Eight workloads spanning the irregular, data-processing domain the
+//! Workloads spanning the irregular, data-processing domain the
 //! paper targets, each shipping a seeded generator, a plain-Rust
 //! reference implementation, a Delta [`Program`], and a validation
 //! function comparing the accelerator's final memory against the
-//! reference:
+//! reference. The canonical way to author a workload is the
+//! declarative [`ts_graph::GraphSpec`] frontend — stages, typed stream
+//! edges and spawn rules compiled to a [`Program`] — as [`merge_sort`]
+//! and [`hash_join`] (re-expressed, byte-identical to their
+//! hand-assembled originals) and the second-generation streaming
+//! workloads ([`query_plan`], [`reduce_tree`], [`sparse_chain`]) do.
+//!
+//! The core suite driven by the headline experiments:
 //!
 //! | Workload | Pattern | Stresses |
 //! |----------|---------|----------|
@@ -17,6 +24,16 @@
 //! | [`dtree`] | random-forest inference | multicast, path variance |
 //! | [`kmeans`] | assignment + centroid update | multicast |
 //! | [`tri_count`] | per-edge set intersections | task overhead, skew |
+//!
+//! The streaming-graph suite driven by `fig_streams` (authored
+//! natively on the declarative frontend, outside the core suite so the
+//! headline goldens are untouched):
+//!
+//! | Workload | Pattern | Stresses |
+//! |----------|---------|----------|
+//! | [`query_plan`] | scan→filter→join→aggregate chains | deep pipelined chains, gathers |
+//! | [`reduce_tree`] | irregular reduction tree, fanout 2–4 | data-dependent spawning |
+//! | [`sparse_chain`] | sparse dots → dense scale chains | dynamic shapes, multicast |
 //!
 //! # Examples
 //!
@@ -42,7 +59,10 @@ pub mod hash_join;
 pub mod kernels;
 pub mod kmeans;
 pub mod merge_sort;
+pub mod query_plan;
+pub mod reduce_tree;
 pub mod request_server;
+pub mod sparse_chain;
 pub mod spmv;
 pub mod sssp;
 pub mod tri_count;
@@ -138,6 +158,45 @@ pub fn suite(scale: Scale, seed: u64) -> Vec<Box<dyn Workload>> {
             Box::new(tri_count::TriCount::small(seed)),
         ],
     }
+}
+
+/// The streaming-graph suite at a given scale, in canonical order: the
+/// second-generation workloads authored natively on the declarative
+/// [`ts_graph::GraphSpec`] frontend. Kept separate from [`suite`] so
+/// the headline experiments (and their goldens) are untouched.
+pub fn streams_suite(scale: Scale, seed: u64) -> Vec<Box<dyn Workload>> {
+    match scale {
+        Scale::Tiny => vec![
+            Box::new(query_plan::QueryPlan::tiny(seed)),
+            Box::new(reduce_tree::ReduceTree::tiny(seed)),
+            Box::new(sparse_chain::SparseChain::tiny(seed)),
+        ],
+        Scale::Small => vec![
+            Box::new(query_plan::QueryPlan::small(seed)),
+            Box::new(reduce_tree::ReduceTree::small(seed)),
+            Box::new(sparse_chain::SparseChain::small(seed)),
+        ],
+    }
+}
+
+/// Renders everything a [`Program`] tells the accelerator — name, task
+/// types, memory image, initial tasks and pipe declarations — as one
+/// comparable string. The differential tests use it to prove a
+/// GraphSpec-compiled program is byte-identical to the hand-assembled
+/// original it re-expresses.
+#[cfg(test)]
+pub(crate) fn program_signature(p: &mut dyn Program) -> String {
+    let mut s = taskstream_model::Spawner::new(0);
+    p.initial(&mut s);
+    let (tasks, pipes) = s.take();
+    format!(
+        "name: {}\ntypes: {:#?}\nmemory: {:#?}\ntasks: {:#?}\npipes: {:#?}",
+        p.name(),
+        p.task_types(),
+        p.memory_image(),
+        tasks,
+        pipes
+    )
 }
 
 /// Compares a DRAM range against expected values, reporting the first

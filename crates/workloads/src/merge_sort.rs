@@ -6,6 +6,14 @@
 //! tile-to-tile; the static-parallel design serializes every level
 //! through DRAM.
 //!
+//! The piped tree is authored declaratively as a [`ts_graph::GraphSpec`]
+//! — a `PerElement` sort stage feeding a `Tree { fanout: 2 }` merge
+//! stage over one pipe edge — which is the canonical way to write
+//! workloads in this suite. The hand-assembled `Spawner` original is
+//! kept behind a test-only path, and a differential test proves the
+//! compiled program is byte-identical to it (same task types, memory
+//! image, spawn order and pipe ids), so the goldens cannot move.
+//!
 //! The [`MergeSort::staged`] variant builds the same tree *without*
 //! pipes: every node writes a DRAM staging buffer and each merge is
 //! spawned from `on_complete` once both children land. Pipe-bound
@@ -16,13 +24,17 @@
 use crate::kernels::SortKernel;
 use crate::{check_range, Workload, WorkloadInfo};
 use taskstream_model::{
-    CompletedTask, MemoryImage, MergeKernel, PipeId, Program, Spawner, TaskInstance, TaskKernel,
-    TaskType, TaskTypeId,
+    CompletedTask, MemoryImage, MergeKernel, Program, Spawner, TaskInstance, TaskKernel, TaskType,
+    TaskTypeId,
 };
 use ts_delta::RunReport;
+use ts_graph::{GraphSpec, Link, SpawnRule, Stage, TaskSketch};
 use ts_mem::WriteMode;
 use ts_sim::rng::SimRng;
 use ts_stream::StreamDesc;
+
+#[cfg(test)]
+use taskstream_model::PipeId;
 
 const IN_BASE: u64 = 0;
 
@@ -117,12 +129,70 @@ impl MergeSort {
         let within = (node - (1 << level)) as u64;
         self.stage_base() + u64::from(level) * self.n() as u64 + within * self.span_of(node)
     }
+
+    /// The piped tree as a declarative graph: a `PerElement` stage of
+    /// leaf sorts feeding a binary `Tree` of streaming merges over one
+    /// pipe edge. Leaf `i` reads its chunk and pipes onward; a merge at
+    /// tree level `l` spans `chunk << l` words, pipes to its parent
+    /// with that capacity, and the root sinks the sorted array to
+    /// DRAM. The degenerate single-leaf instance expands to a tree
+    /// with no merges, so the leaf writes the output directly.
+    fn graph_spec(&self) -> GraphSpec {
+        let chunk = self.chunk as u64;
+        let leaves = self.leaves;
+        let n = self.n() as u64;
+        let out_base = self.out_base();
+        let mut g = GraphSpec::new("merge_sort").memory(
+            MemoryImage::new()
+                .dram_segment(IN_BASE, self.data.clone())
+                .dram_segment(out_base, vec![0; self.n()]),
+        );
+        let sort = g.stage(Stage::new(
+            "sort_chunk",
+            TaskKernel::native(SortKernel),
+            SpawnRule::PerElement { count: leaves },
+            move |cx| {
+                let sk = TaskSketch::new()
+                    .input_stream(StreamDesc::dram(IN_BASE + cx.index as u64 * chunk, chunk));
+                if leaves == 1 {
+                    sk.output_memory(StreamDesc::dram(out_base, chunk), WriteMode::Overwrite)
+                } else {
+                    sk.output_downstream().affinity(cx.index as u64)
+                }
+            },
+        ));
+        let merge = g.stage(Stage::new(
+            "merge2",
+            TaskKernel::native(MergeKernel),
+            SpawnRule::Tree { fanout: 2 },
+            move |cx| {
+                let span = chunk << cx.level;
+                let sk = TaskSketch::new()
+                    .input_upstream(0)
+                    .input_upstream(1)
+                    .work_hint(span)
+                    .affinity(leaves as u64 + cx.index as u64);
+                if cx.is_root {
+                    sk.output_memory(StreamDesc::dram(out_base, n), WriteMode::Overwrite)
+                } else {
+                    sk.output_downstream_cap(span)
+                }
+            },
+        ));
+        g.edge(sort, merge, Link::Pipe { capacity: chunk });
+        g
+    }
 }
 
+/// The hand-assembled original of the piped tree, kept test-only so
+/// the differential test can prove [`MergeSort::graph_spec`] compiles
+/// to the byte-identical program.
+#[cfg(test)]
 struct MergeSortProgram {
     wl: MergeSort,
 }
 
+#[cfg(test)]
 impl Program for MergeSortProgram {
     fn name(&self) -> &str {
         "merge_sort"
@@ -310,7 +380,11 @@ impl Workload for MergeSort {
                 child_done: vec![0; 2 * self.leaves],
             })
         } else {
-            Box::new(MergeSortProgram { wl: self.clone() })
+            Box::new(
+                self.graph_spec()
+                    .compile()
+                    .expect("merge_sort GraphSpec is valid"),
+            )
         }
     }
 
@@ -350,6 +424,33 @@ impl Workload for MergeSort {
 mod tests {
     use super::*;
     use ts_delta::{Accelerator, DeltaConfig, Features};
+
+    #[test]
+    fn graph_spec_matches_hand_assembled_program() {
+        for (leaves, chunk) in [(1, 16), (2, 8), (4, 32), (4, 2048), (8, 16)] {
+            let w = MergeSort::new(leaves, chunk, 8);
+            let mut hand = MergeSortProgram { wl: w.clone() };
+            let mut compiled = w.make_program();
+            assert_eq!(
+                crate::program_signature(&mut hand),
+                crate::program_signature(compiled.as_mut()),
+                "leaves={leaves} chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn graph_spec_runs_identically_to_hand_assembled() {
+        let w = MergeSort::tiny(8);
+        let run = |p: &mut dyn Program| Accelerator::new(DeltaConfig::delta(4)).run(p).unwrap();
+        let hand = run(&mut MergeSortProgram { wl: w.clone() });
+        let compiled = run(w.make_program().as_mut());
+        assert_eq!(hand.cycles, compiled.cycles);
+        assert_eq!(
+            hand.dram_range(w.out_base(), w.n()),
+            compiled.dram_range(w.out_base(), w.n())
+        );
+    }
 
     #[test]
     fn single_leaf_is_just_a_sort() {

@@ -19,6 +19,7 @@
 //! | [`noc`] | `ts-noc` | 2D-mesh NoC with XY routing and tree multicast |
 //! | [`stream`] | `ts-stream` | stream descriptors, ports, stream engines |
 //! | [`model`] | `taskstream-model` | **the TaskStream execution model** |
+//! | [`graph`] | `ts-graph` | declarative task-graph frontend ([`GraphSpec`] → [`model::Program`](model::Program)) |
 //! | [`delta`] | `ts-delta` | the Delta accelerator + static baseline + area model |
 //! | [`workloads`] | `ts-workloads` | task-parallel workload suite |
 //! | [`bench`] | `ts-bench` | evaluation harness: experiments, goldens, tracing |
@@ -28,6 +29,10 @@
 //! Everything a typical consumer needs is re-exported at the crate
 //! root, so most programs never name the sub-crates:
 //!
+//! * author: [`GraphSpec`] declares a workload as named [`Stage`]s,
+//!   typed stream edges ([`Link`]) and spawn rules ([`SpawnRule`]);
+//!   [`GraphSpec::compile`] lowers it to a runnable
+//!   [`Program`](model::Program);
 //! * configure: [`DeltaConfig`] presets ([`DeltaConfig::delta`],
 //!   [`DeltaConfig::static_baseline`], [`DeltaConfig::ablation`]) and
 //!   the fluent [`DeltaConfigBuilder`] ([`DeltaConfig::builder`]),
@@ -73,6 +78,68 @@
 //! wl.validate(&run).unwrap(); // faults perturb timing, never function
 //! assert_eq!(run.faults.recovered(), run.faults.tasks_redispatched);
 //! ```
+//!
+//! ## Declaring a pipeline
+//!
+//! New workloads are written declaratively: a [`GraphSpec`] names the
+//! stages, edges and spawn rules, and compiles to the same
+//! [`Program`](model::Program) the simulator, oracle and profilers
+//! consume. A two-stage pipeline — a scanner streams a DRAM array
+//! through an identity kernel into a pipe, and an aggregator folds the
+//! pipe into one output word:
+//!
+//! ```
+//! use taskstream::model::{MemoryImage, TaskKernel};
+//! use taskstream::{Accelerator, DeltaConfig, GraphSpec, Link, SpawnRule, Stage, TaskSketch};
+//! use taskstream::mem::WriteMode;
+//! use taskstream::stream::StreamDesc;
+//!
+//! let pass = {
+//!     let mut b = taskstream::dfg::DfgBuilder::new("pass");
+//!     let x = b.input();
+//!     b.output(x);
+//!     b.finish().unwrap()
+//! };
+//! let sum = {
+//!     let mut b = taskstream::dfg::DfgBuilder::new("sum");
+//!     let x = b.input();
+//!     let s = b.acc(x);
+//!     b.output_on_last(s);
+//!     b.finish().unwrap()
+//! };
+//!
+//! let data: Vec<i64> = (1..=16).collect();
+//! let mut g = GraphSpec::new("pipeline").memory(
+//!     MemoryImage::new()
+//!         .dram_segment(0, data.clone())
+//!         .dram_segment(16, vec![0]),
+//! );
+//! let scan = g.stage(Stage::new(
+//!     "scan",
+//!     TaskKernel::dfg(pass),
+//!     SpawnRule::PerElement { count: 1 },
+//!     |_cx| {
+//!         TaskSketch::new()
+//!             .input_stream(StreamDesc::dram(0, 16))
+//!             .output_downstream()
+//!     },
+//! ));
+//! let agg = g.stage(Stage::new(
+//!     "agg",
+//!     TaskKernel::dfg(sum),
+//!     SpawnRule::PerElement { count: 1 },
+//!     |_cx| {
+//!         TaskSketch::new()
+//!             .input_upstream(0)
+//!             .output_memory(StreamDesc::dram(16, 1), WriteMode::Overwrite)
+//!     },
+//! ));
+//! g.edge(scan, agg, Link::Pipe { capacity: 16 });
+//!
+//! let mut program = g.compile().unwrap();
+//! let report = Accelerator::new(DeltaConfig::delta(2)).run(&mut program).unwrap();
+//! assert_eq!(report.dram(16), data.iter().sum::<i64>());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,6 +149,7 @@ pub use ts_bench as bench;
 pub use ts_cgra as cgra;
 pub use ts_delta as delta;
 pub use ts_dfg as dfg;
+pub use ts_graph as graph;
 pub use ts_mem as mem;
 pub use ts_noc as noc;
 pub use ts_sim as sim;
@@ -92,4 +160,7 @@ pub use ts_bench::experiments;
 pub use ts_delta::{
     oracle, Accelerator, DeltaConfig, DeltaConfigBuilder, FaultReport, FaultsConfig, Features,
     RunError, RunReport, SimProfile,
+};
+pub use ts_graph::{
+    compile, CompiledGraph, Emission, GraphError, GraphSpec, Link, SpawnRule, Stage, TaskSketch,
 };
